@@ -1,0 +1,108 @@
+// Command prism-bench regenerates the paper's evaluation artefacts (the
+// Table 1 walkthrough and the §2.4 series E1–E3) on the synthetic Mondial
+// data set and prints them as text or markdown tables.
+//
+//	prism-bench -exp all
+//	prism-bench -exp e3 -cases 12 -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"prism/internal/dataset"
+	"prism/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prism-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prism-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, t1, e1, e2, e3")
+	seed := fs.Int64("seed", 1, "random seed for data and workload generation")
+	cases := fs.Int("cases", 6, "test cases per resolution level (E1/E2)")
+	schedCases := fs.Int("sched-cases", 8, "test cases for the scheduling comparison (E3)")
+	scale := fs.Float64("scale", 1.0, "database scale factor relative to the default synthetic Mondial")
+	markdown := fs.Bool("markdown", false, "emit markdown tables instead of plain text")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-round discovery time limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := dataset.DefaultMondialConfig()
+	cfg := experiment.Config{
+		Seed: *seed,
+		Mondial: dataset.MondialConfig{
+			Seed:                *seed,
+			Countries:           scaled(base.Countries, *scale),
+			ProvincesPerCountry: scaled(base.ProvincesPerCountry, *scale),
+			CitiesPerProvince:   scaled(base.CitiesPerProvince, *scale),
+			Lakes:               scaled(base.Lakes, *scale),
+			Rivers:              scaled(base.Rivers, *scale),
+			Mountains:           scaled(base.Mountains, *scale),
+		},
+		CasesPerLevel:   *cases,
+		SchedulingCases: *schedCases,
+		TimeLimit:       *timeout,
+	}
+	runner, err := experiment.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "prism-bench: synthetic Mondial with %d rows, seed %d\n\n", runner.DB.TotalRows(), *seed)
+
+	var tables []*experiment.Table
+	switch strings.ToLower(*exp) {
+	case "all":
+		tables, err = runner.RunAll()
+	case "t1", "table1":
+		var t *experiment.Table
+		t, err = runner.RunTable1()
+		tables = append(tables, t)
+	case "e1":
+		var t *experiment.Table
+		t, err = runner.RunE1()
+		tables = append(tables, t)
+	case "e2":
+		var t *experiment.Table
+		t, err = runner.RunE2()
+		tables = append(tables, t)
+	case "e3":
+		var t *experiment.Table
+		t, err = runner.RunE3()
+		tables = append(tables, t)
+	default:
+		return fmt.Errorf("unknown experiment %q (want all, t1, e1, e2 or e3)", *exp)
+	}
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		if *markdown {
+			fmt.Fprintln(out, t.Markdown())
+		} else {
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return nil
+}
+
+func scaled(n int, factor float64) int {
+	v := int(float64(n) * factor)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"t1", "e1", "e2", "e3"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-exp", exp,
+			"-scale", "0.2",
+			"-cases", "2",
+			"-sched-cases", "2",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "==") {
+			t.Errorf("%s: no table rendered:\n%s", exp, out.String())
+		}
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "t1", "-scale", "0.2", "-markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### T1") || !strings.Contains(out.String(), "| State |") {
+		t.Errorf("markdown output missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nonsense", "-scale", "0.2"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(10, 0.5) != 5 || scaled(10, 2) != 20 {
+		t.Error("scaled arithmetic wrong")
+	}
+	if scaled(1, 0.01) != 1 {
+		t.Error("scaled should floor at 1")
+	}
+}

@@ -1,0 +1,128 @@
+// Command prism-cli discovers schema mapping queries from the command line.
+//
+// Example (the paper's §3 walkthrough):
+//
+//	prism-cli -db mondial -columns 3 \
+//	    -sample "California || Nevada | Lake Tahoe | " \
+//	    -metadata " |  | DataType=='decimal' AND MinValue>='0'" \
+//	    -results -explain ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"prism"
+)
+
+// sampleFlags collects repeated -sample flags.
+type sampleFlags []string
+
+func (s *sampleFlags) String() string { return strings.Join(*s, "; ") }
+
+func (s *sampleFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prism-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prism-cli", flag.ContinueOnError)
+	dbName := fs.String("db", "mondial", "source database: mondial, imdb or nba")
+	columns := fs.Int("columns", 3, "number of columns in the target schema")
+	var samples sampleFlags
+	fs.Var(&samples, "sample", "sample-constraint row, cells separated by '|' (repeatable)")
+	metadata := fs.String("metadata", "", "metadata-constraint row, cells separated by '|'")
+	policy := fs.String("policy", string(prism.PolicyBayes), "scheduling policy: bayes, pathlength, random, oracle")
+	timeLimit := fs.Duration("timeout", 60*time.Second, "discovery time limit per round")
+	maxResults := fs.Int("max-results", 0, "cap on returned mapping queries (0 = all)")
+	showResults := fs.Bool("results", false, "execute each mapping and print a result preview")
+	explainMode := fs.String("explain", "", "render the first mapping's query graph: ascii, dot or svg")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, err := prism.OpenDataset(*dbName)
+	if err != nil {
+		return err
+	}
+
+	sampleRows := make([][]string, 0, len(samples))
+	for _, s := range samples {
+		sampleRows = append(sampleRows, splitCells(s, *columns))
+	}
+	var metadataRow []string
+	if strings.TrimSpace(*metadata) != "" {
+		metadataRow = splitCells(*metadata, *columns)
+	}
+	spec, err := prism.ParseConstraints(*columns, sampleRows, metadataRow)
+	if err != nil {
+		return err
+	}
+
+	report, err := eng.Discover(spec, prism.Options{
+		Policy:         prism.Policy(*policy),
+		TimeLimit:      *timeLimit,
+		MaxResults:     *maxResults,
+		IncludeResults: *showResults,
+		ResultLimit:    10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, report.Summary())
+	if msg := report.Failure(); msg != "" {
+		fmt.Fprintln(out, "FAILURE:", msg)
+	}
+	for i, m := range report.Mappings {
+		fmt.Fprintf(out, "\n-- query %d --\n%s\n", i+1, m.SQL)
+		if *showResults && m.Result != nil {
+			fmt.Fprint(out, m.Result.String())
+		}
+	}
+	if *explainMode != "" && len(report.Mappings) > 0 {
+		g := prism.Explain(report.Mappings[0], spec, prism.AllConstraints())
+		fmt.Fprintln(out)
+		switch strings.ToLower(*explainMode) {
+		case "ascii":
+			fmt.Fprint(out, g.ASCII())
+		case "dot":
+			fmt.Fprint(out, g.DOT())
+		case "svg":
+			fmt.Fprint(out, g.SVG())
+		default:
+			return fmt.Errorf("unknown -explain mode %q (want ascii, dot or svg)", *explainMode)
+		}
+	}
+	return nil
+}
+
+// splitCells splits a row on '|' while keeping '||' disjunctions intact and
+// pads it to n cells.
+func splitCells(line string, n int) []string {
+	parts := strings.Split(line, "|")
+	var cells []string
+	for i := 0; i < len(parts); i++ {
+		cell := parts[i]
+		for i+2 <= len(parts)-1 && parts[i+1] == "" {
+			cell = cell + "||" + parts[i+2]
+			i += 2
+		}
+		cells = append(cells, strings.TrimSpace(cell))
+	}
+	out := make([]string, n)
+	for i := 0; i < n && i < len(cells); i++ {
+		out[i] = cells[i]
+	}
+	return out
+}

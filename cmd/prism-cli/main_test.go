@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPaperWalkthrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the default Mondial dataset")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-db", "mondial",
+		"-columns", "3",
+		"-sample", "California || Nevada | Lake Tahoe | ",
+		"-metadata", " |  | DataType=='decimal' AND MinValue>='0'",
+		"-results",
+		"-max-results", "2",
+		"-explain", "ascii",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"SELECT", "geo_lake", "Lake Tahoe", "Projected attributes:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-db", "unknown"}, &out); err == nil {
+		t.Error("unknown database should fail")
+	}
+	if err := run([]string{"-db", "mondial", "-columns", "2", "-sample", ">= | x"}, &out); err == nil {
+		t.Error("bad constraint cell should fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{
+		"-db", "mondial", "-columns", "2",
+		"-sample", "Lake Tahoe | California",
+		"-explain", "nonsense",
+	}, &out); err == nil {
+		t.Error("unknown explain mode should fail")
+	}
+}
+
+func TestSplitCells(t *testing.T) {
+	cells := splitCells("California || Nevada | Lake Tahoe | ", 3)
+	if len(cells) != 3 || cells[0] != "California || Nevada" || cells[1] != "Lake Tahoe" || cells[2] != "" {
+		t.Errorf("splitCells = %#v", cells)
+	}
+	cells = splitCells("a", 3)
+	if len(cells) != 3 || cells[0] != "a" || cells[2] != "" {
+		t.Errorf("padded splitCells = %#v", cells)
+	}
+}
+
+func TestSampleFlags(t *testing.T) {
+	var s sampleFlags
+	if err := s.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "a; b" || len(s) != 2 {
+		t.Errorf("sampleFlags = %q", s.String())
+	}
+}

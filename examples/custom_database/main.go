@@ -1,0 +1,90 @@
+// Custom database scenario: load your own relational data, declare its
+// foreign keys, and run multiresolution schema mapping over it — the path a
+// downstream user takes when their data is not one of the bundled demo
+// sets.
+//
+//	go run ./examples/custom_database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+func main() {
+	// Declare a tiny order-management schema.
+	sch := prism.NewSchema()
+	mustAdd := func(name string, cols ...string) {
+		t, err := prism.NewTable(name, cols...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sch.AddTable(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustAdd("Customer", "Name:text", "City:text", "Segment:text")
+	mustAdd("Product", "Name:text", "Category:text", "Price:decimal")
+	mustAdd("Orders", "ID:text", "Customer:text", "Product:text", "Quantity:int")
+	for _, fk := range [][2]string{
+		{"Orders.Customer", "Customer.Name"},
+		{"Orders.Product", "Product.Name"},
+	} {
+		if err := prism.AddForeignKey(sch, fk[0], fk[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Load rows.
+	db := prism.NewDatabase("shop", sch)
+	insert := func(table string, rows ...[]string) {
+		for _, r := range rows {
+			if err := db.InsertStrings(table, r...); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	insert("Customer",
+		[]string{"Acme Corp", "Detroit", "Enterprise"},
+		[]string{"Globex", "Springfield", "SMB"},
+		[]string{"Initech", "Austin", "Enterprise"},
+	)
+	insert("Product",
+		[]string{"Widget", "Hardware", "19.99"},
+		[]string{"Gadget", "Hardware", "149.0"},
+		[]string{"Cloud Plan", "Services", "499.0"},
+	)
+	insert("Orders",
+		[]string{"O-1", "Acme Corp", "Widget", "120"},
+		[]string{"O-2", "Globex", "Gadget", "3"},
+		[]string{"O-3", "Initech", "Cloud Plan", "1"},
+		[]string{"O-4", "Acme Corp", "Cloud Plan", "2"},
+	)
+	db.Analyze()
+
+	eng := prism.NewEngine(db)
+
+	// The analyst wants (Customer City, Product Category, Price) but only
+	// knows one example city approximately and that prices are positive
+	// decimals below 1000.
+	spec, err := prism.ParseConstraints(3,
+		[][]string{{"Detroit || Chicago", "Services", ""}},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0' AND MaxValue<=1000"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Summary())
+	for i, m := range report.Mappings {
+		fmt.Printf("\n-- query %d --\n%s\n", i+1, m.SQL)
+		if m.Result != nil {
+			fmt.Print(m.Result.String())
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// IMDB scenario: find how movies, their ratings and their lead actors
+// connect, knowing only a famous example and rough knowledge about ratings.
+//
+// The user wants a target schema (Movie Title, Actor, Rating) out of the
+// IMDB-like database but cannot remember exact ratings — only that they are
+// decimals between 0 and 10 — and is not sure whether the lead of Inception
+// was Leonardo DiCaprio or Tim Robbins.
+//
+//	go run ./examples/imdb_actors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+func main() {
+	eng, err := prism.OpenDataset("imdb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := prism.ParseConstraints(3,
+		[][]string{
+			// Medium-resolution sample: a disjunction for the actor and a
+			// range for the rating instead of exact values.
+			{"Inception", "Leonardo DiCaprio || Tim Robbins", "[8, 10]"},
+		},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0' AND MaxValue<='10'"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Summary())
+	for i, m := range report.Mappings {
+		fmt.Printf("\n-- query %d --\n%s\n", i+1, m.SQL)
+		if m.Result != nil && m.Result.NumRows() > 0 {
+			fmt.Print(m.Result.String())
+		}
+	}
+	if len(report.Mappings) == 0 {
+		fmt.Println("no mapping satisfied the constraints")
+	}
+}

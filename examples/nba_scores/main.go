@@ -1,0 +1,42 @@
+// NBA scenario: reconstruct a (Team City, Team Name, Home Score) mapping
+// from approximate knowledge: the user remembers a Lakers home game with a
+// score somewhere in the 90s and knows scores are integers.
+//
+//	go run ./examples/nba_scores
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+func main() {
+	eng, err := prism.OpenDataset("nba")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := prism.ParseConstraints(3,
+		[][]string{
+			{"Los Angeles", "Lakers", "[80, 140]"},
+		},
+		[]string{"", "", "DataType=='int' AND MinValue>='0'"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 5, MaxResults: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Summary())
+	for i, m := range report.Mappings {
+		fmt.Printf("\n-- query %d --\n%s\n", i+1, m.SQL)
+		if m.Result != nil && m.Result.NumRows() > 0 {
+			fmt.Print(m.Result.String())
+		}
+	}
+}

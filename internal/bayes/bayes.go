@@ -1,0 +1,710 @@
+// Package bayes implements the probabilistic models Prism trains a priori
+// over the source database to estimate the failure probability of filters
+// (§2.3): per-relation Bayesian models over column value distributions,
+// combined across relations with the join-indicator construction of Getoor,
+// Taskar and Koller (SIGMOD 2001).
+//
+// The estimator answers: given a filter (a sub-join-tree with value
+// constraints on some of its projected columns), how many joined tuples are
+// expected to satisfy the constraints, and hence how likely is the filter
+// to fail (produce none)? The filter scheduler only consumes the relative
+// ordering of these probabilities, so modest estimation error is tolerable;
+// what matters is that constraints on rare values and long join paths are
+// recognised as more likely to fail.
+package bayes
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"prism/internal/lang"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+const (
+	// numericBuckets is the resolution of the per-column equi-width
+	// histograms used for range selectivity.
+	numericBuckets = 32
+	// defaultTextCompareSelectivity is used for order comparisons over
+	// non-numeric columns, where a histogram gives little signal.
+	defaultTextCompareSelectivity = 1.0 / 3
+	// maxJoinPairSample caps the number of joined row pairs sampled per
+	// foreign-key edge when training the join-indicator statistics; larger
+	// joins are subsampled uniformly so the model stays compact.
+	maxJoinPairSample = 100_000
+)
+
+// columnModel is the per-column distribution: exact value frequencies, the
+// row postings of each value and the column's values themselves (so the
+// per-relation model can answer single-relation selectivities exactly,
+// capturing intra-row correlation — the "Bayesian model in a single
+// relation" of §2.3), plus an equi-width numeric histogram.
+type columnModel struct {
+	ref      schema.ColumnRef
+	total    int
+	nonNull  int
+	distinct int
+
+	freq     map[string]int   // value.Key() -> count
+	postings map[string][]int // value.Key() -> row indexes
+	values   []value.Value    // row index -> value
+
+	numeric    bool
+	lo, hi     float64
+	buckets    []int
+	numericCnt int
+}
+
+func newColumnModel(ref schema.ColumnRef) *columnModel {
+	return &columnModel{ref: ref, freq: make(map[string]int), postings: make(map[string][]int)}
+}
+
+func (c *columnModel) observe(v value.Value) {
+	c.total++
+	if v.IsNull() {
+		return
+	}
+	c.nonNull++
+	key := v.Key()
+	if _, seen := c.freq[key]; !seen {
+		c.distinct++
+	}
+	c.freq[key]++
+	if f, ok := v.Float(); ok && (v.Kind().Numeric() || v.Kind().Temporal()) {
+		if c.numericCnt == 0 || f < c.lo {
+			c.lo = f
+		}
+		if c.numericCnt == 0 || f > c.hi {
+			c.hi = f
+		}
+		c.numericCnt++
+	}
+}
+
+// finalize builds the value postings and the numeric histogram once min and
+// max are known. It needs a second pass over the column values.
+func (c *columnModel) finalize(values []value.Value) {
+	c.values = values
+	for row, v := range values {
+		if v.IsNull() {
+			continue
+		}
+		key := v.Key()
+		c.postings[key] = append(c.postings[key], row)
+	}
+	if c.numericCnt < 2 || c.hi <= c.lo {
+		c.numeric = c.numericCnt > 0
+		return
+	}
+	c.numeric = true
+	c.buckets = make([]int, numericBuckets)
+	width := (c.hi - c.lo) / float64(numericBuckets)
+	for _, v := range values {
+		f, ok := v.Float()
+		if !ok || v.IsNull() {
+			continue
+		}
+		idx := int((f - c.lo) / width)
+		if idx >= numericBuckets {
+			idx = numericBuckets - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		c.buckets[idx]++
+	}
+}
+
+// equalitySelectivity estimates P(column = keyword).
+func (c *columnModel) equalitySelectivity(keyword string) float64 {
+	if c.nonNull == 0 {
+		return 0
+	}
+	key := value.Parse(keyword).Key()
+	if n, ok := c.freq[key]; ok {
+		return float64(n) / float64(c.total)
+	}
+	// Unseen value: Laplace-style smoothing well below one occurrence.
+	return 0.5 / float64(c.total+1)
+}
+
+// rangeSelectivity estimates P(lo <= column <= hi) for numeric columns,
+// falling back to a constant for text.
+func (c *columnModel) rangeSelectivity(lo, hi float64) float64 {
+	if c.nonNull == 0 {
+		return 0
+	}
+	if !c.numeric {
+		return defaultTextCompareSelectivity
+	}
+	if hi < c.lo || lo > c.hi {
+		return 0.5 / float64(c.total+1)
+	}
+	if c.buckets == nil {
+		// Single-point numeric column.
+		if lo <= c.lo && c.lo <= hi {
+			return float64(c.nonNull) / float64(c.total)
+		}
+		return 0.5 / float64(c.total+1)
+	}
+	width := (c.hi - c.lo) / float64(len(c.buckets))
+	covered := 0.0
+	for i, count := range c.buckets {
+		bLo := c.lo + float64(i)*width
+		bHi := bLo + width
+		overlapLo := math.Max(bLo, lo)
+		overlapHi := math.Min(bHi, hi)
+		if overlapHi <= overlapLo {
+			continue
+		}
+		frac := (overlapHi - overlapLo) / width
+		if frac > 1 {
+			frac = 1
+		}
+		covered += frac * float64(count)
+	}
+	sel := covered / float64(c.total)
+	if sel <= 0 {
+		sel = 0.5 / float64(c.total+1)
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// Selectivity estimates the fraction of the column's rows satisfying the
+// value constraint under the naive-Bayes independence assumption.
+func (c *columnModel) selectivity(e lang.ValueExpr) float64 {
+	if e == nil {
+		return 1
+	}
+	switch n := e.(type) {
+	case lang.Keyword:
+		return c.equalitySelectivity(n.Word)
+	case lang.Compare:
+		constF, isNum := n.Const.Float()
+		switch n.Op {
+		case lang.OpEq:
+			return c.equalitySelectivity(n.Const.String())
+		case lang.OpNe:
+			return clamp01(1 - c.equalitySelectivity(n.Const.String()))
+		case lang.OpLt, lang.OpLe:
+			if isNum {
+				return c.rangeSelectivity(math.Inf(-1), constF)
+			}
+			return defaultTextCompareSelectivity
+		case lang.OpGt, lang.OpGe:
+			if isNum {
+				return c.rangeSelectivity(constF, math.Inf(1))
+			}
+			return defaultTextCompareSelectivity
+		default:
+			return defaultTextCompareSelectivity
+		}
+	case lang.Range:
+		loF, ok1 := n.Lo.Float()
+		hiF, ok2 := n.Hi.Float()
+		if ok1 && ok2 {
+			return c.rangeSelectivity(loF, hiF)
+		}
+		return defaultTextCompareSelectivity
+	case lang.And:
+		sel := 1.0
+		for _, t := range n.Terms {
+			sel *= c.selectivity(t)
+		}
+		return sel
+	case lang.Or:
+		// Inclusion bound: 1 - ∏(1 - sel_i).
+		miss := 1.0
+		for _, t := range n.Terms {
+			miss *= 1 - c.selectivity(t)
+		}
+		return clamp01(1 - miss)
+	case lang.Not:
+		return clamp01(1 - c.selectivity(n.Term))
+	default:
+		return defaultTextCompareSelectivity
+	}
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// relationModel is the per-relation Bayesian model: the column distributions
+// plus the relation size. Columns are combined under the naive-Bayes
+// independence assumption.
+type relationModel struct {
+	table   string
+	rows    int
+	columns map[string]*columnModel // lower(column) -> model
+}
+
+// joinStats are the trained join-indicator statistics of one foreign-key
+// edge: the probability that a random (from-row, to-row) pair joins, and a
+// (possibly subsampled) list of joined row-index pairs — the empirical
+// distribution of the join indicator that Getoor et al.'s construction
+// conditions the per-relation models on.
+type joinStats struct {
+	prob       float64 // P(J = 1) over random pairs
+	totalPairs int     // true number of joined pairs
+	// pairs holds up to maxJoinPairSample sampled (fromRow, toRow) pairs.
+	pairs [][2]int
+}
+
+// Model is the trained database-wide model: one relation model per table and
+// the join-indicator statistics of every foreign key.
+type Model struct {
+	relations map[string]*relationModel // lower(table)
+	joins     map[string]*joinStats     // canonical FK key
+}
+
+// ColumnConstraint binds a value constraint to a source column; the
+// estimator multiplies the corresponding selectivities into the expected
+// match count.
+type ColumnConstraint struct {
+	Ref  schema.ColumnRef
+	Expr lang.ValueExpr
+}
+
+// Train fits the model to the current contents of the database. The
+// database must have been analyzed (for stats); Train performs its own
+// scan for histograms and join indicators. This corresponds to the paper's
+// "Bayesian models trained a priori for the source database".
+func Train(db *mem.Database) *Model {
+	m := &Model{
+		relations: make(map[string]*relationModel),
+		joins:     make(map[string]*joinStats),
+	}
+	sch := db.Schema()
+	for _, t := range sch.Tables() {
+		rel, _ := db.Relation(t.Name)
+		rm := &relationModel{table: t.Name, rows: rel.NumRows(), columns: make(map[string]*columnModel)}
+		for ci, col := range t.Columns {
+			cm := newColumnModel(schema.ColumnRef{Table: t.Name, Column: col.Name})
+			vals := make([]value.Value, 0, len(rel.Rows))
+			for _, row := range rel.Rows {
+				cm.observe(row[ci])
+				vals = append(vals, row[ci])
+			}
+			cm.finalize(vals)
+			rm.columns[strings.ToLower(col.Name)] = cm
+		}
+		m.relations[strings.ToLower(t.Name)] = rm
+	}
+	// Join indicators: for FK edge R.a -> S.b, the indicator J_RS is 1 for a
+	// (r, s) pair when r.a = s.b. We record P(J=1) and a sample of the
+	// joined pairs, which is the sufficient statistic the per-relation
+	// models are conditioned on when estimating across relations.
+	for _, fk := range sch.ForeignKeys() {
+		m.joins[fkKey(fk)] = m.trainJoin(db, fk)
+	}
+	return m
+}
+
+// trainJoin computes the join-indicator statistics of one foreign key.
+func (m *Model) trainJoin(db *mem.Database, fk schema.ForeignKey) *joinStats {
+	js := &joinStats{}
+	fromRel, ok1 := db.Relation(fk.From.Table)
+	toRel, ok2 := db.Relation(fk.To.Table)
+	if !ok1 || !ok2 || fromRel.NumRows() == 0 || toRel.NumRows() == 0 {
+		return js
+	}
+	fromCM := m.column(fk.From)
+	toCM := m.column(fk.To)
+	if fromCM == nil || toCM == nil {
+		return js
+	}
+	// Enumerate joined pairs through the postings of the smaller side.
+	for key, fromRows := range fromCM.postings {
+		toRows, ok := toCM.postings[key]
+		if !ok {
+			continue
+		}
+		for _, fr := range fromRows {
+			for _, tr := range toRows {
+				js.totalPairs++
+				js.pairs = append(js.pairs, [2]int{fr, tr})
+			}
+		}
+	}
+	// Subsample uniformly (deterministically, every k-th pair) when the join
+	// is larger than the sampling budget.
+	if len(js.pairs) > maxJoinPairSample {
+		stride := (len(js.pairs) + maxJoinPairSample - 1) / maxJoinPairSample
+		sampled := make([][2]int, 0, maxJoinPairSample)
+		for i := 0; i < len(js.pairs); i += stride {
+			sampled = append(sampled, js.pairs[i])
+		}
+		js.pairs = sampled
+	}
+	js.prob = float64(js.totalPairs) / (float64(fromRel.NumRows()) * float64(toRel.NumRows()))
+	return js
+}
+
+func fkKey(fk schema.ForeignKey) string {
+	a := strings.ToLower(fk.From.String())
+	b := strings.ToLower(fk.To.String())
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+func (m *Model) relation(table string) *relationModel {
+	return m.relations[strings.ToLower(table)]
+}
+
+func (m *Model) column(ref schema.ColumnRef) *columnModel {
+	rm := m.relation(ref.Table)
+	if rm == nil {
+		return nil
+	}
+	return rm.columns[strings.ToLower(ref.Column)]
+}
+
+// RelationSize returns the trained row count of a table (0 when unknown).
+func (m *Model) RelationSize(table string) int {
+	if rm := m.relation(table); rm != nil {
+		return rm.rows
+	}
+	return 0
+}
+
+// Selectivity estimates the fraction of rows of ref's relation whose ref
+// value satisfies the constraint. It returns 1 for nil constraints and a
+// pessimistic small value for unknown columns.
+func (m *Model) Selectivity(ref schema.ColumnRef, e lang.ValueExpr) float64 {
+	if e == nil {
+		return 1
+	}
+	cm := m.column(ref)
+	if cm == nil {
+		return 0.01
+	}
+	return cm.selectivity(e)
+}
+
+// JoinProbability returns the trained join-indicator probability for a
+// foreign key edge.
+func (m *Model) JoinProbability(fk schema.ForeignKey) float64 {
+	if js, ok := m.joins[fkKey(fk)]; ok {
+		return js.prob
+	}
+	return 0
+}
+
+// ExpectedMatches estimates the number of tuples in the join of tables
+// (along edges) that satisfy all column constraints. It uses the
+// probabilistic-relational-model construction of Getoor et al.: the
+// per-relation models give the (exact, correlation-aware) fraction of each
+// relation's rows satisfying its constraints, the join-indicator statistics
+// give both P(J=1) and the conditional probability that a joined pair
+// satisfies the constraints of its two endpoints, and a tree factorisation
+// combines them:
+//
+//	E = ∏ |R_i| · ∏_e P(J_e=1) · ∏_e P(constr_from, constr_to | J_e=1) / ∏_i p_i^(deg_i − 1)
+//
+// where p_i is the per-relation constraint probability and deg_i the number
+// of filter edges incident to relation i.
+func (m *Model) ExpectedMatches(tables []string, edges []schema.ForeignKey, constraints []ColumnConstraint) float64 {
+	byTable := make(map[string][]ColumnConstraint)
+	for _, c := range constraints {
+		key := strings.ToLower(c.Ref.Table)
+		byTable[key] = append(byTable[key], c)
+	}
+
+	// Per-table match sets and probabilities.
+	matchSets := make(map[string]map[int]struct{}, len(tables))
+	probs := make(map[string]float64, len(tables))
+	e := 1.0
+	for _, t := range tables {
+		rows := m.RelationSize(t)
+		if rows == 0 {
+			return 0
+		}
+		e *= float64(rows)
+		key := strings.ToLower(t)
+		cons := byTable[key]
+		if len(cons) == 0 {
+			matchSets[key] = nil // nil = all rows match
+			probs[key] = 1
+			continue
+		}
+		set, ok := m.relationMatchRows(t, cons)
+		if !ok {
+			// Unknown column: keep a pessimistic small probability.
+			probs[key] = 0.01
+			matchSets[key] = nil
+			e *= 0.01
+			continue
+		}
+		p := float64(len(set)) / float64(rows)
+		matchSets[key] = set
+		probs[key] = p
+		if p == 0 {
+			return 0
+		}
+		e *= p
+	}
+	// Defensive: constraints on tables outside the filter contribute their
+	// independent selectivities.
+	for key, cons := range byTable {
+		if _, inFilter := probs[key]; inFilter {
+			continue
+		}
+		for _, c := range cons {
+			e *= m.Selectivity(c.Ref, c.Expr)
+		}
+	}
+
+	// Edge factors: P(J=1) and the conditional pair probability, which
+	// replaces the product of the two endpoint probabilities (hence the
+	// division — equivalently, multiply by the correlation lift).
+	for _, fk := range edges {
+		js := m.joins[fkKey(fk)]
+		if js == nil || js.totalPairs == 0 {
+			return 0
+		}
+		e *= js.prob
+		fromKey := strings.ToLower(fk.From.Table)
+		toKey := strings.ToLower(fk.To.Table)
+		pFrom, okFrom := probs[fromKey]
+		pTo, okTo := probs[toKey]
+		if !okFrom || !okTo {
+			continue
+		}
+		pairFrac := js.conditionalPairProbability(matchSets[fromKey], matchSets[toKey])
+		denom := pFrom * pTo
+		if denom <= 0 {
+			return 0
+		}
+		e *= pairFrac / denom
+	}
+	return e
+}
+
+// conditionalPairProbability estimates P(from-row matches ∧ to-row matches |
+// J=1) from the sampled joined pairs. nil match sets mean "all rows match".
+func (js *joinStats) conditionalPairProbability(fromSet, toSet map[int]struct{}) float64 {
+	if len(js.pairs) == 0 {
+		return 0
+	}
+	if fromSet == nil && toSet == nil {
+		return 1
+	}
+	hits := 0
+	for _, p := range js.pairs {
+		if fromSet != nil {
+			if _, ok := fromSet[p[0]]; !ok {
+				continue
+			}
+		}
+		if toSet != nil {
+			if _, ok := toSet[p[1]]; !ok {
+				continue
+			}
+		}
+		hits++
+	}
+	return float64(hits) / float64(len(js.pairs))
+}
+
+// relationMatchRows returns the exact set of rows of a relation satisfying
+// the conjunction of constraints on its columns. ok is false when a column
+// is unknown to the model.
+func (m *Model) relationMatchRows(table string, cons []ColumnConstraint) (map[int]struct{}, bool) {
+	rm := m.relation(table)
+	if rm == nil {
+		return nil, false
+	}
+	var acc map[int]struct{}
+	for _, c := range cons {
+		cm := rm.columns[strings.ToLower(c.Ref.Column)]
+		if cm == nil {
+			return nil, false
+		}
+		rows := cm.rowsSatisfying(c.Expr)
+		if acc == nil {
+			acc = rows
+			continue
+		}
+		for r := range acc {
+			if _, keep := rows[r]; !keep {
+				delete(acc, r)
+			}
+		}
+	}
+	if acc == nil {
+		acc = make(map[int]struct{})
+	}
+	return acc, true
+}
+
+// FailureProbability estimates the probability that the join produces no
+// tuple satisfying the constraints. Modelling tuple matches as independent
+// rare events (Poisson), P(fail) = exp(-E[matches]).
+func (m *Model) FailureProbability(tables []string, edges []schema.ForeignKey, constraints []ColumnConstraint) float64 {
+	e := m.ExpectedMatches(tables, edges, constraints)
+	return math.Exp(-e)
+}
+
+// MatchingRows returns the exact number of rows of ref whose value
+// satisfies the constraint, when that count can be read directly off the
+// trained frequency map — i.e. for keyword-equality constraints and
+// disjunctions of them. ok is false for constraints that need estimation
+// (ranges, comparisons, conjunctions, negations) or unknown columns.
+//
+// The filter scheduler uses this to recognise filters whose success is
+// already certain from preprocessing (the keyword provably exists in the
+// bound column), which the plain Poisson estimate cannot express.
+func (m *Model) MatchingRows(ref schema.ColumnRef, e lang.ValueExpr) (int, bool) {
+	cm := m.column(ref)
+	if cm == nil || e == nil {
+		return 0, false
+	}
+	rows, ok := cm.rowsMatching(e)
+	if !ok {
+		return 0, false
+	}
+	return len(rows), true
+}
+
+// rowsMatching returns the exact row set satisfying an equality-shaped
+// constraint, ok=false for constraints that need estimation.
+func (c *columnModel) rowsMatching(e lang.ValueExpr) (map[int]struct{}, bool) {
+	switch n := e.(type) {
+	case lang.Keyword:
+		return toSet(c.postings[value.Parse(n.Word).Key()]), true
+	case lang.Compare:
+		if n.Op == lang.OpEq {
+			return toSet(c.postings[n.Const.Key()]), true
+		}
+		return nil, false
+	case lang.Or:
+		out := make(map[int]struct{})
+		for _, t := range n.Terms {
+			rows, ok := c.rowsMatching(t)
+			if !ok {
+				return nil, false
+			}
+			for r := range rows {
+				out[r] = struct{}{}
+			}
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// rowsSatisfying returns the exact row set satisfying any value constraint:
+// equality-shaped constraints use the postings index, everything else falls
+// back to evaluating the constraint over the stored column values.
+func (c *columnModel) rowsSatisfying(e lang.ValueExpr) map[int]struct{} {
+	if e == nil {
+		return allRowsSet(len(c.values))
+	}
+	if rows, ok := c.rowsMatching(e); ok {
+		return rows
+	}
+	out := make(map[int]struct{})
+	for row, v := range c.values {
+		if e.Eval(v) {
+			out[row] = struct{}{}
+		}
+	}
+	return out
+}
+
+func allRowsSet(n int) map[int]struct{} {
+	out := make(map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct{}{}
+	}
+	return out
+}
+
+func toSet(rows []int) map[int]struct{} {
+	out := make(map[int]struct{}, len(rows))
+	for _, r := range rows {
+		out[r] = struct{}{}
+	}
+	return out
+}
+
+// ExactMatchingRows returns the exact number of rows of a single relation
+// satisfying the conjunction of the given constraints (all of which must
+// reference columns of that relation). Unlike the naive-Bayes product it
+// accounts for correlations between columns of the same row exactly — the
+// role the paper's per-relation Bayesian models play. ok is false when the
+// relation or a referenced column is unknown, or a constraint references a
+// different table.
+func (m *Model) ExactMatchingRows(table string, cons []ColumnConstraint) (int, bool) {
+	rm := m.relation(table)
+	if rm == nil {
+		return 0, false
+	}
+	if len(cons) == 0 {
+		return rm.rows, true
+	}
+	for _, c := range cons {
+		if !strings.EqualFold(c.Ref.Table, table) {
+			return 0, false
+		}
+	}
+	set, ok := m.relationMatchRows(table, cons)
+	if !ok {
+		return 0, false
+	}
+	return len(set), true
+}
+
+// ColumnSummary is a compact description of one trained column model; the
+// demo UI and debugging tools display it.
+type ColumnSummary struct {
+	Ref      schema.ColumnRef
+	Rows     int
+	NonNull  int
+	Distinct int
+	Numeric  bool
+	TopValue string
+	TopCount int
+}
+
+// Summaries returns per-column summaries of the trained model, sorted by
+// column reference.
+func (m *Model) Summaries() []ColumnSummary {
+	var out []ColumnSummary
+	for _, rm := range m.relations {
+		for _, cm := range rm.columns {
+			s := ColumnSummary{
+				Ref:      cm.ref,
+				Rows:     cm.total,
+				NonNull:  cm.nonNull,
+				Distinct: cm.distinct,
+				Numeric:  cm.numeric,
+			}
+			for key, n := range cm.freq {
+				if n > s.TopCount || (n == s.TopCount && key < s.TopValue) {
+					s.TopCount = n
+					s.TopValue = key
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.Less(out[j].Ref) })
+	return out
+}

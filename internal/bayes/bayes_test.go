@@ -1,0 +1,343 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/lang"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// trainedModel builds a small Mondial-like database with skewed provinces
+// and trains a model on it.
+func trainedModel(t testing.TB) (*Model, *mem.Database) {
+	t.Helper()
+	s := schema.New()
+	add := func(tab *schema.Table) {
+		if err := s.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(schema.MustTable("Lake",
+		schema.Column{Name: "Name", Type: value.Text},
+		schema.Column{Name: "Area", Type: value.Decimal},
+	))
+	add(schema.MustTable("geo_lake",
+		schema.Column{Name: "Lake", Type: value.Text},
+		schema.Column{Name: "Province", Type: value.Text},
+	))
+	if err := s.AddForeignKey(schema.ForeignKey{
+		From: schema.ColumnRef{Table: "geo_lake", Column: "Lake"},
+		To:   schema.ColumnRef{Table: "Lake", Column: "Name"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := mem.NewDatabase("bayes-test", s)
+	lakes := []struct {
+		name string
+		area float64
+	}{
+		{"Lake Tahoe", 497}, {"Crater Lake", 53.2}, {"Fort Peck Lake", 981},
+		{"Lake Michigan", 58000}, {"Lake A", 10}, {"Lake B", 20}, {"Lake C", 30},
+		{"Lake D", 40}, {"Lake E", 50}, {"Lake F", 60},
+	}
+	for _, l := range lakes {
+		if err := db.Insert("Lake", value.Tuple{value.NewText(l.name), value.NewDecimal(l.area)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// geo_lake: every lake in "California" plus a few elsewhere — skew.
+	for _, l := range lakes {
+		if err := db.Insert("geo_lake", value.Tuple{value.NewText(l.name), value.NewText("California")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := []string{"Nevada", "Oregon"}
+	for i, p := range extra {
+		if err := db.Insert("geo_lake", value.Tuple{value.NewText(lakes[i].name), value.NewText(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Analyze()
+	return Train(db), db
+}
+
+func ref(t, c string) schema.ColumnRef { return schema.ColumnRef{Table: t, Column: c} }
+
+func TestRelationSize(t *testing.T) {
+	m, _ := trainedModel(t)
+	if m.RelationSize("Lake") != 10 {
+		t.Errorf("RelationSize(Lake) = %d", m.RelationSize("Lake"))
+	}
+	if m.RelationSize("geo_lake") != 12 {
+		t.Errorf("RelationSize(geo_lake) = %d", m.RelationSize("geo_lake"))
+	}
+	if m.RelationSize("missing") != 0 {
+		t.Error("unknown relation size should be 0")
+	}
+}
+
+func TestEqualitySelectivity(t *testing.T) {
+	m, _ := trainedModel(t)
+	selCal := m.Selectivity(ref("geo_lake", "Province"), lang.Keyword{Word: "California"})
+	selNev := m.Selectivity(ref("geo_lake", "Province"), lang.Keyword{Word: "Nevada"})
+	selMissing := m.Selectivity(ref("geo_lake", "Province"), lang.Keyword{Word: "Atlantis"})
+	if selCal <= selNev {
+		t.Errorf("California (%v) should be more selective than Nevada (%v)", selCal, selNev)
+	}
+	if selNev <= selMissing {
+		t.Errorf("Nevada (%v) should be more likely than an unseen value (%v)", selNev, selMissing)
+	}
+	if selMissing <= 0 {
+		t.Error("unseen values keep a small nonzero probability")
+	}
+	if got := m.Selectivity(ref("geo_lake", "Province"), nil); got != 1 {
+		t.Errorf("nil constraint selectivity = %v", got)
+	}
+	if got := m.Selectivity(ref("nope", "x"), lang.Keyword{Word: "y"}); got != 0.01 {
+		t.Errorf("unknown column selectivity = %v", got)
+	}
+	// Exact frequency check: 10 of 12 geo_lake rows are California.
+	if math.Abs(selCal-10.0/12.0) > 1e-9 {
+		t.Errorf("California selectivity = %v, want %v", selCal, 10.0/12.0)
+	}
+}
+
+func TestRangeAndComparisonSelectivity(t *testing.T) {
+	m, _ := trainedModel(t)
+	areaRef := ref("Lake", "Area")
+	all := m.Selectivity(areaRef, lang.MustParseValueConstraint(">= 0"))
+	if all < 0.9 {
+		t.Errorf(">= 0 should cover nearly everything, got %v", all)
+	}
+	none := m.Selectivity(areaRef, lang.MustParseValueConstraint(">= 1000000"))
+	if none >= all || none <= 0 {
+		t.Errorf("selectivity above max should be tiny but positive: %v", none)
+	}
+	small := m.Selectivity(areaRef, lang.MustParseValueConstraint("[0, 100]"))
+	big := m.Selectivity(areaRef, lang.MustParseValueConstraint("[0, 100000]"))
+	if small >= big {
+		t.Errorf("wider range should not be less selective: %v vs %v", small, big)
+	}
+	lt := m.Selectivity(areaRef, lang.MustParseValueConstraint("< 100"))
+	gt := m.Selectivity(areaRef, lang.MustParseValueConstraint("> 100"))
+	if lt <= 0 || gt <= 0 || lt+gt > 1.5 {
+		t.Errorf("one-sided selectivities look wrong: %v %v", lt, gt)
+	}
+	// Text comparisons fall back to a constant.
+	nameSel := m.Selectivity(ref("Lake", "Name"), lang.Compare{Op: lang.OpGe, Const: value.NewText("M")})
+	if nameSel != defaultTextCompareSelectivity {
+		t.Errorf("text comparison selectivity = %v", nameSel)
+	}
+}
+
+func TestBooleanSelectivity(t *testing.T) {
+	m, _ := trainedModel(t)
+	provRef := ref("geo_lake", "Province")
+	or := m.Selectivity(provRef, lang.MustParseValueConstraint("California || Nevada"))
+	cal := m.Selectivity(provRef, lang.MustParseValueConstraint("California"))
+	nev := m.Selectivity(provRef, lang.MustParseValueConstraint("Nevada"))
+	if or < cal || or < nev || or > 1 {
+		t.Errorf("or-selectivity out of bounds: %v (cal=%v nev=%v)", or, cal, nev)
+	}
+	and := m.Selectivity(provRef, lang.MustParseValueConstraint("California && Nevada"))
+	if and > cal || and > nev {
+		t.Errorf("and-selectivity should not exceed its terms: %v", and)
+	}
+	not := m.Selectivity(provRef, lang.MustParseValueConstraint("NOT California"))
+	if math.Abs(not-(1-cal)) > 1e-9 {
+		t.Errorf("not-selectivity = %v, want %v", not, 1-cal)
+	}
+	ne := m.Selectivity(provRef, lang.MustParseValueConstraint("!= California"))
+	if math.Abs(ne-(1-cal)) > 1e-9 {
+		t.Errorf("!=-selectivity = %v, want %v", ne, 1-cal)
+	}
+}
+
+func TestJoinProbability(t *testing.T) {
+	m, db := trainedModel(t)
+	fk := db.Schema().ForeignKeys()[0]
+	p := m.JoinProbability(fk)
+	// Every geo_lake row matches exactly one lake: matches = 12, pairs = 10*12.
+	want := 12.0 / (10.0 * 12.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("JoinProbability = %v, want %v", p, want)
+	}
+	// Unknown FK has probability 0.
+	if m.JoinProbability(schema.ForeignKey{
+		From: ref("a", "b"), To: ref("c", "d"),
+	}) != 0 {
+		t.Error("unknown join probability should be 0")
+	}
+}
+
+func TestExpectedMatchesAndFailure(t *testing.T) {
+	m, db := trainedModel(t)
+	fk := db.Schema().ForeignKeys()[0]
+	tables := []string{"Lake", "geo_lake"}
+	edges := []schema.ForeignKey{fk}
+
+	// Unconstrained join: expected matches = 12 (every geo_lake row joins).
+	e := m.ExpectedMatches(tables, edges, nil)
+	if math.Abs(e-12) > 1e-9 {
+		t.Errorf("ExpectedMatches = %v, want 12", e)
+	}
+	// Constraint on a frequent value should leave a high expected count and
+	// hence a low failure probability; a never-present value the reverse.
+	commonCons := []ColumnConstraint{{Ref: ref("geo_lake", "Province"), Expr: lang.Keyword{Word: "California"}}}
+	rareCons := []ColumnConstraint{{Ref: ref("geo_lake", "Province"), Expr: lang.Keyword{Word: "Atlantis"}}}
+	fCommon := m.FailureProbability(tables, edges, commonCons)
+	fRare := m.FailureProbability(tables, edges, rareCons)
+	if fCommon >= fRare {
+		t.Errorf("common constraint should fail less often: %v vs %v", fCommon, fRare)
+	}
+	if fCommon < 0 || fCommon > 1 || fRare < 0 || fRare > 1 {
+		t.Error("failure probabilities must be in [0,1]")
+	}
+	// Unknown table: expected matches 0, failure probability 1.
+	if m.ExpectedMatches([]string{"nope"}, nil, nil) != 0 {
+		t.Error("unknown table should have 0 expected matches")
+	}
+	if m.FailureProbability([]string{"nope"}, nil, nil) != 1 {
+		t.Error("unknown table should surely fail")
+	}
+}
+
+func TestLongerJoinPathFailsMore(t *testing.T) {
+	// With an extra hop whose join probability < 1/|new table| · something,
+	// adding a join edge with selective constraints increases failure
+	// probability. Construct: same DB, compare one-table vs two-table filter
+	// for a rare constraint.
+	m, db := trainedModel(t)
+	fk := db.Schema().ForeignKeys()[0]
+	rare := []ColumnConstraint{{Ref: ref("geo_lake", "Province"), Expr: lang.Keyword{Word: "Oregon"}}}
+	oneTable := m.FailureProbability([]string{"geo_lake"}, nil, rare)
+	twoTables := m.FailureProbability([]string{"Lake", "geo_lake"}, []schema.ForeignKey{fk}, rare)
+	// The join preserves the single Oregon row (join prob 1/10 * 10 lakes),
+	// so both are comparable; at minimum both must be valid probabilities
+	// and the two-table estimate must not be wildly smaller.
+	if oneTable < 0 || oneTable > 1 || twoTables < 0 || twoTables > 1 {
+		t.Fatal("invalid probabilities")
+	}
+	if twoTables < oneTable-1e-9 {
+		t.Errorf("joining should not make failure less likely here: %v vs %v", twoTables, oneTable)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	m, _ := trainedModel(t)
+	sums := m.Summaries()
+	if len(sums) != 4 {
+		t.Fatalf("Summaries len = %d", len(sums))
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i].Ref.Less(sums[i-1].Ref) {
+			t.Error("summaries not sorted")
+		}
+	}
+	var prov ColumnSummary
+	for _, s := range sums {
+		if s.Ref.String() == "geo_lake.Province" {
+			prov = s
+		}
+	}
+	if prov.Rows != 12 || prov.Distinct != 3 || prov.TopCount != 10 {
+		t.Errorf("province summary = %+v", prov)
+	}
+	var area ColumnSummary
+	for _, s := range sums {
+		if s.Ref.String() == "Lake.Area" {
+			area = s
+		}
+	}
+	if !area.Numeric {
+		t.Error("area should be numeric")
+	}
+}
+
+func TestEmptyRelationModel(t *testing.T) {
+	s := schema.New()
+	if err := s.AddTable(schema.MustTable("Empty", schema.Column{Name: "X", Type: value.Int})); err != nil {
+		t.Fatal(err)
+	}
+	db := mem.NewDatabase("empty", s)
+	db.Analyze()
+	m := Train(db)
+	if m.RelationSize("Empty") != 0 {
+		t.Error("empty relation size")
+	}
+	if m.Selectivity(ref("Empty", "X"), lang.Keyword{Word: "1"}) != 0 {
+		t.Error("selectivity over empty column should be 0")
+	}
+	if m.ExpectedMatches([]string{"Empty"}, nil, nil) != 0 {
+		t.Error("expected matches over empty relation should be 0")
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	m, _ := trainedModel(t)
+	areaRef := ref("Lake", "Area")
+	provRef := ref("geo_lake", "Province")
+	f := func(lo, hi int16, pick uint8) bool {
+		l, h := float64(lo), float64(hi)
+		if l > h {
+			l, h = h, l
+		}
+		sel := m.Selectivity(areaRef, lang.Range{Lo: value.NewDecimal(l), Hi: value.NewDecimal(h)})
+		if sel < 0 || sel > 1 {
+			return false
+		}
+		kw := []string{"California", "Nevada", "Oregon", "Atlantis", "497"}[int(pick)%5]
+		s2 := m.Selectivity(provRef, lang.Keyword{Word: kw})
+		return s2 >= 0 && s2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailureProbabilityMonotoneInConstraints(t *testing.T) {
+	// Adding a constraint can only increase (or keep) the failure
+	// probability, because selectivities are <= 1.
+	m, db := trainedModel(t)
+	fk := db.Schema().ForeignKeys()[0]
+	tables := []string{"Lake", "geo_lake"}
+	edges := []schema.ForeignKey{fk}
+	base := m.FailureProbability(tables, edges, nil)
+	withOne := m.FailureProbability(tables, edges, []ColumnConstraint{
+		{Ref: ref("geo_lake", "Province"), Expr: lang.Keyword{Word: "Nevada"}},
+	})
+	withTwo := m.FailureProbability(tables, edges, []ColumnConstraint{
+		{Ref: ref("geo_lake", "Province"), Expr: lang.Keyword{Word: "Nevada"}},
+		{Ref: ref("Lake", "Area"), Expr: lang.MustParseValueConstraint("[400, 600]")},
+	})
+	if withOne < base-1e-12 || withTwo < withOne-1e-12 {
+		t.Errorf("failure probability should be monotone: %v %v %v", base, withOne, withTwo)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	_, db := trainedModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Train(db)
+	}
+}
+
+func BenchmarkFailureProbability(b *testing.B) {
+	m, db := trainedModel(b)
+	fk := db.Schema().ForeignKeys()[0]
+	cons := []ColumnConstraint{
+		{Ref: ref("geo_lake", "Province"), Expr: lang.MustParseValueConstraint("California || Nevada")},
+		{Ref: ref("Lake", "Area"), Expr: lang.MustParseValueConstraint(">= 100 && <= 600")},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.FailureProbability([]string{"Lake", "geo_lake"}, []schema.ForeignKey{fk}, cons)
+	}
+}

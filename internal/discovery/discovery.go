@@ -1,0 +1,297 @@
+// Package discovery wires the whole Prism pipeline together (Figure 2):
+// related-column search over the preprocessed column metadata and inverted
+// index, candidate generation over the schema graph, filter decomposition,
+// scheduled filter validation under a time budget, and assembly of the
+// final schema mapping queries with their SQL text.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"prism/internal/bayes"
+	"prism/internal/constraint"
+	"prism/internal/filter"
+	"prism/internal/graphx"
+	"prism/internal/mem"
+	"prism/internal/sched"
+	"prism/internal/schema"
+	"prism/internal/sqlgen"
+)
+
+// Policy selects the filter-scheduling policy.
+type Policy string
+
+const (
+	// PolicyBayes is Prism's Bayesian-model-based scheduling (default).
+	PolicyBayes Policy = "bayes"
+	// PolicyPathLength is the Filter baseline (failure probability
+	// proportional to join-path length).
+	PolicyPathLength Policy = "pathlength"
+	// PolicyRandom schedules filters in pseudo-random order.
+	PolicyRandom Policy = "random"
+	// PolicyOracle uses ground-truth outcomes; it is the optimum reference
+	// and is only available when ComputeGroundTruth is set.
+	PolicyOracle Policy = "oracle"
+)
+
+// Options tune a discovery round.
+type Options struct {
+	// MaxTables bounds the join-tree size of candidates (default 4).
+	MaxTables int
+	// MaxCandidates bounds candidate enumeration (default 5000).
+	MaxCandidates int
+	// TimeLimit bounds the validation phase; the paper's demo uses 60
+	// seconds per round (the default here as well). Zero keeps the default;
+	// use a negative value for "no limit".
+	TimeLimit time.Duration
+	// Now injects a clock for tests.
+	Now func() time.Time
+	// Policy selects the scheduling policy (default PolicyBayes).
+	Policy Policy
+	// RandomSeed seeds PolicyRandom.
+	RandomSeed int64
+	// IncludeResults executes each final mapping and attaches up to
+	// ResultLimit result rows to the report.
+	IncludeResults bool
+	// ResultLimit caps attached result rows (default 20).
+	ResultLimit int
+	// MaxResults caps the number of final mappings returned (0 = all).
+	MaxResults int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTables <= 0 {
+		o.MaxTables = 4
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 5000
+	}
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 60 * time.Second
+	}
+	if o.TimeLimit < 0 {
+		o.TimeLimit = 0
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyBayes
+	}
+	if o.ResultLimit <= 0 {
+		o.ResultLimit = 20
+	}
+	return o
+}
+
+// Mapping is one final schema mapping query.
+type Mapping struct {
+	// Candidate is the join tree plus projection that produced the mapping.
+	Candidate graphx.Candidate
+	// Plan is the executable Project-Join plan.
+	Plan mem.Plan
+	// SQL is the rendered SQL text shown to the user.
+	SQL string
+	// Result holds up to Options.ResultLimit result rows when
+	// Options.IncludeResults is set, nil otherwise.
+	Result *mem.Result
+}
+
+// Report is the outcome of one discovery round.
+type Report struct {
+	// Spec echoes the constraint specification of the round.
+	Spec *constraint.Spec
+	// Related lists, per target column, the related source columns found.
+	Related [][]schema.ColumnRef
+	// Mappings are the final schema mapping queries, simplest first.
+	Mappings []Mapping
+
+	// CandidatesEnumerated and FiltersGenerated describe the search space.
+	CandidatesEnumerated int
+	FiltersGenerated     int
+	// Validations, Implied and Cost describe the validation work performed.
+	Validations int
+	Implied     int
+	Cost        mem.ExecStats
+	// Policy names the scheduling policy used.
+	Policy string
+	// TimedOut reports whether the round hit the time limit before
+	// resolving every candidate (the paper reports this as a failure).
+	TimedOut bool
+	// Elapsed is the wall-clock duration of the round.
+	Elapsed time.Duration
+}
+
+// Failure returns a human-readable failure reason ("" when the round fully
+// succeeded), mirroring the paper's behaviour of reporting a failure on
+// timeout.
+func (r *Report) Failure() string {
+	if r.TimedOut {
+		return "discovery timed out before resolving every candidate query"
+	}
+	return ""
+}
+
+// Engine runs discovery rounds over one source database. Creating an engine
+// performs the preprocessing the paper assumes: column statistics, the
+// inverted index, and the Bayesian models.
+type Engine struct {
+	db    *mem.Database
+	model *bayes.Model
+	graph *graphx.Graph
+}
+
+// NewEngine preprocesses the database and returns an engine.
+func NewEngine(db *mem.Database) *Engine {
+	db.Analyze()
+	return &Engine{
+		db:    db,
+		model: bayes.Train(db),
+		graph: graphx.New(db.Schema()),
+	}
+}
+
+// Database returns the underlying database.
+func (e *Engine) Database() *mem.Database { return e.db }
+
+// Model returns the trained Bayesian model.
+func (e *Engine) Model() *bayes.Model { return e.model }
+
+// RelatedColumns finds, for every target column, the source columns that
+// could be mapped to it: columns satisfying the column's metadata
+// constraint whose contents make at least one value constraint feasible
+// (checked against the inverted index and column statistics, §2.3 step #1).
+func (e *Engine) RelatedColumns(spec *constraint.Spec) ([][]schema.ColumnRef, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("discovery: nil specification")
+	}
+	stats := e.db.AllStats()
+	related := make([][]schema.ColumnRef, spec.NumColumns)
+	for col := 0; col < spec.NumColumns; col++ {
+		for _, st := range stats {
+			ref := st.Ref
+			has := func(kw string) bool { return e.db.ColumnHasKeyword(ref, kw) }
+			if spec.ColumnFeasible(col, st, has) {
+				related[col] = append(related[col], ref)
+			}
+		}
+		if len(related[col]) == 0 {
+			return related, fmt.Errorf("discovery: no source column matches the constraints of target column %d", col+1)
+		}
+	}
+	return related, nil
+}
+
+// Discover runs one discovery round: it synthesizes every Project-Join
+// schema mapping query satisfying the specification, within the options'
+// search bounds and time budget.
+func (e *Engine) Discover(spec *constraint.Spec, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	report := &Report{Spec: spec, Policy: string(opts.Policy)}
+	start := time.Now()
+	defer func() { report.Elapsed = time.Since(start) }()
+
+	related, err := e.RelatedColumns(spec)
+	report.Related = related
+	if err != nil {
+		return report, err
+	}
+
+	candidates, err := graphx.Enumerate(e.graph, related, graphx.EnumerateOptions{
+		MaxTables:           opts.MaxTables,
+		MaxCandidates:       opts.MaxCandidates,
+		RequireUsefulLeaves: true,
+	})
+	if err != nil {
+		return report, fmt.Errorf("discovery: %w", err)
+	}
+	report.CandidatesEnumerated = len(candidates)
+	if len(candidates) == 0 {
+		return report, fmt.Errorf("discovery: no candidate schema mapping queries connect the related columns")
+	}
+
+	set := filter.Decompose(candidates)
+	report.FiltersGenerated = set.NumFilters()
+
+	estimator, err := e.estimator(opts, spec, set)
+	if err != nil {
+		return report, err
+	}
+	runner := &sched.Runner{
+		DB:        e.db,
+		Spec:      spec,
+		Set:       set,
+		Estimator: estimator,
+		Options: sched.Options{
+			TimeLimit: opts.TimeLimit,
+			Now:       opts.Now,
+		},
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return report, fmt.Errorf("discovery: %w", err)
+	}
+	report.Validations = res.Validations
+	report.Implied = res.Implied
+	report.Cost = res.Cost
+	report.TimedOut = res.TimedOut
+
+	// Assemble final mappings, simplest (fewest tables) first.
+	confirmed := append([]int(nil), res.Confirmed...)
+	sort.Slice(confirmed, func(i, j int) bool {
+		a, b := set.Candidates[confirmed[i]], set.Candidates[confirmed[j]]
+		if a.Tree.Size() != b.Tree.Size() {
+			return a.Tree.Size() < b.Tree.Size()
+		}
+		return a.Canonical() < b.Canonical()
+	})
+	for _, ci := range confirmed {
+		if opts.MaxResults > 0 && len(report.Mappings) >= opts.MaxResults {
+			break
+		}
+		cand := set.Candidates[ci]
+		plan := cand.Plan()
+		plan.Distinct = true
+		m := Mapping{Candidate: cand, Plan: plan, SQL: sqlgen.Generate(plan)}
+		if opts.IncludeResults {
+			result, err := e.db.ExecuteWith(plan, mem.ExecOptions{Limit: opts.ResultLimit})
+			if err != nil {
+				return report, fmt.Errorf("discovery: executing final mapping %s: %w", m.SQL, err)
+			}
+			m.Result = result
+		}
+		report.Mappings = append(report.Mappings, m)
+	}
+	return report, nil
+}
+
+// estimator builds the scheduling estimator named by the options.
+func (e *Engine) estimator(opts Options, spec *constraint.Spec, set *filter.Set) (sched.Estimator, error) {
+	switch opts.Policy {
+	case PolicyBayes:
+		return &sched.BayesEstimator{Model: e.model, Spec: spec}, nil
+	case PolicyPathLength:
+		return &sched.PathLengthEstimator{}, nil
+	case PolicyRandom:
+		return &sched.RandomEstimator{Seed: opts.RandomSeed}, nil
+	case PolicyOracle:
+		truth, err := sched.GroundTruth(e.db, spec, set)
+		if err != nil {
+			return nil, fmt.Errorf("discovery: computing oracle ground truth: %w", err)
+		}
+		return sched.NewOracle(set, truth), nil
+	default:
+		return nil, fmt.Errorf("discovery: unknown scheduling policy %q", opts.Policy)
+	}
+}
+
+// Summary renders a short human-readable description of the report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s candidates=%d filters=%d validations=%d (+%d implied) mappings=%d elapsed=%s",
+		r.Policy, r.CandidatesEnumerated, r.FiltersGenerated, r.Validations, r.Implied, len(r.Mappings), r.Elapsed.Round(time.Millisecond))
+	if r.TimedOut {
+		b.WriteString(" TIMED OUT")
+	}
+	return b.String()
+}

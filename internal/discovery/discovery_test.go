@@ -1,0 +1,305 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prism/internal/constraint"
+	"prism/internal/dataset"
+	"prism/internal/mem"
+)
+
+// smallMondial builds a reduced Mondial instance so the tests stay fast.
+func smallMondial(t testing.TB) *mem.Database {
+	t.Helper()
+	db, err := dataset.Mondial(dataset.MondialConfig{
+		Seed: 11, Countries: 4, ProvincesPerCountry: 3, CitiesPerProvince: 2,
+		Lakes: 30, Rivers: 15, Mountains: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func paperSpec(t testing.TB) *constraint.Spec {
+	t.Helper()
+	sp, err := constraint.ParseGrid(3,
+		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestRelatedColumns(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	related, err := e.RelatedColumns(paperSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(related) != 3 {
+		t.Fatalf("related = %v", related)
+	}
+	find := func(col int, want string) bool {
+		for _, ref := range related[col] {
+			if strings.EqualFold(ref.String(), want) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(0, "geo_lake.Province") {
+		t.Errorf("geo_lake.Province should be related to target column 1: %v", related[0])
+	}
+	if !find(1, "Lake.Name") {
+		t.Errorf("Lake.Name should be related to target column 2: %v", related[1])
+	}
+	if !find(2, "Lake.Area") {
+		t.Errorf("Lake.Area should be related to target column 3: %v", related[2])
+	}
+	// The metadata constraint (decimal, MinValue>=0) must exclude text
+	// columns from target column 3.
+	for _, ref := range related[2] {
+		if strings.EqualFold(ref.String(), "Lake.Name") {
+			t.Error("text column must not satisfy the decimal metadata constraint")
+		}
+	}
+	if _, err := e.RelatedColumns(nil); err == nil {
+		t.Error("nil spec should fail")
+	}
+}
+
+func TestRelatedColumnsNoMatch(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	spec, err := constraint.ParseGrid(1, [][]string{{"Atlantis Unobtainium"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RelatedColumns(spec); err == nil {
+		t.Error("a keyword absent from the database should yield an error")
+	}
+}
+
+func TestDiscoverPaperExample(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	report, err := e.Discover(paperSpec(t), Options{IncludeResults: true, ResultLimit: 5})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if report.Failure() != "" {
+		t.Fatalf("unexpected failure: %s", report.Failure())
+	}
+	if len(report.Mappings) == 0 {
+		t.Fatal("no mappings discovered")
+	}
+	// The paper's desired query must be among the discovered mappings.
+	want := "SELECT DISTINCT geo_lake.Province, Lake.Name, Lake.Area FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name"
+	found := false
+	for _, m := range report.Mappings {
+		if m.SQL == want || strings.Contains(m.SQL, "geo_lake.Province, Lake.Name, Lake.Area") && m.Candidate.Tree.Size() == 2 {
+			found = true
+			if m.Result == nil || m.Result.NumRows() == 0 {
+				t.Error("IncludeResults should attach result rows")
+			}
+		}
+	}
+	if !found {
+		var got []string
+		for _, m := range report.Mappings {
+			got = append(got, m.SQL)
+		}
+		t.Errorf("desired mapping not found among:\n%s", strings.Join(got, "\n"))
+	}
+	// Mappings are ordered simplest first.
+	for i := 1; i < len(report.Mappings); i++ {
+		if report.Mappings[i].Candidate.Tree.Size() < report.Mappings[i-1].Candidate.Tree.Size() {
+			t.Error("mappings not ordered by join-tree size")
+			break
+		}
+	}
+	if report.CandidatesEnumerated == 0 || report.FiltersGenerated == 0 || report.Validations == 0 {
+		t.Errorf("report counters look wrong: %s", report.Summary())
+	}
+	if !strings.Contains(report.Summary(), "mappings=") {
+		t.Errorf("Summary = %q", report.Summary())
+	}
+}
+
+func TestDiscoverEveryMappingSatisfiesSpec(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	spec := paperSpec(t)
+	report, err := e.Discover(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper guarantees that every returned query matches the
+	// constraints the user provided; verify by executing each mapping.
+	for _, m := range report.Mappings {
+		res, err := e.Database().Execute(m.Plan)
+		if err != nil {
+			t.Fatalf("executing %s: %v", m.SQL, err)
+		}
+		if !spec.MatchesResult(res.Rows) {
+			t.Errorf("mapping does not satisfy the spec: %s", m.SQL)
+		}
+	}
+}
+
+func TestDiscoverPolicies(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	spec := paperSpec(t)
+	var counts []int
+	for _, policy := range []Policy{PolicyBayes, PolicyPathLength, PolicyRandom, PolicyOracle} {
+		report, err := e.Discover(spec, Options{Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if report.Policy == "" {
+			t.Errorf("%s: policy missing from report", policy)
+		}
+		counts = append(counts, len(report.Mappings))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("different policies must find the same mappings: %v", counts)
+		}
+	}
+}
+
+func TestDiscoverUnknownPolicy(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	if _, err := e.Discover(paperSpec(t), Options{Policy: Policy("nonsense")}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestDiscoverTimeLimit(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	fake := time.Date(2019, 1, 13, 0, 0, 0, 0, time.UTC)
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return fake.Add(time.Duration(calls) * 45 * time.Second)
+	}
+	report, err := e.Discover(paperSpec(t), Options{TimeLimit: 60 * time.Second, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.TimedOut {
+		t.Error("the round should have timed out under the synthetic clock")
+	}
+	if report.Failure() == "" {
+		t.Error("a timed-out round reports a failure, as in the paper")
+	}
+}
+
+func TestDiscoverNoTimeLimit(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	report, err := e.Discover(paperSpec(t), Options{TimeLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TimedOut {
+		t.Error("negative TimeLimit disables the budget")
+	}
+}
+
+func TestDiscoverMaxResults(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	full, err := e.Discover(paperSpec(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Mappings) < 2 {
+		t.Skip("need at least two mappings to test truncation")
+	}
+	capped, err := e.Discover(paperSpec(t), Options{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Mappings) != 1 {
+		t.Errorf("MaxResults not honoured: %d", len(capped.Mappings))
+	}
+}
+
+func TestDiscoverMetadataOnlySpec(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	spec, err := constraint.ParseGrid(2, nil, []string{
+		"ColumnName == 'Name' AND TableName == 'Lake'",
+		"DataType == 'decimal' AND MinValue >= 0 AND ColumnName == 'Area'",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.Discover(spec, Options{})
+	if err != nil {
+		t.Fatalf("metadata-only discovery failed: %v", err)
+	}
+	if len(report.Mappings) == 0 {
+		t.Fatal("metadata-only constraints should still discover mappings")
+	}
+	found := false
+	for _, m := range report.Mappings {
+		if strings.Contains(m.SQL, "Lake.Name, Lake.Area") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a mapping projecting Lake.Name, Lake.Area")
+	}
+}
+
+func TestDiscoverMultipleSamples(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	spec, err := constraint.ParseGrid(2,
+		[][]string{
+			{"California", "Lake Tahoe"},
+			{"Oregon", "Crater Lake"},
+		},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.Discover(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Mappings) == 0 {
+		t.Fatal("two-sample discovery should succeed")
+	}
+	for _, m := range report.Mappings {
+		res, err := e.Database().Execute(m.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spec.MatchesResult(res.Rows) {
+			t.Errorf("mapping violates one of the samples: %s", m.SQL)
+		}
+	}
+}
+
+func BenchmarkDiscoverPaperExample(b *testing.B) {
+	e := NewEngine(smallMondial(b))
+	spec := paperSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Discover(spec, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewEngine(b *testing.B) {
+	db := smallMondial(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewEngine(db)
+	}
+}

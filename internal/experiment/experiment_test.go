@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"prism/internal/dataset"
+	"prism/internal/workload"
+)
+
+// fastConfig keeps the experiment suite quick enough for unit tests.
+func fastConfig() Config {
+	return Config{
+		Seed: 3,
+		Mondial: dataset.MondialConfig{
+			Seed: 3, Countries: 3, ProvincesPerCountry: 2, CitiesPerProvince: 2,
+			Lakes: 20, Rivers: 12, Mountains: 8,
+		},
+		CasesPerLevel:   2,
+		SchedulingCases: 2,
+		MaxTables:       3,
+	}
+}
+
+func newRunner(t testing.TB) *Runner {
+	t.Helper()
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerDefaults(t *testing.T) {
+	r, err := NewRunner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.CasesPerLevel != 6 || r.Config.SchedulingCases != 8 || r.Config.MaxTables != 3 {
+		t.Errorf("defaults = %+v", r.Config)
+	}
+	if r.DB == nil || r.Engine == nil || r.Gen == nil {
+		t.Error("runner not fully initialised")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	r := newRunner(t)
+	table, err := r.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "T1" || len(table.Columns) != 3 {
+		t.Fatalf("table = %+v", table)
+	}
+	// Table 1's California / Lake Tahoe / 497 row must be present.
+	found := false
+	for _, row := range table.Rows {
+		if (row[0] == "California" || row[0] == "Nevada") && row[1] == "Lake Tahoe" && row[2] == "497" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Table 1 row missing; rows = %v", table.Rows)
+	}
+	joined := strings.Join(table.Notes, "\n")
+	if !strings.Contains(joined, "SELECT") || !strings.Contains(joined, "geo_lake") {
+		t.Errorf("notes should include the discovered SQL: %v", table.Notes)
+	}
+	// Rendering helpers.
+	if !strings.Contains(table.String(), "Lake Tahoe") {
+		t.Error("String rendering missing data")
+	}
+	md := table.Markdown()
+	if !strings.HasPrefix(md, "### T1") || !strings.Contains(md, "| State |") {
+		t.Errorf("Markdown rendering:\n%s", md)
+	}
+}
+
+func TestRunE1ShapeMatchesPaper(t *testing.T) {
+	r := newRunner(t)
+	table, err := r.RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(workload.Levels()) {
+		t.Fatalf("one row per level expected, got %d", len(table.Rows))
+	}
+	times := map[string]float64{}
+	for _, row := range table.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("avg time cell %q: %v", row[2], err)
+		}
+		times[row[0]] = v
+		if fails, _ := strconv.Atoi(row[6]); fails == atoiOr(row[1], 0) {
+			t.Errorf("level %s: every case failed", row[0])
+		}
+	}
+	// The paper's claim: execution time does not grow significantly as
+	// constraints become loose. Allow a generous factor on the tiny test
+	// instance (timings are noisy), but loose levels must stay within an
+	// order of magnitude of exact.
+	exact := times[string(workload.LevelExact)]
+	if exact <= 0 {
+		exact = 1
+	}
+	for level, v := range times {
+		if v > exact*25+50 {
+			t.Errorf("level %s time %.1fms is disproportionate to exact %.1fms", level, v, exact)
+		}
+	}
+}
+
+func TestRunE2ShapeMatchesPaper(t *testing.T) {
+	r := newRunner(t)
+	table, err := r.RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(workload.Levels()) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	counts := map[string]float64{}
+	for _, row := range table.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("avg mappings cell %q: %v", row[2], err)
+		}
+		if v <= 0 {
+			t.Errorf("level %s discovered no mappings on average", row[0])
+		}
+		counts[row[0]] = v
+	}
+	// Looser constraints may admit more mappings but should stay in the
+	// same ballpark for non-missing levels (paper: "did not increase much").
+	exact := counts[string(workload.LevelExact)]
+	for _, level := range []workload.Level{workload.LevelDisjunction, workload.LevelRange} {
+		if counts[string(level)] > exact*20 {
+			t.Errorf("level %s mapping count %.1f explodes relative to exact %.1f", level, counts[string(level)], exact)
+		}
+	}
+}
+
+func TestRunE3ShapeMatchesPaper(t *testing.T) {
+	r := newRunner(t)
+	table, err := r.RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 3 { // at least one case + AVERAGE + MAX
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	var caseRows [][]string
+	for _, row := range table.Rows {
+		if row[0] == "AVERAGE" || row[0] == "MAX" {
+			continue
+		}
+		caseRows = append(caseRows, row)
+	}
+	for _, row := range caseRows {
+		optimum := atoiOr(row[2], -1)
+		path := atoiOr(row[3], -1)
+		bayes := atoiOr(row[4], -1)
+		if optimum < 0 || path < 0 || bayes < 0 {
+			t.Fatalf("unparseable row %v", row)
+		}
+		// The optimum is a lower bound for every policy; Prism should not
+		// be worse than the baseline (who wins, per the paper).
+		if path < optimum || bayes < optimum {
+			t.Errorf("policy beat the optimum in row %v", row)
+		}
+		if bayes > path {
+			t.Errorf("bayes scheduling should not need more validations than the baseline: %v", row)
+		}
+	}
+	// Summary rows exist and carry a percentage.
+	last := table.Rows[len(table.Rows)-1]
+	if last[0] != "MAX" || !strings.HasSuffix(last[len(last)-1], "%") {
+		t.Errorf("MAX summary row malformed: %v", last)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	r := newRunner(t)
+	tables, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("expected 4 artefacts, got %d", len(tables))
+	}
+	ids := []string{"T1", "E1", "E2", "E3"}
+	for i, tab := range tables {
+		if tab.ID != ids[i] {
+			t.Errorf("artefact %d = %s, want %s", i, tab.ID, ids[i])
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("artefact %s has no rows", tab.ID)
+		}
+	}
+}
+
+func atoiOr(s string, def int) int {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func BenchmarkRunTable1(b *testing.B) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunE3(b *testing.B) {
+	r, err := NewRunner(fastConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunE3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package filter implements the filter-based validation of candidate schema
+// mapping queries (§2.3 step #2).
+//
+// A filter is a sub-join-tree of a candidate query together with the target
+// columns whose source columns fall inside the subtree — a shorter
+// Project-Join query. Validating a filter asks whether, for every sample
+// constraint, the filter's result contains a tuple matching the sample's
+// cells restricted to the covered target columns. Because any tuple of the
+// full candidate projects onto a tuple of each of its filters:
+//
+//   - if a filter fails, every filter containing it and every candidate it
+//     was derived from fail too (upward failure propagation, the pruning
+//     the paper exploits);
+//   - if a filter passes, every filter contained in it passes too
+//     (downward success propagation).
+//
+// Filters are shared across candidates: one cheap validation can prune many
+// expensive candidates, which is why the order of validation (the concern
+// of package sched) matters.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prism/internal/constraint"
+	"prism/internal/graphx"
+	"prism/internal/lang"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// Outcome is the validation state of a filter.
+type Outcome uint8
+
+const (
+	// Unknown means the filter has not been validated or implied yet.
+	Unknown Outcome = iota
+	// Passed means the filter is satisfied (validated directly or implied
+	// by a passing super-filter).
+	Passed
+	// Failed means the filter is violated (validated directly or implied by
+	// a failing sub-filter).
+	Failed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Unknown:
+		return "unknown"
+	case Passed:
+		return "passed"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Filter is one sub-join-tree with its covered target columns.
+type Filter struct {
+	// Key is the canonical identity of the filter; filters with equal keys
+	// are shared across candidates.
+	Key string
+	// Tree is the sub-join-tree (tables plus foreign-key edges).
+	Tree graphx.Tree
+	// TargetCols lists the covered target-column indexes, ascending.
+	TargetCols []int
+	// Sources lists, parallel to TargetCols, the source column each covered
+	// target column projects from.
+	Sources []schema.ColumnRef
+}
+
+// IsTopOf reports whether the filter covers the full candidate (same tree
+// size and all target columns).
+func (f *Filter) IsTopOf(c graphx.Candidate) bool {
+	return f.Tree.Size() == c.Tree.Size() && len(f.TargetCols) == len(c.Projection)
+}
+
+// Plan returns the executable Project-Join plan of the filter.
+func (f *Filter) Plan() mem.Plan {
+	joins := make([]mem.JoinEdge, len(f.Tree.Edges))
+	for i, e := range f.Tree.Edges {
+		joins[i] = mem.JoinEdge{Left: e.From, Right: e.To}
+	}
+	return mem.Plan{
+		Tables:  append([]string(nil), f.Tree.Tables...),
+		Joins:   joins,
+		Project: append([]schema.ColumnRef(nil), f.Sources...),
+	}
+}
+
+// JoinPathLength returns the number of join edges; the Filter baseline's
+// failure-probability heuristic is proportional to it.
+func (f *Filter) JoinPathLength() int { return len(f.Tree.Edges) }
+
+// String renders the filter compactly.
+func (f *Filter) String() string {
+	cols := make([]string, len(f.TargetCols))
+	for i, tc := range f.TargetCols {
+		cols[i] = fmt.Sprintf("c%d=%s", tc+1, f.Sources[i])
+	}
+	return fmt.Sprintf("filter[%s | %s]", f.Tree, strings.Join(cols, ", "))
+}
+
+func filterKey(tree graphx.Tree, targetCols []int, sources []schema.ColumnRef) string {
+	parts := make([]string, 0, len(targetCols)+1)
+	parts = append(parts, tree.Canonical())
+	for i, tc := range targetCols {
+		parts = append(parts, fmt.Sprintf("%d:%s", tc, strings.ToLower(sources[i].String())))
+	}
+	return strings.Join(parts, "#")
+}
+
+// Set is the filter decomposition of a batch of candidate queries, with the
+// candidate associations and the sub/super dependency relation.
+type Set struct {
+	// Filters holds every distinct filter.
+	Filters []*Filter
+	// Candidates are the decomposed candidates, in the order given.
+	Candidates []graphx.Candidate
+	// CandidateFilters lists, per candidate, the indexes of its filters.
+	CandidateFilters [][]int
+	// Top lists, per candidate, the index of its top (complete) filter.
+	Top []int
+	// parents[i] lists filters that contain filter i (super-filters).
+	parents [][]int
+	// children[i] lists filters contained in filter i (sub-filters).
+	children [][]int
+	// candidatesOf[i] lists candidates that include filter i.
+	candidatesOf [][]int
+}
+
+// NumFilters returns the number of distinct filters.
+func (s *Set) NumFilters() int { return len(s.Filters) }
+
+// NumCandidates returns the number of candidates.
+func (s *Set) NumCandidates() int { return len(s.Candidates) }
+
+// Parents returns the indexes of super-filters of filter i.
+func (s *Set) Parents(i int) []int { return s.parents[i] }
+
+// Children returns the indexes of sub-filters of filter i.
+func (s *Set) Children(i int) []int { return s.children[i] }
+
+// CandidatesOf returns the candidates containing filter i.
+func (s *Set) CandidatesOf(i int) []int { return s.candidatesOf[i] }
+
+// Decompose builds the filter set of the candidates: every connected
+// subtree of each candidate's join tree that hosts at least one projected
+// column becomes a filter, deduplicated across candidates.
+func Decompose(candidates []graphx.Candidate) *Set {
+	s := &Set{
+		Candidates:       candidates,
+		CandidateFilters: make([][]int, len(candidates)),
+		Top:              make([]int, len(candidates)),
+	}
+	index := make(map[string]int)
+
+	for ci, cand := range candidates {
+		subtrees := enumerateSubtrees(cand.Tree)
+		candFilterSet := make(map[int]struct{})
+		for _, sub := range subtrees {
+			var targetCols []int
+			var sources []schema.ColumnRef
+			for tc, src := range cand.Projection {
+				if sub.Contains(src.Table) {
+					targetCols = append(targetCols, tc)
+					sources = append(sources, src)
+				}
+			}
+			if len(targetCols) == 0 {
+				continue
+			}
+			key := filterKey(sub, targetCols, sources)
+			fi, ok := index[key]
+			if !ok {
+				fi = len(s.Filters)
+				index[key] = fi
+				s.Filters = append(s.Filters, &Filter{
+					Key:        key,
+					Tree:       sub,
+					TargetCols: targetCols,
+					Sources:    sources,
+				})
+			}
+			candFilterSet[fi] = struct{}{}
+			if sub.Size() == cand.Tree.Size() && len(targetCols) == len(cand.Projection) {
+				s.Top[ci] = fi
+			}
+		}
+		filters := make([]int, 0, len(candFilterSet))
+		for fi := range candFilterSet {
+			filters = append(filters, fi)
+		}
+		sort.Ints(filters)
+		s.CandidateFilters[ci] = filters
+	}
+
+	// Candidate membership per filter.
+	s.candidatesOf = make([][]int, len(s.Filters))
+	for ci, filters := range s.CandidateFilters {
+		for _, fi := range filters {
+			s.candidatesOf[fi] = append(s.candidatesOf[fi], ci)
+		}
+	}
+
+	// Dependency relation: i ≺ j (i is a sub-filter of j) iff i's tables,
+	// edges and covered column mapping are all subsets of j's.
+	s.parents = make([][]int, len(s.Filters))
+	s.children = make([][]int, len(s.Filters))
+	for i := range s.Filters {
+		for j := range s.Filters {
+			if i == j {
+				continue
+			}
+			if isSubFilter(s.Filters[i], s.Filters[j]) {
+				s.parents[i] = append(s.parents[i], j)
+				s.children[j] = append(s.children[j], i)
+			}
+		}
+	}
+	return s
+}
+
+// isSubFilter reports whether a is contained in b.
+func isSubFilter(a, b *Filter) bool {
+	if a.Tree.Size() > b.Tree.Size() || len(a.TargetCols) > len(b.TargetCols) {
+		return false
+	}
+	for _, t := range a.Tree.Tables {
+		if !b.Tree.Contains(t) {
+			return false
+		}
+	}
+	bEdges := make(map[string]struct{}, len(b.Tree.Edges))
+	for _, e := range b.Tree.Edges {
+		bEdges[edgeKey(e)] = struct{}{}
+	}
+	for _, e := range a.Tree.Edges {
+		if _, ok := bEdges[edgeKey(e)]; !ok {
+			return false
+		}
+	}
+	bCols := make(map[int]string, len(b.TargetCols))
+	for i, tc := range b.TargetCols {
+		bCols[tc] = strings.ToLower(b.Sources[i].String())
+	}
+	for i, tc := range a.TargetCols {
+		src, ok := bCols[tc]
+		if !ok || src != strings.ToLower(a.Sources[i].String()) {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeKey(e schema.ForeignKey) string {
+	a, b := strings.ToLower(e.From.String()), strings.ToLower(e.To.String())
+	if a > b {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+// enumerateSubtrees lists every connected subtree of the candidate tree
+// (including single tables and the full tree).
+func enumerateSubtrees(t graphx.Tree) []graphx.Tree {
+	seen := make(map[string]struct{})
+	var out []graphx.Tree
+	add := func(sub graphx.Tree) {
+		key := sub.Canonical()
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		out = append(out, sub)
+	}
+	// Start from each table and grow along the candidate's own edges.
+	var expand func(sub graphx.Tree)
+	expand = func(sub graphx.Tree) {
+		for _, table := range sub.Tables {
+			for _, e := range t.Edges {
+				var other string
+				switch {
+				case strings.EqualFold(e.From.Table, table):
+					other = e.To.Table
+				case strings.EqualFold(e.To.Table, table):
+					other = e.From.Table
+				default:
+					continue
+				}
+				if sub.Contains(other) {
+					continue
+				}
+				next := graphx.Tree{
+					Tables: append(append([]string(nil), sub.Tables...), other),
+					Edges:  append(append([]schema.ForeignKey(nil), sub.Edges...), e),
+				}
+				key := next.Canonical()
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				add(next)
+				expand(next)
+			}
+		}
+	}
+	for _, table := range t.Tables {
+		sub := graphx.Tree{Tables: []string{table}}
+		add(sub)
+		expand(sub)
+	}
+	return out
+}
+
+// ValidationResult reports one filter validation.
+type ValidationResult struct {
+	Passed bool
+	Cost   mem.ExecStats
+}
+
+// Validator executes filter validations against a database for a given
+// constraint specification.
+type Validator struct {
+	DB   *mem.Database
+	Spec *constraint.Spec
+	// MaxIntermediate guards runaway joins during validation (0 = default).
+	MaxIntermediate int
+}
+
+// Validate executes the filter: for every sample constraint there must be a
+// result tuple of the filter's plan matching the sample's cells restricted
+// to the covered target columns. Samples with no constrained covered cells
+// still require the sub-join to be non-empty.
+func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
+	plan := f.Plan()
+	var total mem.ExecStats
+	samples := v.Spec.Samples
+	if len(samples) == 0 {
+		samples = []constraint.SampleConstraint{{Cells: make([]lang.ValueExpr, v.Spec.NumColumns)}}
+	}
+	for _, sample := range samples {
+		opts := mem.ExecOptions{MaxIntermediate: v.MaxIntermediate}
+		// Push single-column predicates down to base scans.
+		for i, tc := range f.TargetCols {
+			if tc >= len(sample.Cells) || sample.Cells[tc] == nil {
+				continue
+			}
+			expr := sample.Cells[tc]
+			opts.ColumnPredicates = append(opts.ColumnPredicates, mem.ColumnPredicate{
+				Ref:  f.Sources[i],
+				Pred: expr.Eval,
+			})
+		}
+		// The pushed-down predicates already enforce every covered cell, but
+		// keep a tuple predicate as a defence in depth for shared source
+		// columns (two target columns projecting the same source column).
+		cols := f.TargetCols
+		opts.TuplePredicate = func(t value.Tuple) bool {
+			return sample.MatchesProjection(cols, t)
+		}
+		ok, stats, err := v.DB.Exists(plan, opts)
+		total.Add(stats)
+		if err != nil {
+			return ValidationResult{Cost: total}, fmt.Errorf("filter: validating %s: %w", f, err)
+		}
+		if !ok {
+			return ValidationResult{Passed: false, Cost: total}, nil
+		}
+	}
+	return ValidationResult{Passed: true, Cost: total}, nil
+}
+
+// CandidateStatus is the resolution state of a candidate during scheduling.
+type CandidateStatus uint8
+
+const (
+	// CandidateUnresolved means the candidate is neither confirmed nor
+	// pruned yet.
+	CandidateUnresolved CandidateStatus = iota
+	// CandidateConfirmed means its top filter passed: the candidate is a
+	// final schema mapping query.
+	CandidateConfirmed
+	// CandidatePruned means one of its filters failed.
+	CandidatePruned
+)
+
+// String names the status.
+func (s CandidateStatus) String() string {
+	switch s {
+	case CandidateUnresolved:
+		return "unresolved"
+	case CandidateConfirmed:
+		return "confirmed"
+	case CandidatePruned:
+		return "pruned"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Session tracks validation outcomes, propagates implications through the
+// filter dependency DAG, and resolves candidates.
+type Session struct {
+	Set      *Set
+	Outcomes []Outcome
+	Status   []CandidateStatus
+
+	// Executed counts filter validations actually run (the paper's metric).
+	Executed int
+	// Implied counts outcomes derived through propagation instead of
+	// execution.
+	Implied int
+	// Cost accumulates execution statistics of the validations run.
+	Cost mem.ExecStats
+}
+
+// NewSession creates a fresh session over a filter set.
+func NewSession(set *Set) *Session {
+	return &Session{
+		Set:      set,
+		Outcomes: make([]Outcome, set.NumFilters()),
+		Status:   make([]CandidateStatus, set.NumCandidates()),
+	}
+}
+
+// Determined reports whether filter i already has a known outcome.
+func (s *Session) Determined(i int) bool { return s.Outcomes[i] != Unknown }
+
+// Resolved reports whether candidate c is confirmed or pruned.
+func (s *Session) Resolved(c int) bool { return s.Status[c] != CandidateUnresolved }
+
+// UnresolvedCandidates returns the number of candidates still unresolved.
+func (s *Session) UnresolvedCandidates() int {
+	n := 0
+	for _, st := range s.Status {
+		if st == CandidateUnresolved {
+			n++
+		}
+	}
+	return n
+}
+
+// PruningReach returns the number of currently unresolved candidates that
+// contain filter i — the immediate pruning power of a failure of i.
+func (s *Session) PruningReach(i int) int {
+	n := 0
+	for _, ci := range s.Set.CandidatesOf(i) {
+		if !s.Resolved(ci) {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordExecution applies the result of directly validating filter i.
+func (s *Session) RecordExecution(i int, res ValidationResult) {
+	s.Executed++
+	s.Cost.Add(res.Cost)
+	if res.Passed {
+		s.apply(i, Passed)
+	} else {
+		s.apply(i, Failed)
+	}
+}
+
+// apply sets the outcome of filter i and propagates implications.
+func (s *Session) apply(i int, o Outcome) {
+	if s.Outcomes[i] == o {
+		return
+	}
+	if s.Outcomes[i] != Unknown {
+		// Conflicting information indicates a bug in propagation or the
+		// validator; keep the first outcome.
+		return
+	}
+	s.Outcomes[i] = o
+	switch o {
+	case Failed:
+		// Every super-filter fails too.
+		for _, p := range s.Set.Parents(i) {
+			if s.Outcomes[p] == Unknown {
+				s.Implied++
+				s.apply(p, Failed)
+			}
+		}
+		// Every candidate containing the filter is pruned.
+		for _, ci := range s.Set.CandidatesOf(i) {
+			if s.Status[ci] == CandidateUnresolved {
+				s.Status[ci] = CandidatePruned
+			}
+		}
+	case Passed:
+		// Every sub-filter passes too.
+		for _, c := range s.Set.Children(i) {
+			if s.Outcomes[c] == Unknown {
+				s.Implied++
+				s.apply(c, Passed)
+			}
+		}
+		// Candidates whose top filter passed are confirmed.
+		for _, ci := range s.Set.CandidatesOf(i) {
+			if s.Status[ci] == CandidateUnresolved && s.Set.Top[ci] == i {
+				s.Status[ci] = CandidateConfirmed
+			}
+		}
+	}
+}
+
+// Confirmed returns the indexes of confirmed candidates.
+func (s *Session) Confirmed() []int {
+	var out []int
+	for ci, st := range s.Status {
+		if st == CandidateConfirmed {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// Pruned returns the indexes of pruned candidates.
+func (s *Session) Pruned() []int {
+	var out []int
+	for ci, st := range s.Status {
+		if st == CandidatePruned {
+			out = append(out, ci)
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package lang implements the Multiresolution Schema Mapping Language of
+// the paper's Figure 1: row-level value constraints (exact keywords,
+// disjunctions of possible values, value ranges, comparisons) and
+// column-level metadata constraints (data type, column name, min/max value,
+// max text length), combined with AND/OR.
+//
+// The package provides a lexer, a recursive-descent parser, the constraint
+// AST, evaluation of value constraints against cell values, evaluation of
+// metadata constraints against preprocessed column statistics, and
+// conservative feasibility tests used by related-column search.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	// TokenEOF marks the end of input.
+	TokenEOF TokenKind = iota
+	// TokenWord is a bare word (part of a keyword or a field name).
+	TokenWord
+	// TokenString is a quoted string literal ('...' or "...").
+	TokenString
+	// TokenNumber is a numeric literal.
+	TokenNumber
+	// TokenOp is a comparison operator: = == != <> < <= > >=.
+	TokenOp
+	// TokenAnd is the logical AND (keyword AND or &&).
+	TokenAnd
+	// TokenOr is the logical OR (keyword OR or ||).
+	TokenOr
+	// TokenNot is the logical NOT (keyword NOT or !).
+	TokenNot
+	// TokenLParen and friends are punctuation.
+	TokenLParen
+	TokenRParen
+	TokenLBracket
+	TokenRBracket
+	TokenComma
+)
+
+// String names the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenWord:
+		return "word"
+	case TokenString:
+		return "string"
+	case TokenNumber:
+		return "number"
+	case TokenOp:
+		return "operator"
+	case TokenAnd:
+		return "AND"
+	case TokenOr:
+		return "OR"
+	case TokenNot:
+		return "NOT"
+	case TokenLParen:
+		return "("
+	case TokenRParen:
+		return ")"
+	case TokenLBracket:
+		return "["
+	case TokenRBracket:
+		return "]"
+	case TokenComma:
+		return ","
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokenEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// SyntaxError reports a parse failure with position information.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: %s at position %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+func errorf(input string, pos int, format string, args ...any) error {
+	return &SyntaxError{Input: input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenises a constraint expression. Quoted strings may use single,
+// double or typographic quotes (the paper's examples use ‘…’). Runs of
+// unquoted words are emitted as individual word tokens; the parser merges
+// adjacent words into multi-word keywords such as "Lake Tahoe".
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	runes := []rune(input)
+	i := 0
+	n := len(runes)
+	byteOffset := func(ri int) int {
+		return len(string(runes[:ri]))
+	}
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, Token{Kind: TokenLParen, Text: "(", Pos: byteOffset(i)})
+			i++
+		case r == ')':
+			toks = append(toks, Token{Kind: TokenRParen, Text: ")", Pos: byteOffset(i)})
+			i++
+		case r == '[':
+			toks = append(toks, Token{Kind: TokenLBracket, Text: "[", Pos: byteOffset(i)})
+			i++
+		case r == ']':
+			toks = append(toks, Token{Kind: TokenRBracket, Text: "]", Pos: byteOffset(i)})
+			i++
+		case r == ',':
+			toks = append(toks, Token{Kind: TokenComma, Text: ",", Pos: byteOffset(i)})
+			i++
+		case r == '&':
+			if i+1 < n && runes[i+1] == '&' {
+				toks = append(toks, Token{Kind: TokenAnd, Text: "&&", Pos: byteOffset(i)})
+				i += 2
+			} else {
+				return nil, errorf(input, byteOffset(i), "unexpected '&' (use '&&' or AND)")
+			}
+		case r == '|':
+			if i+1 < n && runes[i+1] == '|' {
+				toks = append(toks, Token{Kind: TokenOr, Text: "||", Pos: byteOffset(i)})
+				i += 2
+			} else {
+				return nil, errorf(input, byteOffset(i), "unexpected '|' (use '||' or OR)")
+			}
+		case r == '!':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokenOp, Text: "!=", Pos: byteOffset(i)})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokenNot, Text: "!", Pos: byteOffset(i)})
+				i++
+			}
+		case r == '=':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokenOp, Text: "==", Pos: byteOffset(i)})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokenOp, Text: "=", Pos: byteOffset(i)})
+				i++
+			}
+		case r == '<':
+			switch {
+			case i+1 < n && runes[i+1] == '=':
+				toks = append(toks, Token{Kind: TokenOp, Text: "<=", Pos: byteOffset(i)})
+				i += 2
+			case i+1 < n && runes[i+1] == '>':
+				toks = append(toks, Token{Kind: TokenOp, Text: "!=", Pos: byteOffset(i)})
+				i += 2
+			default:
+				toks = append(toks, Token{Kind: TokenOp, Text: "<", Pos: byteOffset(i)})
+				i++
+			}
+		case r == '>':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokenOp, Text: ">=", Pos: byteOffset(i)})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokenOp, Text: ">", Pos: byteOffset(i)})
+				i++
+			}
+		case r == '\'' || r == '"' || r == '‘' || r == '“':
+			closer := map[rune][]rune{
+				'\'': {'\''},
+				'"':  {'"'},
+				'‘':  {'’', '\''},
+				'“':  {'”', '"'},
+			}[r]
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				c := runes[i]
+				isCloser := false
+				for _, cl := range closer {
+					if c == cl {
+						isCloser = true
+						break
+					}
+				}
+				if isCloser {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteRune(c)
+				i++
+			}
+			if !closed {
+				return nil, errorf(input, byteOffset(start), "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokenString, Text: sb.String(), Pos: byteOffset(start)})
+		case unicode.IsDigit(r) || (r == '-' && i+1 < n && unicode.IsDigit(runes[i+1]) && startsValue(toks)):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(runes[i]) || runes[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokenNumber, Text: string(runes[start:i]), Pos: byteOffset(start)})
+		default:
+			// Bare word: letters, digits, and a few safe punctuation marks.
+			start := i
+			for i < n && isWordRune(runes[i]) {
+				i++
+			}
+			if i == start {
+				return nil, errorf(input, byteOffset(i), "unexpected character %q", string(r))
+			}
+			word := string(runes[start:i])
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, Token{Kind: TokenAnd, Text: word, Pos: byteOffset(start)})
+			case "OR":
+				toks = append(toks, Token{Kind: TokenOr, Text: word, Pos: byteOffset(start)})
+			case "NOT":
+				toks = append(toks, Token{Kind: TokenNot, Text: word, Pos: byteOffset(start)})
+			default:
+				toks = append(toks, Token{Kind: TokenWord, Text: word, Pos: byteOffset(start)})
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokenEOF, Pos: len(input)})
+	return toks, nil
+}
+
+// startsValue reports whether the next token can begin a value, which is
+// the position where a leading '-' should be treated as a numeric sign.
+func startsValue(toks []Token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	switch toks[len(toks)-1].Kind {
+	case TokenOp, TokenAnd, TokenOr, TokenNot, TokenLParen, TokenLBracket, TokenComma:
+		return true
+	default:
+		return false
+	}
+}
+
+func isWordRune(r rune) bool {
+	if unicode.IsLetter(r) || unicode.IsDigit(r) {
+		return true
+	}
+	switch r {
+	case '_', '-', '.', '/', ':', '%', '#', '\'':
+		// Apostrophes inside words (O'Brien) are handled by quoting instead;
+		// keep them out of bare words to avoid ambiguity with string quotes.
+		return r != '\''
+	default:
+		return false
+	}
+}

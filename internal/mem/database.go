@@ -1,0 +1,319 @@
+// Package mem implements Prism's in-memory relational engine: the substrate
+// the paper runs on top of a conventional DBMS.
+//
+// It provides typed row storage, per-column statistics (the "metadata
+// collected during preprocessing" of §2.3), a keyword inverted index (the
+// DBMS inverted index the paper leverages for value-constraint matching),
+// and execution of Project-Join query plans with selection push-down and
+// early termination — everything the discovery and filter-validation layers
+// need.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// Relation stores the rows of one table.
+type Relation struct {
+	Schema *schema.Table
+	Rows   []value.Tuple
+}
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// Posting locates one keyword occurrence in the database.
+type Posting struct {
+	Ref schema.ColumnRef
+	Row int
+}
+
+// Database is an in-memory relational database instance.
+//
+// A Database is safe for concurrent readers once Analyze has been called;
+// writes (Insert) must not race with reads.
+type Database struct {
+	Name string
+
+	sch       *schema.Schema
+	relations map[string]*Relation
+
+	mu       sync.RWMutex
+	analyzed bool
+	stats    map[string]schema.Stats // key: lower(Table.Column)
+	inverted map[string][]Posting    // key: normalised keyword
+	// columnKeywords maps lower(Table.Column) -> set of normalised keywords
+	// occurring in that column; used for per-column membership tests.
+	columnKeywords map[string]map[string]struct{}
+}
+
+// NewDatabase creates an empty database over the given schema.
+func NewDatabase(name string, sch *schema.Schema) *Database {
+	db := &Database{
+		Name:      name,
+		sch:       sch,
+		relations: make(map[string]*Relation),
+	}
+	for _, t := range sch.Tables() {
+		db.relations[strings.ToLower(t.Name)] = &Relation{Schema: t}
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *schema.Schema { return db.sch }
+
+// Relation returns the stored relation for a table name.
+func (db *Database) Relation(table string) (*Relation, bool) {
+	r, ok := db.relations[strings.ToLower(table)]
+	return r, ok
+}
+
+// NumRows returns the number of rows stored for table, or 0 if unknown.
+func (db *Database) NumRows(table string) int {
+	if r, ok := db.Relation(table); ok {
+		return r.NumRows()
+	}
+	return 0
+}
+
+// TotalRows returns the number of rows across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, r := range db.relations {
+		n += r.NumRows()
+	}
+	return n
+}
+
+// Insert appends a tuple to the named table. Values are coerced to the
+// declared column types; incompatible values are an error.
+func (db *Database) Insert(table string, tuple value.Tuple) error {
+	rel, ok := db.Relation(table)
+	if !ok {
+		return fmt.Errorf("mem: unknown table %q", table)
+	}
+	if len(tuple) != rel.Schema.Arity() {
+		return fmt.Errorf("mem: table %s expects %d values, got %d", rel.Schema.Name, rel.Schema.Arity(), len(tuple))
+	}
+	row := make(value.Tuple, len(tuple))
+	for i, v := range tuple {
+		if v.IsNull() {
+			row[i] = value.NullValue
+			continue
+		}
+		want := rel.Schema.Columns[i].Type
+		coerced, ok := v.Coerce(want)
+		if !ok {
+			return fmt.Errorf("mem: table %s column %s: cannot store %s value %q as %s",
+				rel.Schema.Name, rel.Schema.Columns[i].Name, v.Kind(), v.String(), want)
+		}
+		row[i] = coerced
+	}
+	rel.Rows = append(rel.Rows, row)
+	db.mu.Lock()
+	db.analyzed = false
+	db.mu.Unlock()
+	return nil
+}
+
+// InsertStrings parses and inserts a row given as raw strings, coercing each
+// cell to the declared column type.
+func (db *Database) InsertStrings(table string, cells ...string) error {
+	rel, ok := db.Relation(table)
+	if !ok {
+		return fmt.Errorf("mem: unknown table %q", table)
+	}
+	if len(cells) != rel.Schema.Arity() {
+		return fmt.Errorf("mem: table %s expects %d values, got %d", rel.Schema.Name, rel.Schema.Arity(), len(cells))
+	}
+	tuple := make(value.Tuple, len(cells))
+	for i, cell := range cells {
+		v, err := value.ParseAs(cell, rel.Schema.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("mem: table %s column %s: %w", rel.Schema.Name, rel.Schema.Columns[i].Name, err)
+		}
+		tuple[i] = v
+	}
+	return db.Insert(table, tuple)
+}
+
+// BulkInsert inserts many tuples into the named table.
+func (db *Database) BulkInsert(table string, tuples []value.Tuple) error {
+	for _, t := range tuples {
+		if err := db.Insert(table, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func statsKey(ref schema.ColumnRef) string {
+	return strings.ToLower(ref.Table) + "." + strings.ToLower(ref.Column)
+}
+
+// Analyze (re)builds column statistics and the keyword inverted index. It
+// corresponds to the paper's preprocessing step and must be called before
+// the lookup methods below. Calling it repeatedly is cheap when nothing has
+// changed.
+func (db *Database) Analyze() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.analyzed {
+		return
+	}
+	db.stats = make(map[string]schema.Stats)
+	db.inverted = make(map[string][]Posting)
+	db.columnKeywords = make(map[string]map[string]struct{})
+	for _, t := range db.sch.Tables() {
+		rel := db.relations[strings.ToLower(t.Name)]
+		for ci, col := range t.Columns {
+			ref := schema.ColumnRef{Table: t.Name, Column: col.Name}
+			collector := schema.NewStatsCollector(ref, col.Type)
+			key := statsKey(ref)
+			kwset := make(map[string]struct{})
+			for ri, row := range rel.Rows {
+				v := row[ci]
+				collector.Add(v)
+				if v.IsNull() {
+					continue
+				}
+				kw := value.Normalize(v.String())
+				if kw == "" {
+					continue
+				}
+				db.inverted[kw] = append(db.inverted[kw], Posting{Ref: ref, Row: ri})
+				kwset[kw] = struct{}{}
+			}
+			db.stats[key] = collector.Stats()
+			db.columnKeywords[key] = kwset
+		}
+	}
+	db.analyzed = true
+}
+
+// Analyzed reports whether statistics and indexes are current.
+func (db *Database) Analyzed() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.analyzed
+}
+
+func (db *Database) requireAnalyzed() error {
+	if !db.Analyzed() {
+		return fmt.Errorf("mem: database %q has not been analyzed; call Analyze first", db.Name)
+	}
+	return nil
+}
+
+// Stats returns the preprocessed statistics for a column.
+func (db *Database) Stats(ref schema.ColumnRef) (schema.Stats, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.stats == nil {
+		return schema.Stats{}, false
+	}
+	st, ok := db.stats[statsKey(ref)]
+	return st, ok
+}
+
+// AllStats returns statistics for every column, sorted by column reference.
+func (db *Database) AllStats() []schema.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]schema.Stats, 0, len(db.stats))
+	for _, st := range db.stats {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.Less(out[j].Ref) })
+	return out
+}
+
+// LookupKeyword returns the postings of an exact (case-insensitive) keyword
+// across all columns, using the inverted index.
+func (db *Database) LookupKeyword(keyword string) []Posting {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.inverted == nil {
+		return nil
+	}
+	return db.inverted[value.Normalize(keyword)]
+}
+
+// ColumnsWithKeyword returns the set of columns whose values include the
+// exact keyword (case-insensitive), sorted.
+func (db *Database) ColumnsWithKeyword(keyword string) []schema.ColumnRef {
+	postings := db.LookupKeyword(keyword)
+	seen := make(map[string]schema.ColumnRef)
+	for _, p := range postings {
+		seen[statsKey(p.Ref)] = p.Ref
+	}
+	out := make([]schema.ColumnRef, 0, len(seen))
+	for _, ref := range seen {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ColumnHasKeyword reports whether the given column contains the exact
+// keyword (case-insensitive).
+func (db *Database) ColumnHasKeyword(ref schema.ColumnRef, keyword string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.columnKeywords == nil {
+		return false
+	}
+	set, ok := db.columnKeywords[statsKey(ref)]
+	if !ok {
+		return false
+	}
+	_, hit := set[value.Normalize(keyword)]
+	return hit
+}
+
+// ColumnValues returns all values stored in the given column, in row order.
+func (db *Database) ColumnValues(ref schema.ColumnRef) ([]value.Value, error) {
+	rel, ok := db.Relation(ref.Table)
+	if !ok {
+		return nil, fmt.Errorf("mem: unknown table %q", ref.Table)
+	}
+	ci := rel.Schema.ColumnIndex(ref.Column)
+	if ci < 0 {
+		return nil, fmt.Errorf("mem: unknown column %q in table %q", ref.Column, ref.Table)
+	}
+	out := make([]value.Value, len(rel.Rows))
+	for i, row := range rel.Rows {
+		out[i] = row[ci]
+	}
+	return out, nil
+}
+
+// DistinctFraction returns Distinct/NonNull for a column (0 when empty). It
+// is a convenience used by the selectivity estimators.
+func (db *Database) DistinctFraction(ref schema.ColumnRef) float64 {
+	st, ok := db.Stats(ref)
+	if !ok || st.NonNullCount() == 0 {
+		return 0
+	}
+	return float64(st.Distinct) / float64(st.NonNullCount())
+}
+
+// KeywordFrequency returns the number of rows of ref whose value equals the
+// keyword, using the inverted index.
+func (db *Database) KeywordFrequency(ref schema.ColumnRef, keyword string) int {
+	postings := db.LookupKeyword(keyword)
+	n := 0
+	for _, p := range postings {
+		if strings.EqualFold(p.Ref.Table, ref.Table) && strings.EqualFold(p.Ref.Column, ref.Column) {
+			n++
+		}
+	}
+	return n
+}

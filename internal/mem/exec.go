@@ -1,0 +1,558 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// JoinEdge is one equi-join condition Left = Right between two tables.
+type JoinEdge struct {
+	Left  schema.ColumnRef
+	Right schema.ColumnRef
+}
+
+// String renders the edge as "a.b = c.d".
+func (e JoinEdge) String() string { return e.Left.String() + " = " + e.Right.String() }
+
+// Plan is a Project-Join query plan: the class of schema mapping queries
+// Prism synthesizes (§2.1 System Output).
+type Plan struct {
+	// Tables lists every relation participating in the join (no duplicates).
+	Tables []string
+	// Joins are the equi-join conditions; for a candidate schema mapping
+	// they form a tree over Tables.
+	Joins []JoinEdge
+	// Project lists the output columns in target-schema order.
+	Project []schema.ColumnRef
+	// Distinct removes duplicate projected tuples when set.
+	Distinct bool
+}
+
+// String renders a compact description of the plan.
+func (p Plan) String() string {
+	var b strings.Builder
+	b.WriteString("π(")
+	for i, c := range p.Project {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(") ⋈(")
+	for i, j := range p.Joins {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(j.String())
+	}
+	b.WriteString(") over ")
+	b.WriteString(strings.Join(p.Tables, ", "))
+	return b.String()
+}
+
+// Validate checks that every table and column referenced by the plan exists
+// and that the join graph is connected.
+func (p Plan) Validate(sch *schema.Schema) error {
+	if len(p.Tables) == 0 {
+		return errors.New("mem: plan has no tables")
+	}
+	seen := make(map[string]bool, len(p.Tables))
+	for _, t := range p.Tables {
+		if _, ok := sch.Table(t); !ok {
+			return fmt.Errorf("mem: plan references unknown table %q", t)
+		}
+		key := strings.ToLower(t)
+		if seen[key] {
+			return fmt.Errorf("mem: plan lists table %q twice", t)
+		}
+		seen[key] = true
+	}
+	inPlan := func(table string) bool { return seen[strings.ToLower(table)] }
+	for _, j := range p.Joins {
+		for _, ref := range []schema.ColumnRef{j.Left, j.Right} {
+			if _, err := sch.Resolve(ref); err != nil {
+				return fmt.Errorf("mem: plan join %s: %w", j, err)
+			}
+			if !inPlan(ref.Table) {
+				return fmt.Errorf("mem: plan join %s references table %q not in plan", j, ref.Table)
+			}
+		}
+	}
+	for _, ref := range p.Project {
+		if _, err := sch.Resolve(ref); err != nil {
+			return fmt.Errorf("mem: plan projection: %w", err)
+		}
+		if !inPlan(ref.Table) {
+			return fmt.Errorf("mem: plan projects %s from table not in plan", ref)
+		}
+	}
+	if len(p.Tables) > 1 && !p.connected() {
+		return errors.New("mem: plan join graph is not connected")
+	}
+	return nil
+}
+
+func (p Plan) connected() bool {
+	if len(p.Tables) == 0 {
+		return false
+	}
+	adj := make(map[string][]string)
+	for _, j := range p.Joins {
+		a, b := strings.ToLower(j.Left.Table), strings.ToLower(j.Right.Table)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	visited := make(map[string]bool)
+	stack := []string{strings.ToLower(p.Tables[0])}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	for _, t := range p.Tables {
+		if !visited[strings.ToLower(t)] {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnPredicate is a single-column selection predicate; predicates are
+// pushed below the joins onto base-table scans.
+type ColumnPredicate struct {
+	Ref  schema.ColumnRef
+	Pred func(value.Value) bool
+}
+
+// ExecOptions tune plan execution.
+type ExecOptions struct {
+	// ColumnPredicates are pushed down to base-table scans.
+	ColumnPredicates []ColumnPredicate
+	// TuplePredicate, when non-nil, filters projected tuples.
+	TuplePredicate func(value.Tuple) bool
+	// Limit stops execution after this many result tuples (0 = unlimited).
+	Limit int
+	// MaxIntermediate aborts execution when an intermediate relation exceeds
+	// this many tuples (0 = unlimited); a guard for runaway joins.
+	MaxIntermediate int
+}
+
+// ExecStats reports work performed by one execution; the filter-scheduling
+// experiments use it as the validation cost measure.
+type ExecStats struct {
+	RowsScanned       int // base-table rows read
+	IntermediateRows  int // tuples materialised across all join steps
+	JoinsExecuted     int
+	ResultRows        int
+	TerminatedEarly   bool // stopped due to Limit
+	AbortedTooLarge   bool // stopped due to MaxIntermediate
+	PredicateFiltered int  // base rows removed by pushed-down predicates
+}
+
+// Add accumulates another execution's stats into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.RowsScanned += o.RowsScanned
+	s.IntermediateRows += o.IntermediateRows
+	s.JoinsExecuted += o.JoinsExecuted
+	s.ResultRows += o.ResultRows
+	s.PredicateFiltered += o.PredicateFiltered
+	s.TerminatedEarly = s.TerminatedEarly || o.TerminatedEarly
+	s.AbortedTooLarge = s.AbortedTooLarge || o.AbortedTooLarge
+}
+
+// Result is the output of a plan execution.
+type Result struct {
+	Columns []schema.ColumnRef
+	Rows    []value.Tuple
+	Stats   ExecStats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Contains reports whether any result row equals the given tuple
+// (value.Compare semantics per cell).
+func (r *Result) Contains(t value.Tuple) bool {
+	for _, row := range r.Rows {
+		if row.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the result as a simple aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	headers := make([]string, len(r.Columns))
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		headers[i] = c.String()
+		widths[i] = len(headers[i])
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			cells[ri][ci] = v.String()
+			if len(cells[ri][ci]) > widths[ci] {
+				widths[ci] = len(cells[ri][ci])
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for pad := len(v); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// intermediate is a working relation during join execution: a set of tuples
+// whose columns are identified by (table, columnIndex) pairs.
+type intermediate struct {
+	// cols maps lower(table) -> offset of that table's first column in rows.
+	offsets map[string]int
+	// schemas maps lower(table) -> the table schema, to locate columns.
+	schemas map[string]*schema.Table
+	rows    []value.Tuple
+	width   int
+}
+
+func (im *intermediate) columnOffset(ref schema.ColumnRef) (int, error) {
+	key := strings.ToLower(ref.Table)
+	base, ok := im.offsets[key]
+	if !ok {
+		return 0, fmt.Errorf("mem: table %q not part of intermediate", ref.Table)
+	}
+	ci := im.schemas[key].ColumnIndex(ref.Column)
+	if ci < 0 {
+		return 0, fmt.Errorf("mem: unknown column %q in table %q", ref.Column, ref.Table)
+	}
+	return base + ci, nil
+}
+
+// Execute runs the plan and returns all matching projected tuples.
+func (db *Database) Execute(p Plan) (*Result, error) {
+	return db.ExecuteWith(p, ExecOptions{})
+}
+
+// ExecuteWith runs the plan under the given options.
+func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
+	if err := p.Validate(db.sch); err != nil {
+		return nil, err
+	}
+	var stats ExecStats
+
+	// Group pushed-down predicates by table.
+	predsByTable := make(map[string][]ColumnPredicate)
+	for _, cp := range opts.ColumnPredicates {
+		predsByTable[strings.ToLower(cp.Ref.Table)] = append(predsByTable[strings.ToLower(cp.Ref.Table)], cp)
+	}
+
+	// Scan base tables with push-down.
+	base := make(map[string][]value.Tuple, len(p.Tables))
+	for _, tname := range p.Tables {
+		rel, _ := db.Relation(tname)
+		key := strings.ToLower(tname)
+		preds := predsByTable[key]
+		rows := make([]value.Tuple, 0, len(rel.Rows))
+		for _, row := range rel.Rows {
+			stats.RowsScanned++
+			keep := true
+			for _, cp := range preds {
+				ci := rel.Schema.ColumnIndex(cp.Ref.Column)
+				if ci < 0 {
+					return nil, fmt.Errorf("mem: predicate column %s not in table %s", cp.Ref, tname)
+				}
+				if !cp.Pred(row[ci]) {
+					keep = false
+					stats.PredicateFiltered++
+					break
+				}
+			}
+			if keep {
+				rows = append(rows, row)
+			}
+		}
+		base[key] = rows
+	}
+
+	// Choose a join order: start from the smallest filtered base table and
+	// repeatedly join along an edge that connects a new table, preferring
+	// the smallest next table (a greedy heuristic that keeps intermediates
+	// small for the tree-shaped candidate queries Prism generates).
+	order := joinOrder(p, base)
+
+	first := strings.ToLower(order[0])
+	im := &intermediate{
+		offsets: map[string]int{first: 0},
+		schemas: map[string]*schema.Table{},
+		rows:    base[first],
+	}
+	firstRel, _ := db.Relation(order[0])
+	im.schemas[first] = firstRel.Schema
+	im.width = firstRel.Schema.Arity()
+
+	joined := map[string]bool{first: true}
+	remainingJoins := append([]JoinEdge(nil), p.Joins...)
+
+	for len(joined) < len(p.Tables) {
+		// Find a join edge connecting the joined set to a new table.
+		edgeIdx := -1
+		for i, e := range remainingJoins {
+			l, r := strings.ToLower(e.Left.Table), strings.ToLower(e.Right.Table)
+			if joined[l] != joined[r] {
+				edgeIdx = i
+				break
+			}
+		}
+		if edgeIdx < 0 {
+			return nil, errors.New("mem: plan join graph is not connected")
+		}
+		edge := remainingJoins[edgeIdx]
+		remainingJoins = append(remainingJoins[:edgeIdx], remainingJoins[edgeIdx+1:]...)
+
+		// Determine which side is new.
+		joinedRef, newRef := edge.Left, edge.Right
+		if !joined[strings.ToLower(edge.Left.Table)] {
+			joinedRef, newRef = edge.Right, edge.Left
+		}
+		newKey := strings.ToLower(newRef.Table)
+		newRel, _ := db.Relation(newRef.Table)
+		newRows := base[newKey]
+
+		// Hash the new table on its join column.
+		nci := newRel.Schema.ColumnIndex(newRef.Column)
+		if nci < 0 {
+			return nil, fmt.Errorf("mem: unknown join column %s", newRef)
+		}
+		hash := make(map[string][]value.Tuple, len(newRows))
+		for _, row := range newRows {
+			if row[nci].IsNull() {
+				continue
+			}
+			k := row[nci].Key()
+			hash[k] = append(hash[k], row)
+		}
+
+		off, err := im.columnOffset(joinedRef)
+		if err != nil {
+			return nil, err
+		}
+
+		// Probe.
+		var out []value.Tuple
+		for _, left := range im.rows {
+			v := left[off]
+			if v.IsNull() {
+				continue
+			}
+			for _, right := range hash[v.Key()] {
+				combined := make(value.Tuple, 0, len(left)+len(right))
+				combined = append(combined, left...)
+				combined = append(combined, right...)
+				out = append(out, combined)
+				if opts.MaxIntermediate > 0 && len(out) > opts.MaxIntermediate {
+					stats.AbortedTooLarge = true
+					return &Result{Columns: p.Project, Stats: stats}, fmt.Errorf("mem: intermediate result exceeded %d tuples", opts.MaxIntermediate)
+				}
+			}
+		}
+		// Apply any remaining join edges that became "internal" (both sides
+		// already joined after adding the new table) as residual filters.
+		im.offsets[newKey] = im.width
+		im.schemas[newKey] = newRel.Schema
+		im.width += newRel.Schema.Arity()
+		im.rows = out
+		joined[newKey] = true
+		stats.JoinsExecuted++
+		stats.IntermediateRows += len(out)
+
+		// Residual edges with both endpoints joined.
+		kept := remainingJoins[:0]
+		for _, e := range remainingJoins {
+			l, r := strings.ToLower(e.Left.Table), strings.ToLower(e.Right.Table)
+			if joined[l] && joined[r] {
+				lo, err := im.columnOffset(e.Left)
+				if err != nil {
+					return nil, err
+				}
+				ro, err := im.columnOffset(e.Right)
+				if err != nil {
+					return nil, err
+				}
+				filtered := im.rows[:0]
+				for _, row := range im.rows {
+					if !row[lo].IsNull() && row[lo].Equal(row[ro]) {
+						filtered = append(filtered, row)
+					}
+				}
+				im.rows = filtered
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		remainingJoins = kept
+	}
+
+	// Apply any leftover internal join edges (single-table plans with
+	// self-conditions are rejected earlier, so normally none remain).
+	for _, e := range remainingJoins {
+		lo, err := im.columnOffset(e.Left)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := im.columnOffset(e.Right)
+		if err != nil {
+			return nil, err
+		}
+		filtered := im.rows[:0]
+		for _, row := range im.rows {
+			if !row[lo].IsNull() && row[lo].Equal(row[ro]) {
+				filtered = append(filtered, row)
+			}
+		}
+		im.rows = filtered
+	}
+
+	// Project.
+	offsets := make([]int, len(p.Project))
+	for i, ref := range p.Project {
+		off, err := im.columnOffset(ref)
+		if err != nil {
+			return nil, err
+		}
+		offsets[i] = off
+	}
+	res := &Result{Columns: append([]schema.ColumnRef(nil), p.Project...)}
+	var dedup map[string]struct{}
+	if p.Distinct {
+		dedup = make(map[string]struct{})
+	}
+	for _, row := range im.rows {
+		proj := make(value.Tuple, len(offsets))
+		for i, off := range offsets {
+			proj[i] = row[off]
+		}
+		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
+			continue
+		}
+		if p.Distinct {
+			k := proj.Key()
+			if _, dup := dedup[k]; dup {
+				continue
+			}
+			dedup[k] = struct{}{}
+		}
+		res.Rows = append(res.Rows, proj)
+		if opts.Limit > 0 && len(res.Rows) >= opts.Limit {
+			stats.TerminatedEarly = true
+			break
+		}
+	}
+	stats.ResultRows = len(res.Rows)
+	res.Stats = stats
+	return res, nil
+}
+
+// joinOrder picks the execution order of tables: smallest filtered base
+// table first, then greedily the smallest table connected by a join edge.
+func joinOrder(p Plan, base map[string][]value.Tuple) []string {
+	if len(p.Tables) == 1 {
+		return p.Tables
+	}
+	adj := make(map[string]map[string]bool)
+	for _, e := range p.Joins {
+		l, r := strings.ToLower(e.Left.Table), strings.ToLower(e.Right.Table)
+		if adj[l] == nil {
+			adj[l] = make(map[string]bool)
+		}
+		if adj[r] == nil {
+			adj[r] = make(map[string]bool)
+		}
+		adj[l][r] = true
+		adj[r][l] = true
+	}
+	canonical := make(map[string]string, len(p.Tables))
+	for _, t := range p.Tables {
+		canonical[strings.ToLower(t)] = t
+	}
+	// Start table: the smallest.
+	startKey := strings.ToLower(p.Tables[0])
+	for _, t := range p.Tables {
+		k := strings.ToLower(t)
+		if len(base[k]) < len(base[startKey]) {
+			startKey = k
+		}
+	}
+	order := []string{canonical[startKey]}
+	inOrder := map[string]bool{startKey: true}
+	for len(order) < len(p.Tables) {
+		// Candidate next tables: connected to the ordered set.
+		var candidates []string
+		for k := range inOrder {
+			for n := range adj[k] {
+				if !inOrder[n] {
+					candidates = append(candidates, n)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			// Disconnected graph; append the rest in declared order (the
+			// executor will report the connectivity error).
+			for _, t := range p.Tables {
+				if !inOrder[strings.ToLower(t)] {
+					order = append(order, t)
+					inOrder[strings.ToLower(t)] = true
+				}
+			}
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if len(base[candidates[i]]) != len(base[candidates[j]]) {
+				return len(base[candidates[i]]) < len(base[candidates[j]])
+			}
+			return candidates[i] < candidates[j]
+		})
+		next := candidates[0]
+		order = append(order, canonical[next])
+		inOrder[next] = true
+	}
+	return order
+}
+
+// Exists reports whether the plan produces at least one tuple satisfying
+// the options' predicates, terminating as early as possible. It returns the
+// execution stats as the validation cost.
+func (db *Database) Exists(p Plan, opts ExecOptions) (bool, ExecStats, error) {
+	opts.Limit = 1
+	res, err := db.ExecuteWith(p, opts)
+	if err != nil {
+		if res != nil {
+			return false, res.Stats, err
+		}
+		return false, ExecStats{}, err
+	}
+	return res.NumRows() > 0, res.Stats, nil
+}

@@ -1,0 +1,481 @@
+// Package sched implements filter-validation scheduling: deciding in which
+// order the filters produced by package filter are validated so that the
+// fewest (and cheapest) validations resolve every candidate schema mapping
+// query (§2.3).
+//
+// A single greedy scheduling loop is shared by every policy; policies differ
+// only in how they estimate a filter's failure probability, exactly as in
+// the paper:
+//
+//   - PathLength — the "Filter" baseline (Shen et al., SIGMOD'14): failure
+//     probability proportional to the filter's join-path length.
+//   - Bayes — Prism's approach: failure probability from Bayesian models
+//     trained on the source database plus join indicators and relation
+//     sizes (package bayes).
+//   - Oracle — ground-truth outcomes; yields the (greedy) optimum the
+//     evaluation compares against.
+//   - Random — a sanity-check baseline.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"prism/internal/bayes"
+	"prism/internal/constraint"
+	"prism/internal/filter"
+	"prism/internal/mem"
+)
+
+// Estimator predicts the probability that validating a filter fails.
+type Estimator interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// FailureProbability returns the estimated probability in [0, 1] that
+	// the filter produces no tuple matching the sample constraints.
+	FailureProbability(f *filter.Filter) float64
+}
+
+// PathLengthEstimator is the Filter baseline: failure probability grows
+// linearly with the number of join edges.
+type PathLengthEstimator struct {
+	// Slope controls how quickly the probability grows per edge; the
+	// scheduler only uses relative order, so the default of 0.2 is fine.
+	Slope float64
+}
+
+// Name implements Estimator.
+func (e *PathLengthEstimator) Name() string { return "filter-pathlength" }
+
+// FailureProbability implements Estimator.
+func (e *PathLengthEstimator) FailureProbability(f *filter.Filter) float64 {
+	slope := e.Slope
+	if slope <= 0 {
+		slope = 0.2
+	}
+	p := slope * float64(f.JoinPathLength()+1)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// BayesEstimator is Prism's estimator: per-relation Bayesian models plus
+// join indicators (package bayes), evaluated against the sample constraints
+// of the specification.
+type BayesEstimator struct {
+	Model *bayes.Model
+	Spec  *constraint.Spec
+}
+
+// Name implements Estimator.
+func (e *BayesEstimator) Name() string { return "prism-bayes" }
+
+// FailureProbability implements Estimator. A filter fails if any sample
+// constraint cannot be matched; samples are treated as independent.
+func (e *BayesEstimator) FailureProbability(f *filter.Filter) float64 {
+	if len(e.Spec.Samples) == 0 {
+		return 0
+	}
+	allMatch := 1.0
+	for _, sample := range e.Spec.Samples {
+		var cons []bayes.ColumnConstraint
+		for i, tc := range f.TargetCols {
+			if tc >= len(sample.Cells) || sample.Cells[tc] == nil {
+				continue
+			}
+			cons = append(cons, bayes.ColumnConstraint{Ref: f.Sources[i], Expr: sample.Cells[tc]})
+		}
+		allMatch *= 1 - e.sampleFailure(f, cons)
+	}
+	p := 1 - allMatch
+	// Confidence discount: the per-relation statistics are exact and the
+	// single-edge join-indicator statistics near-exact, but estimates over
+	// longer join paths compound tree-factorisation error. Shrink those so
+	// the scheduler prefers pruning through short filters it is sure about;
+	// failing long filters are almost always pruned transitively by a
+	// failing short sub-filter anyway.
+	if edges := len(f.Tree.Edges); edges > 1 {
+		p *= math.Pow(0.6, float64(edges-1))
+	}
+	return p
+}
+
+// sampleFailure estimates the probability that one sample constraint cannot
+// be matched by the filter. Single-relation filters whose constraints are
+// all equality-shaped are resolved exactly from the trained per-relation
+// model (the preprocessing already knows whether a row with those values
+// exists); everything else falls back to the Poisson estimate over expected
+// matches through join indicators.
+func (e *BayesEstimator) sampleFailure(f *filter.Filter, cons []bayes.ColumnConstraint) float64 {
+	if len(f.Tree.Edges) == 0 {
+		if count, ok := e.Model.ExactMatchingRows(f.Tree.Tables[0], cons); ok {
+			if count > 0 {
+				return 0
+			}
+			return 1
+		}
+	}
+	return e.Model.FailureProbability(f.Tree.Tables, f.Tree.Edges, cons)
+}
+
+// OracleEstimator knows the true outcome of every filter; scheduling with it
+// yields the optimum the paper's evaluation measures the gap against.
+type OracleEstimator struct {
+	// Truth maps filter index -> true outcome (Passed/Failed).
+	Truth []filter.Outcome
+	// Index maps filter pointer identity to index; set by NewOracle.
+	index map[*filter.Filter]int
+}
+
+// NewOracle builds an oracle estimator from ground-truth outcomes aligned
+// with the filter set.
+func NewOracle(set *filter.Set, truth []filter.Outcome) *OracleEstimator {
+	idx := make(map[*filter.Filter]int, len(set.Filters))
+	for i, f := range set.Filters {
+		idx[f] = i
+	}
+	return &OracleEstimator{Truth: truth, index: idx}
+}
+
+// Name implements Estimator.
+func (e *OracleEstimator) Name() string { return "oracle-optimum" }
+
+// FailureProbability implements Estimator.
+func (e *OracleEstimator) FailureProbability(f *filter.Filter) float64 {
+	i, ok := e.index[f]
+	if !ok || i >= len(e.Truth) {
+		return 0
+	}
+	if e.Truth[i] == filter.Failed {
+		return 1
+	}
+	return 0
+}
+
+// RandomEstimator assigns each filter a deterministic pseudo-random failure
+// probability; it is the sanity-check lower bound for scheduling quality.
+type RandomEstimator struct {
+	Seed int64
+	rng  *rand.Rand
+	memo map[string]float64
+}
+
+// Name implements Estimator.
+func (e *RandomEstimator) Name() string { return "random" }
+
+// FailureProbability implements Estimator.
+func (e *RandomEstimator) FailureProbability(f *filter.Filter) float64 {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.Seed))
+		e.memo = make(map[string]float64)
+	}
+	if p, ok := e.memo[f.Key]; ok {
+		return p
+	}
+	p := e.rng.Float64()
+	e.memo[f.Key] = p
+	return p
+}
+
+// Options configure a scheduling run.
+type Options struct {
+	// TimeLimit aborts the run when exceeded (0 = unlimited). The paper's
+	// demo uses a 60-second limit per discovery round.
+	TimeLimit time.Duration
+	// Now is the clock used for the time limit (defaults to time.Now);
+	// injected for testability.
+	Now func() time.Time
+	// CostModel estimates the execution cost of a filter; the default is
+	// the sum of its base-table sizes. Scores divide by cost, so cheaper
+	// filters are preferred at equal pruning power.
+	CostModel func(f *filter.Filter) float64
+	// MaxValidations bounds the number of validations (0 = unlimited); a
+	// safety valve for experiments.
+	MaxValidations int
+}
+
+// Result summarises one scheduling run.
+type Result struct {
+	Policy string
+	// Validations is the number of filter validations actually executed —
+	// the metric of the paper's §2.4 comparison.
+	Validations int
+	// Implied is the number of outcomes derived by propagation for free.
+	Implied int
+	// Cost aggregates the execution statistics of the validations run.
+	Cost mem.ExecStats
+	// Confirmed and Pruned list candidate indexes by final status.
+	Confirmed []int
+	Pruned    []int
+	// TimedOut reports whether the time limit was hit before resolving all
+	// candidates.
+	TimedOut bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Runner executes the shared greedy scheduling loop with a given estimator.
+type Runner struct {
+	DB        *mem.Database
+	Spec      *constraint.Spec
+	Set       *filter.Set
+	Estimator Estimator
+	Options   Options
+}
+
+// scoreEntry is the priority of one filter at selection time.
+type scoreEntry struct {
+	idx   int
+	score float64
+	isTop bool
+	reach int
+	cost  float64
+}
+
+// Run executes validations until every candidate is confirmed or pruned,
+// the time limit expires, or the validation cap is reached.
+func (r *Runner) Run() (Result, error) {
+	opts := r.Options
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.CostModel == nil {
+		opts.CostModel = func(f *filter.Filter) float64 {
+			cost := 0.0
+			for _, t := range f.Tree.Tables {
+				cost += float64(r.DB.NumRows(t))
+			}
+			if cost <= 0 {
+				cost = 1
+			}
+			return cost
+		}
+	}
+	validator := &filter.Validator{DB: r.DB, Spec: r.Spec}
+	sess := filter.NewSession(r.Set)
+	res := Result{Policy: r.Estimator.Name()}
+	start := opts.Now()
+
+	// Failure probabilities are static per filter; compute once.
+	failProb := make([]float64, r.Set.NumFilters())
+	for i, f := range r.Set.Filters {
+		failProb[i] = clamp01(r.Estimator.FailureProbability(f))
+	}
+	// Top-filter membership: filters that are the top of some candidate.
+	isTop := make([]bool, r.Set.NumFilters())
+	for _, ti := range r.Set.Top {
+		isTop[ti] = true
+	}
+
+	for sess.UnresolvedCandidates() > 0 {
+		if opts.TimeLimit > 0 && opts.Now().Sub(start) >= opts.TimeLimit {
+			res.TimedOut = true
+			break
+		}
+		if opts.MaxValidations > 0 && sess.Executed >= opts.MaxValidations {
+			res.TimedOut = true
+			break
+		}
+		next, ok := r.pick(sess, failProb, isTop, opts.CostModel)
+		if !ok {
+			// Nothing left to validate that could make progress; should not
+			// happen because top filters always remain available for
+			// unresolved candidates.
+			break
+		}
+		vr, err := validator.Validate(r.Set.Filters[next])
+		if err != nil {
+			return res, fmt.Errorf("sched: %w", err)
+		}
+		sess.RecordExecution(next, vr)
+	}
+
+	res.Validations = sess.Executed
+	res.Implied = sess.Implied
+	res.Cost = sess.Cost
+	res.Confirmed = sess.Confirmed()
+	res.Pruned = sess.Pruned()
+	res.Elapsed = opts.Now().Sub(start)
+	return res, nil
+}
+
+// pick selects the next filter to validate: the undetermined filter with
+// the highest expected number of candidates resolved by one validation,
+//
+//	score = P(fail) × reach + (1 − P(fail)) × topResolve
+//
+// where reach is the number of unresolved candidates containing the filter
+// (all pruned if it fails) and topResolve is 1 when the filter is the top
+// filter of an unresolved candidate (confirmed if it passes). Ties break in
+// favour of top filters, then higher reach, then lower estimated cost, then
+// index for determinism. Minimising validations is the paper's §2.4 metric;
+// the cost model only arbitrates ties, keeping validation time low at equal
+// pruning power.
+func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, costModel func(*filter.Filter) float64) (int, bool) {
+	var entries []scoreEntry
+	for i := range r.Set.Filters {
+		if sess.Determined(i) {
+			continue
+		}
+		reach := sess.PruningReach(i)
+		if reach == 0 {
+			continue
+		}
+		cost := costModel(r.Set.Filters[i])
+		if cost <= 0 {
+			cost = 1
+		}
+		topOfUnresolved := false
+		if isTop[i] {
+			for _, ci := range r.Set.CandidatesOf(i) {
+				if r.Set.Top[ci] == i && !sess.Resolved(ci) {
+					topOfUnresolved = true
+					break
+				}
+			}
+		}
+		topResolve := 0.0
+		if topOfUnresolved {
+			topResolve = 1
+		}
+		entries = append(entries, scoreEntry{
+			idx:   i,
+			score: failProb[i]*float64(reach) + (1-failProb[i])*topResolve,
+			isTop: topOfUnresolved,
+			reach: reach,
+			cost:  cost,
+		})
+	}
+	if len(entries) == 0 {
+		return 0, false
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a], entries[b]
+		if ea.score != eb.score {
+			return ea.score > eb.score
+		}
+		if ea.isTop != eb.isTop {
+			return ea.isTop
+		}
+		if ea.reach != eb.reach {
+			return ea.reach > eb.reach
+		}
+		if ea.cost != eb.cost {
+			return ea.cost < eb.cost
+		}
+		return ea.idx < eb.idx
+	})
+	return entries[0].idx, true
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// GroundTruth exhaustively validates every filter in the set and returns the
+// true outcomes plus the total number of filters. It is used to build the
+// oracle and to compute the optimum validation count.
+func GroundTruth(db *mem.Database, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
+	v := &filter.Validator{DB: db, Spec: spec}
+	out := make([]filter.Outcome, set.NumFilters())
+	for i, f := range set.Filters {
+		res, err := v.Validate(f)
+		if err != nil {
+			return nil, err
+		}
+		if res.Passed {
+			out[i] = filter.Passed
+		} else {
+			out[i] = filter.Failed
+		}
+	}
+	return out, nil
+}
+
+// OptimalValidationCount computes (a greedy approximation of) the minimum
+// number of filter validations needed to resolve every candidate, given
+// ground-truth outcomes:
+//
+//   - every candidate whose top filter passes must have that top filter
+//     validated (distinct top filters are counted once);
+//   - the failing candidates must be covered by failing filters — a minimum
+//     set cover, approximated greedily.
+func OptimalValidationCount(set *filter.Set, truth []filter.Outcome) int {
+	count := 0
+	// Distinct top filters of passing candidates.
+	neededTops := make(map[int]struct{})
+	failingCandidates := make(map[int]struct{})
+	for ci := range set.Candidates {
+		top := set.Top[ci]
+		if truth[top] == filter.Passed {
+			neededTops[top] = struct{}{}
+		} else {
+			failingCandidates[ci] = struct{}{}
+		}
+	}
+	count += len(neededTops)
+
+	// Greedy set cover of failing candidates by failing filters.
+	for len(failingCandidates) > 0 {
+		bestFilter := -1
+		bestCover := 0
+		for fi := range set.Filters {
+			if truth[fi] != filter.Failed {
+				continue
+			}
+			cover := 0
+			for _, ci := range set.CandidatesOf(fi) {
+				if _, ok := failingCandidates[ci]; ok {
+					cover++
+				}
+			}
+			if cover > bestCover || (cover == bestCover && cover > 0 && fi < bestFilter) {
+				bestCover = cover
+				bestFilter = fi
+			}
+		}
+		if bestFilter < 0 || bestCover == 0 {
+			// Shouldn't happen: a failing candidate always has at least its
+			// failing top filter. Count one validation per remaining
+			// candidate to stay safe.
+			count += len(failingCandidates)
+			break
+		}
+		count++
+		for _, ci := range set.CandidatesOf(bestFilter) {
+			delete(failingCandidates, ci)
+		}
+	}
+	return count
+}
+
+// GapReduction quantifies how much closer a policy gets to the optimum than
+// the baseline, the paper's headline metric:
+//
+//	gap(policy)   = validations(policy) − optimum
+//	reduction     = (gap(baseline) − gap(policy)) / gap(baseline)
+//
+// It returns 0 when the baseline already matches the optimum, 1 when the
+// policy matches (or beats) the optimum, and a negative value when the
+// policy is worse than the baseline.
+func GapReduction(baselineValidations, policyValidations, optimum int) float64 {
+	baseGap := baselineValidations - optimum
+	if baseGap <= 0 {
+		return 0
+	}
+	polGap := policyValidations - optimum
+	if polGap < 0 {
+		polGap = 0
+	}
+	return float64(baseGap-polGap) / float64(baseGap)
+}

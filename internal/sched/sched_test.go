@@ -1,0 +1,484 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prism/internal/bayes"
+	"prism/internal/constraint"
+	"prism/internal/filter"
+	"prism/internal/graphx"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// fixture builds a Mondial-like database large enough that scheduling
+// decisions matter, plus the paper's demo specification and its candidates.
+type fixture struct {
+	db    *mem.Database
+	spec  *constraint.Spec
+	set   *filter.Set
+	model *bayes.Model
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	s := schema.New()
+	add := func(tab *schema.Table) {
+		if err := s.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(schema.MustTable("Lake",
+		schema.Column{Name: "Name", Type: value.Text},
+		schema.Column{Name: "Area", Type: value.Decimal},
+	))
+	add(schema.MustTable("geo_lake",
+		schema.Column{Name: "Lake", Type: value.Text},
+		schema.Column{Name: "Province", Type: value.Text},
+	))
+	add(schema.MustTable("Province",
+		schema.Column{Name: "Name", Type: value.Text},
+		schema.Column{Name: "Country", Type: value.Text},
+	))
+	add(schema.MustTable("City",
+		schema.Column{Name: "Name", Type: value.Text},
+		schema.Column{Name: "Province", Type: value.Text},
+	))
+	fk := func(ft, fc, tt, tc string) {
+		if err := s.AddForeignKey(schema.ForeignKey{
+			From: schema.ColumnRef{Table: ft, Column: fc},
+			To:   schema.ColumnRef{Table: tt, Column: tc},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk("geo_lake", "Lake", "Lake", "Name")
+	fk("geo_lake", "Province", "Province", "Name")
+	fk("City", "Province", "Province", "Name")
+
+	db := mem.NewDatabase("sched-test", s)
+	provinces := []string{"California", "Nevada", "Oregon", "Florida", "Michigan", "Texas", "Utah", "Idaho"}
+	for _, p := range provinces {
+		if err := db.InsertStrings("Province", p, "United States"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.InsertStrings("City", "City of "+p, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lakes := []struct {
+		name string
+		area float64
+		prov []string
+	}{
+		{"Lake Tahoe", 497, []string{"California", "Nevada"}},
+		{"Crater Lake", 53.2, []string{"Oregon"}},
+		{"Fort Peck Lake", 981, []string{"Florida"}},
+		{"Lake Michigan", 58000, []string{"Michigan"}},
+		{"Mono Lake", 180, []string{"California"}},
+		{"Pyramid Lake", 487, []string{"Nevada"}},
+		{"Great Salt Lake", 4400, []string{"Utah"}},
+		{"Bear Lake", 280, []string{"Utah", "Idaho"}},
+	}
+	for _, l := range lakes {
+		if err := db.Insert("Lake", value.Tuple{value.NewText(l.name), value.NewDecimal(l.area)}); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range l.prov {
+			if err := db.InsertStrings("geo_lake", l.name, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.Analyze()
+
+	spec, err := constraint.ParseGrid(3,
+		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := graphx.New(s)
+	related := [][]schema.ColumnRef{
+		{{Table: "geo_lake", Column: "Province"}, {Table: "Province", Column: "Name"}, {Table: "City", Column: "Province"}},
+		{{Table: "Lake", Column: "Name"}, {Table: "geo_lake", Column: "Lake"}},
+		{{Table: "Lake", Column: "Area"}},
+	}
+	cands, err := graphx.Enumerate(g, related, graphx.EnumerateOptions{MaxTables: 4, RequireUsefulLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("expected several candidates, got %d", len(cands))
+	}
+	return &fixture{
+		db:    db,
+		spec:  spec,
+		set:   filter.Decompose(cands),
+		model: bayes.Train(db),
+	}
+}
+
+func estimators(fx *fixture, truth []filter.Outcome) map[string]Estimator {
+	return map[string]Estimator{
+		"pathlength": &PathLengthEstimator{},
+		"bayes":      &BayesEstimator{Model: fx.model, Spec: fx.spec},
+		"oracle":     NewOracle(fx.set, truth),
+		"random":     &RandomEstimator{Seed: 42},
+	}
+}
+
+func TestEstimatorNamesAndBounds(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, est := range estimators(fx, truth) {
+		if est.Name() == "" {
+			t.Errorf("%s: empty name", key)
+		}
+		for _, f := range fx.set.Filters {
+			p := est.FailureProbability(f)
+			if p < 0 || p > 1 {
+				t.Errorf("%s: probability %v out of range for %s", key, p, f)
+			}
+		}
+	}
+}
+
+func TestPathLengthEstimatorMonotone(t *testing.T) {
+	e := &PathLengthEstimator{}
+	short := &filter.Filter{Tree: graphx.Tree{Tables: []string{"A"}}}
+	long := &filter.Filter{Tree: graphx.Tree{
+		Tables: []string{"A", "B", "C"},
+		Edges: []schema.ForeignKey{
+			{From: schema.ColumnRef{Table: "A", Column: "x"}, To: schema.ColumnRef{Table: "B", Column: "x"}},
+			{From: schema.ColumnRef{Table: "B", Column: "y"}, To: schema.ColumnRef{Table: "C", Column: "y"}},
+		},
+	}}
+	if e.FailureProbability(short) >= e.FailureProbability(long) {
+		t.Error("longer join paths must have higher estimated failure probability")
+	}
+	steep := &PathLengthEstimator{Slope: 0.9}
+	if steep.FailureProbability(long) != 1 {
+		t.Error("probability should clamp at 1")
+	}
+}
+
+func TestBayesEstimatorDiscriminates(t *testing.T) {
+	fx := newFixture(t)
+	est := &BayesEstimator{Model: fx.model, Spec: fx.spec}
+	// A filter binding the lake-name constraint to geo_lake.Province (which
+	// never contains "Lake Tahoe") must look more likely to fail than one
+	// binding it to Lake.Name.
+	good := &filter.Filter{
+		Tree:       graphx.Tree{Tables: []string{"Lake"}},
+		TargetCols: []int{1},
+		Sources:    []schema.ColumnRef{{Table: "Lake", Column: "Name"}},
+	}
+	bad := &filter.Filter{
+		Tree:       graphx.Tree{Tables: []string{"geo_lake"}},
+		TargetCols: []int{1},
+		Sources:    []schema.ColumnRef{{Table: "geo_lake", Column: "Province"}},
+	}
+	if est.FailureProbability(good) >= est.FailureProbability(bad) {
+		t.Errorf("bayes estimator should rank the wrong binding as more likely to fail: good=%v bad=%v",
+			est.FailureProbability(good), est.FailureProbability(bad))
+	}
+	// Unconstrained filter has some low failure probability.
+	uncon := &filter.Filter{
+		Tree:       graphx.Tree{Tables: []string{"Lake"}},
+		TargetCols: []int{2},
+		Sources:    []schema.ColumnRef{{Table: "Lake", Column: "Area"}},
+	}
+	if p := est.FailureProbability(uncon); p > 0.5 {
+		t.Errorf("unconstrained filter should rarely fail, got %v", p)
+	}
+	emptySpec := &BayesEstimator{Model: fx.model, Spec: &constraint.Spec{NumColumns: 1, Metadata: nil}}
+	if emptySpec.FailureProbability(good) != 0 {
+		t.Error("no samples means nothing to fail")
+	}
+}
+
+func TestRandomEstimatorDeterministic(t *testing.T) {
+	fx := newFixture(t)
+	a := &RandomEstimator{Seed: 7}
+	b := &RandomEstimator{Seed: 7}
+	for _, f := range fx.set.Filters {
+		if a.FailureProbability(f) != b.FailureProbability(f) {
+			t.Fatal("same seed should give identical probabilities")
+		}
+	}
+	// Memoised per filter key.
+	f := fx.set.Filters[0]
+	if a.FailureProbability(f) != a.FailureProbability(f) {
+		t.Error("estimator should memoise per filter")
+	}
+}
+
+func TestOracleEstimator(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracle(fx.set, truth)
+	for i, f := range fx.set.Filters {
+		p := oracle.FailureProbability(f)
+		if truth[i] == filter.Failed && p != 1 {
+			t.Errorf("failing filter %d should have probability 1", i)
+		}
+		if truth[i] == filter.Passed && p != 0 {
+			t.Errorf("passing filter %d should have probability 0", i)
+		}
+	}
+	unknown := &filter.Filter{Key: "unknown"}
+	if oracle.FailureProbability(unknown) != 0 {
+		t.Error("unknown filters default to 0")
+	}
+}
+
+func TestRunResolvesAllCandidates(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, est := range estimators(fx, truth) {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if res.TimedOut {
+			t.Errorf("%s: unexpected timeout", key)
+		}
+		if len(res.Confirmed)+len(res.Pruned) != fx.set.NumCandidates() {
+			t.Errorf("%s: resolved %d+%d of %d candidates", key, len(res.Confirmed), len(res.Pruned), fx.set.NumCandidates())
+		}
+		if res.Validations <= 0 || res.Validations > fx.set.NumFilters() {
+			t.Errorf("%s: validations = %d (filters = %d)", key, res.Validations, fx.set.NumFilters())
+		}
+		if res.Policy != est.Name() {
+			t.Errorf("%s: policy name mismatch", key)
+		}
+		if res.Cost.RowsScanned == 0 {
+			t.Errorf("%s: cost should be accounted", key)
+		}
+	}
+}
+
+func TestSchedulersAgreeOnConfirmedSet(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reference []int
+	for key, est := range estimators(fx, truth) {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		confirmed := append([]int(nil), res.Confirmed...)
+		if reference == nil {
+			reference = confirmed
+			continue
+		}
+		if len(confirmed) != len(reference) {
+			t.Errorf("%s: confirmed %d candidates, reference %d", key, len(confirmed), len(reference))
+			continue
+		}
+		for i := range confirmed {
+			if confirmed[i] != reference[i] {
+				t.Errorf("%s: confirmed set differs from reference", key)
+				break
+			}
+		}
+	}
+}
+
+func TestOracleBeatsOrMatchesOthers(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for key, est := range estimators(fx, truth) {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[key] = res.Validations
+	}
+	if counts["oracle"] > counts["pathlength"] || counts["oracle"] > counts["bayes"] || counts["oracle"] > counts["random"] {
+		t.Errorf("oracle should need the fewest validations: %v", counts)
+	}
+	if counts["bayes"] > counts["random"] {
+		t.Logf("note: bayes (%d) worse than random (%d) on this tiny instance", counts["bayes"], counts["random"])
+	}
+	// The optimum count derived analytically must not exceed the oracle run.
+	opt := OptimalValidationCount(fx.set, truth)
+	if opt > counts["oracle"] {
+		t.Errorf("analytic optimum %d exceeds oracle-run count %d", opt, counts["oracle"])
+	}
+	if opt <= 0 {
+		t.Error("optimum must be positive when candidates exist")
+	}
+}
+
+func TestGroundTruthConsistentWithTops(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If a top filter passes, all its sub-filters must pass too (downward
+	// closure of success) — a consistency check on the decomposition and
+	// the validator.
+	for ci := range fx.set.Candidates {
+		top := fx.set.Top[ci]
+		if truth[top] != filter.Passed {
+			continue
+		}
+		for _, fi := range fx.set.CandidateFilters[ci] {
+			if truth[fi] != filter.Passed {
+				t.Errorf("candidate %d: top passes but sub-filter %d fails", ci, fi)
+			}
+		}
+	}
+}
+
+func TestRunTimeLimit(t *testing.T) {
+	fx := newFixture(t)
+	fake := time.Date(2019, 1, 13, 0, 0, 0, 0, time.UTC)
+	calls := 0
+	now := func() time.Time {
+		calls++
+		// Every call advances the clock by 30 seconds, so the second check
+		// exceeds a 45-second budget.
+		return fake.Add(time.Duration(calls) * 30 * time.Second)
+	}
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{TimeLimit: 45 * time.Second, Now: now},
+	}
+	res, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("run should have timed out")
+	}
+	if res.Validations > 1 {
+		t.Errorf("timed-out run should stop early, executed %d validations", res.Validations)
+	}
+}
+
+func TestRunMaxValidations(t *testing.T) {
+	fx := newFixture(t)
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &RandomEstimator{Seed: 1},
+		Options:   Options{MaxValidations: 2},
+	}
+	res, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Validations > 2 {
+		t.Errorf("validation cap not respected: %d", res.Validations)
+	}
+	if !res.TimedOut {
+		t.Error("hitting the cap should be reported as truncation")
+	}
+}
+
+func TestGapReduction(t *testing.T) {
+	if got := GapReduction(10, 7, 5); got != 0.6 {
+		t.Errorf("GapReduction(10,7,5) = %v", got)
+	}
+	if got := GapReduction(10, 12, 5); got != -0.4 {
+		t.Errorf("a policy worse than the baseline should report a negative reduction, got %v", got)
+	}
+	if got := GapReduction(5, 5, 5); got != 0 {
+		t.Errorf("no gap means no reduction, got %v", got)
+	}
+	if got := GapReduction(10, 4, 5); got != 1 {
+		t.Errorf("beating the optimum clamps at full reduction, got %v", got)
+	}
+}
+
+func TestGapReductionNegativePolicy(t *testing.T) {
+	// Baseline below optimum (can happen when the greedy optimum
+	// approximation is loose): reduction must be 0, not negative/NaN.
+	if got := GapReduction(3, 4, 5); got != 0 {
+		t.Errorf("GapReduction(3,4,5) = %v", got)
+	}
+}
+
+func TestValidationsNeverExceedGroundTruthCount(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, est := range estimators(fx, truth) {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Validations > fx.set.NumFilters() {
+			t.Errorf("%s: executed more validations (%d) than filters exist (%d)", key, res.Validations, fx.set.NumFilters())
+		}
+		if !strings.Contains(res.Policy, est.Name()) {
+			t.Errorf("%s: policy label mismatch", key)
+		}
+	}
+}
+
+func BenchmarkRunPathLength(b *testing.B) {
+	fx := newFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: &PathLengthEstimator{}}
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBayes(b *testing.B) {
+	fx := newFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: &BayesEstimator{Model: fx.model, Spec: fx.spec}}
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroundTruth(b *testing.B) {
+	fx := newFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroundTruth(fx.db, fx.spec, fx.set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package server implements the web demonstration of Prism described in §3:
+// a Configuration section (source database, number of target columns,
+// number of sample constraints), a Description section (the sample and
+// metadata constraint grids), and a Result section listing every discovered
+// schema mapping query with its SQL text, result preview and query-graph
+// explanation.
+//
+// It exposes both server-rendered HTML (GET /, POST /discover) and a JSON
+// API (GET /api/datasets, POST /api/discover) used by tests and scripting.
+package server
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prism/internal/constraint"
+	"prism/internal/dataset"
+	"prism/internal/discovery"
+	"prism/internal/explain"
+	"prism/internal/mem"
+)
+
+// Server is the demo web application.
+type Server struct {
+	mu      sync.Mutex
+	engines map[string]*discovery.Engine
+	// TimeLimit is the per-round discovery budget (default 60s, as in the
+	// paper's demo).
+	TimeLimit time.Duration
+	// MaxGraphs bounds the number of inline SVG explanations rendered.
+	MaxGraphs int
+
+	tmpl *template.Template
+}
+
+// New creates the demo server. Engines for the bundled data sets are built
+// lazily on first use so start-up stays instant.
+func New() *Server {
+	return &Server{
+		engines:   make(map[string]*discovery.Engine),
+		TimeLimit: 60 * time.Second,
+		MaxGraphs: 3,
+		tmpl:      template.Must(template.New("page").Parse(pageTemplate)),
+	}
+}
+
+// RegisterDatabase installs a custom database under the given name,
+// alongside the bundled synthetic ones.
+func (s *Server) RegisterDatabase(name string, db *mem.Database) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engines[strings.ToLower(name)] = discovery.NewEngine(db)
+}
+
+func (s *Server) engine(name string) (*discovery.Engine, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.engines[key]; ok {
+		return e, nil
+	}
+	db, err := dataset.ByName(key)
+	if err != nil {
+		return nil, err
+	}
+	e := discovery.NewEngine(db)
+	s.engines[key] = e
+	return e, nil
+}
+
+// Handler returns the HTTP handler of the demo.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/discover", s.handleDiscoverForm)
+	mux.HandleFunc("/api/datasets", s.handleDatasets)
+	mux.HandleFunc("/api/discover", s.handleDiscoverAPI)
+	return mux
+}
+
+// ListenAndServe starts the demo on the given address.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// ---------------------------------------------------------------------------
+// Request/response types of the JSON API
+// ---------------------------------------------------------------------------
+
+// DiscoverRequest is the JSON body of POST /api/discover. It mirrors the
+// Configuration and Description sections.
+type DiscoverRequest struct {
+	Database   string     `json:"database"`
+	NumColumns int        `json:"numColumns"`
+	Samples    [][]string `json:"samples"`
+	Metadata   []string   `json:"metadata,omitempty"`
+	Policy     string     `json:"policy,omitempty"`
+	MaxResults int        `json:"maxResults,omitempty"`
+}
+
+// MappingResponse describes one discovered schema mapping query.
+type MappingResponse struct {
+	SQL        string     `json:"sql"`
+	Tables     []string   `json:"tables"`
+	Columns    []string   `json:"columns"`
+	ResultRows [][]string `json:"resultRows,omitempty"`
+	GraphSVG   string     `json:"graphSvg,omitempty"`
+}
+
+// DiscoverResponse is the JSON answer of POST /api/discover.
+type DiscoverResponse struct {
+	Database    string            `json:"database"`
+	Mappings    []MappingResponse `json:"mappings"`
+	Candidates  int               `json:"candidates"`
+	Filters     int               `json:"filters"`
+	Validations int               `json:"validations"`
+	ElapsedMS   int64             `json:"elapsedMs"`
+	TimedOut    bool              `json:"timedOut"`
+	Failure     string            `json:"failure,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": dataset.Names()})
+}
+
+func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DiscoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	resp, status := s.discover(req, false)
+	writeJSON(w, status, resp)
+}
+
+// discover executes a discovery round for either handler.
+func (s *Server) discover(req DiscoverRequest, withGraphs bool) (DiscoverResponse, int) {
+	resp := DiscoverResponse{Database: req.Database}
+	eng, err := s.engine(req.Database)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp, http.StatusBadRequest
+	}
+	var metadata []string
+	if len(req.Metadata) > 0 {
+		metadata = req.Metadata
+	}
+	spec, err := constraint.ParseGrid(req.NumColumns, req.Samples, metadata)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp, http.StatusBadRequest
+	}
+	policy := discovery.PolicyBayes
+	if req.Policy != "" {
+		policy = discovery.Policy(req.Policy)
+	}
+	report, err := eng.Discover(spec, discovery.Options{
+		TimeLimit:      s.TimeLimit,
+		Policy:         policy,
+		IncludeResults: true,
+		ResultLimit:    10,
+		MaxResults:     req.MaxResults,
+	})
+	if report != nil {
+		resp.Candidates = report.CandidatesEnumerated
+		resp.Filters = report.FiltersGenerated
+		resp.Validations = report.Validations
+		resp.ElapsedMS = report.Elapsed.Milliseconds()
+		resp.TimedOut = report.TimedOut
+		resp.Failure = report.Failure()
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp, http.StatusUnprocessableEntity
+	}
+	for i, m := range report.Mappings {
+		mr := MappingResponse{SQL: m.SQL, Tables: m.Candidate.Tree.Tables}
+		for _, ref := range m.Plan.Project {
+			mr.Columns = append(mr.Columns, ref.String())
+		}
+		if m.Result != nil {
+			for _, row := range m.Result.Rows {
+				cells := make([]string, len(row))
+				for ci, v := range row {
+					cells[ci] = v.String()
+				}
+				mr.ResultRows = append(mr.ResultRows, cells)
+			}
+		}
+		if withGraphs && i < s.MaxGraphs {
+			g := explain.Build(m.Candidate, spec, m.SQL, explain.AllConstraints())
+			mr.GraphSVG = g.SVG()
+		}
+		resp.Mappings = append(resp.Mappings, mr)
+	}
+	return resp, http.StatusOK
+}
+
+// ---------------------------------------------------------------------------
+// HTML handlers
+// ---------------------------------------------------------------------------
+
+// pageData feeds the HTML template.
+type pageData struct {
+	Datasets []string
+	Request  DiscoverRequest
+	// Raw form text (one sample row per line, cells separated by '|').
+	SamplesText  string
+	MetadataText string
+	Response     *DiscoverResponse
+	Graphs       []template.HTML
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := &pageData{
+		Datasets:     dataset.Names(),
+		Request:      DiscoverRequest{Database: "mondial", NumColumns: 3},
+		SamplesText:  "California || Nevada | Lake Tahoe | ",
+		MetadataText: " |  | DataType=='decimal' AND MinValue>='0'",
+	}
+	s.render(w, data)
+}
+
+func (s *Server) handleDiscoverForm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	numColumns, _ := strconv.Atoi(r.FormValue("columns"))
+	samplesText := r.FormValue("samples")
+	metadataText := r.FormValue("metadata")
+	req := DiscoverRequest{
+		Database:   r.FormValue("database"),
+		NumColumns: numColumns,
+		Samples:    parseGridText(samplesText, numColumns),
+		Policy:     r.FormValue("policy"),
+	}
+	if strings.TrimSpace(metadataText) != "" {
+		req.Metadata = padRow(splitCells(metadataText), numColumns)
+	}
+	resp, _ := s.discover(req, true)
+	data := &pageData{
+		Datasets:     dataset.Names(),
+		Request:      req,
+		SamplesText:  samplesText,
+		MetadataText: metadataText,
+		Response:     &resp,
+	}
+	for _, m := range resp.Mappings {
+		if m.GraphSVG != "" {
+			data.Graphs = append(data.Graphs, template.HTML(m.GraphSVG)) //nolint:gosec // SVG is generated by this binary from escaped labels.
+		}
+	}
+	s.render(w, data)
+}
+
+func (s *Server) render(w http.ResponseWriter, data *pageData) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseGridText converts the textarea form of the sample grid (one row per
+// line, cells separated by '|') into rows of exactly numColumns cells.
+func parseGridText(text string, numColumns int) [][]string {
+	var rows [][]string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rows = append(rows, padRow(splitCells(line), numColumns))
+	}
+	return rows
+}
+
+func splitCells(line string) []string {
+	parts := strings.Split(line, "|")
+	// The constraint language uses "||" for disjunction; re-join cells that
+	// were split apart by it (an empty part between two non-empty parts).
+	var cells []string
+	for i := 0; i < len(parts); i++ {
+		cell := parts[i]
+		for i+2 <= len(parts)-1 && parts[i+1] == "" {
+			// "a || b" splits into ["a ", "", " b"]; merge back.
+			cell = cell + "||" + parts[i+2]
+			i += 2
+		}
+		cells = append(cells, strings.TrimSpace(cell))
+	}
+	return cells
+}
+
+func padRow(cells []string, n int) []string {
+	if n <= 0 {
+		return cells
+	}
+	out := make([]string, n)
+	for i := 0; i < n && i < len(cells); i++ {
+		out[i] = cells[i]
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+const pageTemplate = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Prism — Multiresolution Schema Mapping</title>
+<style>
+body { font-family: Helvetica, Arial, sans-serif; margin: 2rem; max-width: 70rem; }
+section { border: 1px solid #ccc; border-radius: 6px; padding: 1rem; margin-bottom: 1.5rem; }
+h2 { margin-top: 0; }
+textarea, input, select { font-family: monospace; width: 100%; box-sizing: border-box; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+td, th { border: 1px solid #999; padding: 2px 8px; }
+pre.sql { background: #f4f4f4; padding: 0.5rem; overflow-x: auto; }
+.stats { color: #555; font-size: 0.9rem; }
+.failure { color: #a00; font-weight: bold; }
+</style>
+</head>
+<body>
+<h1>Prism — Multiresolution Schema Mapping</h1>
+
+<form method="POST" action="/discover">
+<section>
+<h2>Configuration</h2>
+<label>Source database:
+<select name="database">
+{{range .Datasets}}<option value="{{.}}" {{if eq . $.Request.Database}}selected{{end}}>{{.}}</option>{{end}}
+</select></label>
+<label>Number of columns in the target schema:
+<input type="number" name="columns" value="{{.Request.NumColumns}}" min="1" max="8"></label>
+<label>Scheduling policy:
+<select name="policy">
+<option value="bayes">bayes (Prism)</option>
+<option value="pathlength">pathlength (Filter baseline)</option>
+<option value="random">random</option>
+</select></label>
+</section>
+
+<section>
+<h2>Description</h2>
+<p>Sample / result constraints — one row per line, cells separated by <code>|</code>.
+Cells accept the multiresolution language: <code>California || Nevada</code>,
+<code>&gt;= 100 &amp;&amp; &lt;= 600</code>, <code>[100, 600]</code>, or exact values.</p>
+<textarea name="samples" rows="3">{{.SamplesText}}</textarea>
+<p>Metadata constraints — a single row, one cell per target column, e.g.
+<code>DataType=='decimal' AND MinValue&gt;='0'</code>.</p>
+<textarea name="metadata" rows="2">{{.MetadataText}}</textarea>
+<p><button type="submit">Start Searching!</button></p>
+</section>
+</form>
+
+{{if .Response}}
+<section>
+<h2>Result</h2>
+{{if .Response.Error}}<p class="failure">Error: {{.Response.Error}}</p>{{end}}
+{{if .Response.Failure}}<p class="failure">{{.Response.Failure}}</p>{{end}}
+<p class="stats">candidates: {{.Response.Candidates}} · filters: {{.Response.Filters}} ·
+validations: {{.Response.Validations}} · elapsed: {{.Response.ElapsedMS}} ms</p>
+{{range $i, $m := .Response.Mappings}}
+<h3>Query {{$i}}</h3>
+<pre class="sql">{{$m.SQL}}</pre>
+{{if $m.ResultRows}}
+<table>
+<tr>{{range $m.Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range $m.ResultRows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{end}}
+{{range .Graphs}}{{.}}{{end}}
+</section>
+{{end}}
+</body>
+</html>
+`

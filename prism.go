@@ -1,0 +1,288 @@
+// Package prism is a multiresolution schema mapping system: it synthesizes
+// Project-Join SQL queries that map a relational source database to a
+// target schema the user describes with constraints of varying resolution —
+// exact sample values, disjunctions of possible values, value ranges, and
+// column-level metadata such as data types and value bounds.
+//
+// It reproduces the system of "Demonstration of a Multiresolution Schema
+// Mapping System" (Jin, Baik, Cafarella, Jagadish, Lou — CIDR 2019): the
+// constraint language of Figure 1, the discovery pipeline of Figure 2
+// (related-column search, candidate generation over the schema graph,
+// filter-based validation with Bayesian-model-driven scheduling), and the
+// query-graph explanations of Figure 4.
+//
+// # Quick start
+//
+//	eng, err := prism.OpenDataset("mondial")
+//	if err != nil { ... }
+//	spec, err := prism.ParseConstraints(3,
+//		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+//		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"})
+//	if err != nil { ... }
+//	report, err := eng.Discover(spec, prism.Options{IncludeResults: true})
+//	for _, m := range report.Mappings {
+//		fmt.Println(m.SQL)
+//	}
+//
+// The subpackages under internal/ implement the substrate (in-memory
+// relational engine, constraint language, schema-graph search, Bayesian
+// selectivity models, filter scheduling, synthetic data sets); this package
+// is the supported public surface.
+package prism
+
+import (
+	"fmt"
+
+	"prism/internal/bayes"
+	"prism/internal/constraint"
+	"prism/internal/dataset"
+	"prism/internal/discovery"
+	"prism/internal/explain"
+	"prism/internal/graphx"
+	"prism/internal/lang"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/sqlgen"
+	"prism/internal/value"
+)
+
+// Re-exported core types. The aliases give external users stable names for
+// the values returned by this package without importing internal packages.
+type (
+	// Database is an in-memory relational source database.
+	Database = mem.Database
+	// Plan is an executable Project-Join query plan.
+	Plan = mem.Plan
+	// Result is the result of executing a plan.
+	Result = mem.Result
+	// Schema describes tables, columns and foreign keys.
+	Schema = schema.Schema
+	// ColumnRef names a column as Table.Column.
+	ColumnRef = schema.ColumnRef
+	// Spec is a multiresolution constraint specification.
+	Spec = constraint.Spec
+	// SampleConstraint is one row of the sample-constraint grid.
+	SampleConstraint = constraint.SampleConstraint
+	// Options tunes a discovery round.
+	Options = discovery.Options
+	// Report is the outcome of a discovery round.
+	Report = discovery.Report
+	// Mapping is one discovered schema mapping query.
+	Mapping = discovery.Mapping
+	// Policy selects the filter-scheduling policy.
+	Policy = discovery.Policy
+	// ExplainGraph is the query-graph explanation of a mapping.
+	ExplainGraph = explain.Graph
+	// ConstraintSelection selects which constraints to overlay on an
+	// explanation graph.
+	ConstraintSelection = explain.ConstraintSelection
+	// Value is a typed scalar cell value.
+	Value = value.Value
+	// Tuple is a row of values.
+	Tuple = value.Tuple
+	// MondialConfig sizes the synthetic Mondial data set.
+	MondialConfig = dataset.MondialConfig
+	// IMDBConfig sizes the synthetic IMDB data set.
+	IMDBConfig = dataset.IMDBConfig
+	// NBAConfig sizes the synthetic NBA data set.
+	NBAConfig = dataset.NBAConfig
+)
+
+// Scheduling policies (see the paper's §2.3/§2.4 and package sched).
+const (
+	// PolicyBayes is Prism's Bayesian-model-based filter scheduling.
+	PolicyBayes = discovery.PolicyBayes
+	// PolicyPathLength is the "Filter" baseline from the literature.
+	PolicyPathLength = discovery.PolicyPathLength
+	// PolicyRandom validates filters in pseudo-random order.
+	PolicyRandom = discovery.PolicyRandom
+	// PolicyOracle schedules with ground-truth outcomes (the optimum).
+	PolicyOracle = discovery.PolicyOracle
+)
+
+// Engine preprocesses one source database (column statistics, inverted
+// keyword index, Bayesian models) and answers discovery requests over it.
+type Engine struct {
+	inner *discovery.Engine
+}
+
+// NewEngine preprocesses db and returns an engine bound to it.
+func NewEngine(db *Database) *Engine {
+	return &Engine{inner: discovery.NewEngine(db)}
+}
+
+// OpenDataset builds one of the bundled synthetic demo databases
+// ("mondial", "imdb", "nba") at its default size and returns an engine over
+// it.
+func OpenDataset(name string) (*Engine, error) {
+	db, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db), nil
+}
+
+// OpenMondial builds a synthetic Mondial database with the given
+// configuration (zero value = defaults) and returns an engine over it.
+func OpenMondial(cfg MondialConfig) (*Engine, error) {
+	db, err := dataset.Mondial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db), nil
+}
+
+// OpenIMDB builds the synthetic IMDB database and returns an engine.
+func OpenIMDB(cfg IMDBConfig) (*Engine, error) {
+	db, err := dataset.IMDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db), nil
+}
+
+// OpenNBA builds the synthetic NBA database and returns an engine.
+func OpenNBA(cfg NBAConfig) (*Engine, error) {
+	db, err := dataset.NBA(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db), nil
+}
+
+// DatasetNames lists the bundled demo databases.
+func DatasetNames() []string { return dataset.Names() }
+
+// Database returns the engine's source database.
+func (e *Engine) Database() *Database { return e.inner.Database() }
+
+// Discover runs one discovery round: it returns every Project-Join schema
+// mapping query that satisfies the specification within the options' search
+// bounds and time budget (60 seconds by default, as in the demo).
+func (e *Engine) Discover(spec *Spec, opts Options) (*Report, error) {
+	return e.inner.Discover(spec, opts)
+}
+
+// RelatedColumns returns, per target column, the source columns whose
+// contents and metadata make them feasible bindings — step #1 of discovery.
+func (e *Engine) RelatedColumns(spec *Spec) ([][]ColumnRef, error) {
+	return e.inner.RelatedColumns(spec)
+}
+
+// Model exposes the Bayesian selectivity model trained during
+// preprocessing (primarily for inspection and experiments).
+func (e *Engine) Model() *bayes.Model { return e.inner.Model() }
+
+// ParseConstraints assembles a constraint specification from the raw grids
+// of the demo's Description section: numColumns target columns, any number
+// of sample rows (each cell in the multiresolution constraint language) and
+// an optional metadata row.
+func ParseConstraints(numColumns int, sampleRows [][]string, metadataRow []string) (*Spec, error) {
+	return constraint.ParseGrid(numColumns, sampleRows, metadataRow)
+}
+
+// ParseValueConstraint parses one cell of the sample-constraint grid,
+// e.g. "California || Nevada" or ">= 100 && <= 600".
+func ParseValueConstraint(cell string) (lang.ValueExpr, error) {
+	return lang.ParseValueConstraint(cell)
+}
+
+// ParseMetadataConstraint parses one cell of the metadata-constraint grid,
+// e.g. "DataType=='decimal' AND MinValue>='0'".
+func ParseMetadataConstraint(cell string) (lang.MetaExpr, error) {
+	return lang.ParseMetadataConstraint(cell)
+}
+
+// Explain builds the query-graph explanation of a discovered mapping with
+// the selected constraints overlaid (Figure 4c). Use AllConstraints to show
+// everything.
+func Explain(m Mapping, spec *Spec, sel ConstraintSelection) *ExplainGraph {
+	return explain.Build(m.Candidate, spec, m.SQL, sel)
+}
+
+// AllConstraints selects every user constraint for display in Explain.
+func AllConstraints() ConstraintSelection { return explain.AllConstraints() }
+
+// SQL renders a Project-Join plan as SQL text.
+func SQL(p Plan) string { return sqlgen.Generate(p) }
+
+// ParseSQL parses a Project-Join SELECT statement back into an executable
+// plan, validating it against the database schema when sch is non-nil.
+func ParseSQL(sql string, sch *Schema) (Plan, error) { return sqlgen.Parse(sql, sch) }
+
+// Execute runs a Project-Join plan against a database.
+func Execute(db *Database, p Plan) (*Result, error) { return db.Execute(p) }
+
+// NewDatabase creates an empty in-memory database over a schema; use it to
+// load your own source data instead of the bundled synthetic sets:
+//
+//	sch := prism.NewSchema()
+//	... add tables and foreign keys ...
+//	db := prism.NewDatabase("mydb", sch)
+//	db.InsertStrings("Lake", "Lake Tahoe", "497")
+//	db.Analyze()
+//	eng := prism.NewEngine(db)
+func NewDatabase(name string, sch *Schema) *Database { return mem.NewDatabase(name, sch) }
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return schema.New() }
+
+// NewTable declares a table schema. Each column is given as "Name:type" in
+// declaration order; types are the constraint language's data types ("int",
+// "decimal", "text", "date", "time").
+//
+//	lake, err := prism.NewTable("Lake", "Name:text", "Area:decimal")
+func NewTable(name string, columns ...string) (*schema.Table, error) {
+	cols := make([]schema.Column, 0, len(columns))
+	for _, def := range columns {
+		cname, ctype, ok := cutColon(def)
+		if !ok {
+			return nil, fmt.Errorf("prism: column definition %q is not of the form Name:type", def)
+		}
+		kind, err := value.ParseKind(ctype)
+		if err != nil {
+			return nil, fmt.Errorf("prism: column %s: %w", cname, err)
+		}
+		cols = append(cols, schema.Column{Name: cname, Type: kind})
+	}
+	return schema.NewTable(name, cols...)
+}
+
+func cutColon(s string) (before, after string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:], i > 0 && i < len(s)-1
+		}
+	}
+	return s, "", false
+}
+
+// AddForeignKey declares a join edge between two columns given as
+// "Table.Column" strings.
+func AddForeignKey(sch *Schema, from, to string) error {
+	fromRef, err := splitRef(from)
+	if err != nil {
+		return err
+	}
+	toRef, err := splitRef(to)
+	if err != nil {
+		return err
+	}
+	return sch.AddForeignKey(schema.ForeignKey{From: fromRef, To: toRef})
+}
+
+func splitRef(s string) (schema.ColumnRef, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if i == 0 || i == len(s)-1 {
+				break
+			}
+			return schema.ColumnRef{Table: s[:i], Column: s[i+1:]}, nil
+		}
+	}
+	return schema.ColumnRef{}, fmt.Errorf("prism: %q is not of the form Table.Column", s)
+}
+
+// Candidate re-exports the candidate type for users who build explanation
+// graphs or custom validation on top of the discovery output.
+type Candidate = graphx.Candidate

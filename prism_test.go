@@ -1,0 +1,243 @@
+package prism
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mondialEngine(t testing.TB) *Engine {
+	t.Helper()
+	eng, err := OpenMondial(MondialConfig{
+		Seed: 4, Countries: 3, ProvincesPerCountry: 2, CitiesPerProvince: 2,
+		Lakes: 20, Rivers: 10, Mountains: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func paperSpec(t testing.TB) *Spec {
+	t.Helper()
+	spec, err := ParseConstraints(3,
+		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestOpenDataset(t *testing.T) {
+	for _, name := range DatasetNames() {
+		eng, err := OpenDataset(name)
+		if err != nil {
+			t.Errorf("OpenDataset(%q): %v", name, err)
+			continue
+		}
+		if eng.Database().TotalRows() == 0 {
+			t.Errorf("%s: empty database", name)
+		}
+	}
+	if _, err := OpenDataset("nope"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestOpenIMDBAndNBA(t *testing.T) {
+	if eng, err := OpenIMDB(IMDBConfig{Movies: 10, People: 10, CastPerMovie: 2, GenresPerMovie: 1}); err != nil || eng.Database().NumRows("Movie") != 10 {
+		t.Errorf("OpenIMDB: %v", err)
+	}
+	if eng, err := OpenNBA(NBAConfig{Teams: 6, PlayersPerTeam: 3, Games: 10}); err != nil || eng.Database().NumRows("Team") != 6 {
+		t.Errorf("OpenNBA: %v", err)
+	}
+}
+
+func TestEndToEndPaperWalkthrough(t *testing.T) {
+	eng := mondialEngine(t)
+	spec := paperSpec(t)
+
+	related, err := eng.RelatedColumns(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(related) != 3 {
+		t.Fatalf("related = %v", related)
+	}
+
+	report, err := eng.Discover(spec, Options{IncludeResults: true, ResultLimit: 10, TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Mappings) == 0 {
+		t.Fatal("no mappings discovered")
+	}
+	var lakeMapping *Mapping
+	for i := range report.Mappings {
+		if strings.Contains(report.Mappings[i].SQL, "geo_lake.Province, Lake.Name, Lake.Area") {
+			lakeMapping = &report.Mappings[i]
+			break
+		}
+	}
+	if lakeMapping == nil {
+		t.Fatalf("paper query not discovered; got %v", sqls(report))
+	}
+	if lakeMapping.Result == nil || lakeMapping.Result.NumRows() == 0 {
+		t.Error("results should be attached")
+	}
+
+	// Explanation graph for the selected mapping, with all constraints.
+	g := Explain(*lakeMapping, spec, AllConstraints())
+	if len(g.NodesOfKind("relation")) != 2 || len(g.NodesOfKind("constraint")) != 3 {
+		t.Errorf("explanation graph: %d relations, %d constraints",
+			len(g.NodesOfKind("relation")), len(g.NodesOfKind("constraint")))
+	}
+	if !strings.Contains(g.DOT(), "Lake") || !strings.Contains(g.SVG(), "<svg") {
+		t.Error("graph renderings look wrong")
+	}
+
+	// SQL round trip through the public API.
+	plan, err := ParseSQL(lakeMapping.SQL, eng.Database().Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(eng.Database(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.MatchesResult(res.Rows) {
+		t.Error("re-parsed SQL no longer satisfies the constraints")
+	}
+}
+
+func sqls(r *Report) []string {
+	var out []string
+	for _, m := range r.Mappings {
+		out = append(out, m.SQL)
+	}
+	return out
+}
+
+func TestDiscoverPolicyConstants(t *testing.T) {
+	eng := mondialEngine(t)
+	spec := paperSpec(t)
+	for _, p := range []Policy{PolicyBayes, PolicyPathLength, PolicyRandom, PolicyOracle} {
+		if _, err := eng.Discover(spec, Options{Policy: p}); err != nil {
+			t.Errorf("policy %s: %v", p, err)
+		}
+	}
+}
+
+func TestParseConstraintHelpers(t *testing.T) {
+	v, err := ParseValueConstraint(">= 100 && <= 600")
+	if err != nil || v == nil {
+		t.Fatalf("ParseValueConstraint: %v", err)
+	}
+	m, err := ParseMetadataConstraint("DataType == 'decimal'")
+	if err != nil || m == nil {
+		t.Fatalf("ParseMetadataConstraint: %v", err)
+	}
+	if _, err := ParseValueConstraint(">="); err == nil {
+		t.Error("bad value constraint should error")
+	}
+	if _, err := ParseMetadataConstraint("Bogus == 1"); err == nil {
+		t.Error("bad metadata constraint should error")
+	}
+}
+
+func TestBuildCustomDatabase(t *testing.T) {
+	sch := NewSchema()
+	lake, err := NewTable("Lake", "Name:text", "Area:decimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := NewTable("geo_lake", "Lake:text", "Province:text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddTable(lake); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddTable(geo); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddForeignKey(sch, "geo_lake.Lake", "Lake.Name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddForeignKey(sch, "bad", "Lake.Name"); err == nil {
+		t.Error("malformed reference should fail")
+	}
+	if err := AddForeignKey(sch, "geo_lake.Lake", "alsobad"); err == nil {
+		t.Error("malformed reference should fail")
+	}
+
+	db := NewDatabase("custom", sch)
+	rows := [][]string{{"Lake Tahoe", "497"}, {"Crater Lake", "53.2"}}
+	for _, r := range rows {
+		if err := db.InsertStrings("Lake", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.InsertStrings("geo_lake", "Lake Tahoe", "California"); err != nil {
+		t.Fatal(err)
+	}
+	db.Analyze()
+
+	eng := NewEngine(db)
+	spec, err := ParseConstraints(2, [][]string{{"California", "Lake Tahoe"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Discover(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Mappings) == 0 {
+		t.Fatal("custom database discovery found nothing")
+	}
+	if !strings.Contains(report.Mappings[0].SQL, "SELECT") {
+		t.Error("mapping should render SQL")
+	}
+	if SQL(report.Mappings[0].Plan) == "" {
+		t.Error("SQL helper should render the plan")
+	}
+}
+
+func TestNewTableBadDefinitions(t *testing.T) {
+	if _, err := NewTable("T", "X:blob"); err == nil {
+		t.Error("unknown column type should fail")
+	}
+	if _, err := NewTable("T", "Xint"); err == nil {
+		t.Error("missing colon should fail")
+	}
+	if _, err := NewTable("T", ":int"); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewTable("T", "X:"); err == nil {
+		t.Error("empty type should fail")
+	}
+}
+
+func TestModelAccessor(t *testing.T) {
+	eng := mondialEngine(t)
+	if eng.Model() == nil {
+		t.Fatal("model should be available")
+	}
+	if len(eng.Model().Summaries()) == 0 {
+		t.Error("trained model should have column summaries")
+	}
+}
+
+func BenchmarkPublicDiscover(b *testing.B) {
+	eng := mondialEngine(b)
+	spec := paperSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Discover(spec, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
