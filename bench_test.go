@@ -18,6 +18,7 @@ package prism
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func BenchmarkTable1LakeDiscovery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		report, err := eng.Discover(spec, Options{IncludeResults: true, ResultLimit: 5})
+		report, err := eng.Discover(context.Background(), spec, Options{IncludeResults: true, ResultLimit: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := NewEngine(db)
-		if _, err := eng.Discover(spec, Options{}); err != nil {
+		if _, err := eng.Discover(context.Background(), spec, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 func BenchmarkExplainGraph(b *testing.B) {
 	eng := benchEngine(b)
 	spec := benchPaperSpec(b)
-	report, err := eng.Discover(spec, Options{})
+	report, err := eng.Discover(context.Background(), spec, Options{})
 	if err != nil || len(report.Mappings) == 0 {
 		b.Fatalf("no mapping to explain: %v", err)
 	}
@@ -157,7 +158,7 @@ func BenchmarkDiscoveryResolution(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tc := cases[i%len(cases)]
-				if _, err := eng.Discover(tc.Spec, Options{MaxTables: 3}); err != nil {
+				if _, err := eng.Discover(context.Background(), tc.Spec, Options{MaxTables: 3}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,7 +183,7 @@ func BenchmarkResultSetSize(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tc := cases[i%len(cases)]
-				report, err := eng.Discover(tc.Spec, Options{MaxTables: 3})
+				report, err := eng.Discover(context.Background(), tc.Spec, Options{MaxTables: 3})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -283,7 +284,7 @@ func BenchmarkSchedulerAblation(b *testing.B) {
 		b.Run(fmt.Sprintf("bayes-maxtables-%d", maxTables), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				report, err := eng.Discover(spec, Options{MaxTables: maxTables})
+				report, err := eng.Discover(context.Background(), spec, Options{MaxTables: maxTables})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -294,13 +295,74 @@ func BenchmarkSchedulerAblation(b *testing.B) {
 	b.Run("pathlength-maxtables-4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			report, err := eng.Discover(spec, Options{MaxTables: 4, Policy: PolicyPathLength})
+			report, err := eng.Discover(context.Background(), spec, Options{MaxTables: 4, Policy: PolicyPathLength})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(report.Validations), "validations/op")
 		}
 	})
+}
+
+// BenchmarkParallelValidation measures the validation phase — the hot path
+// of a discovery round — at increasing worker-pool sizes over one shared
+// filter set. On a multi-core runner the parallel rows should be measurably
+// faster than p1; the confirmed candidate set is asserted identical at
+// every level (filter outcomes are ground truths, independent of order).
+func BenchmarkParallelValidation(b *testing.B) {
+	fx := newSchedulingFixture(b)
+	var reference []int
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner := &sched.Runner{
+					DB: fx.eng.Database(), Spec: fx.spec, Set: fx.set,
+					Estimator: &sched.BayesEstimator{Model: fx.model, Spec: fx.spec},
+					Options:   sched.Options{Parallelism: p},
+				}
+				res, err := runner.RunContext(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reference == nil {
+					reference = res.Confirmed
+				} else if len(res.Confirmed) != len(reference) {
+					b.Fatalf("p=%d confirmed %d candidates, want %d", p, len(res.Confirmed), len(reference))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiscoverParallelism measures whole rounds end to end per
+// Options.Parallelism, asserting the mapping sets stay identical.
+func BenchmarkDiscoverParallelism(b *testing.B) {
+	eng := benchEngine(b)
+	spec := benchPaperSpec(b)
+	var reference []string
+	for _, p := range []int{1, 4} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				report, err := eng.Discover(context.Background(), spec, Options{Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var got []string
+				for _, m := range report.Mappings {
+					got = append(got, m.SQL)
+				}
+				if reference == nil {
+					reference = got
+				} else if len(got) != len(reference) {
+					b.Fatalf("p=%d found %d mappings, want %d", p, len(got), len(reference))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkBayesTraining measures the preprocessing cost of the Bayesian
@@ -325,7 +387,7 @@ func BenchmarkDemoServerRound(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		report, err := eng.Discover(spec, discovery.Options{IncludeResults: true, ResultLimit: 10})
+		report, err := eng.Discover(context.Background(), spec, discovery.Options{IncludeResults: true, ResultLimit: 10})
 		if err != nil {
 			b.Fatal(err)
 		}

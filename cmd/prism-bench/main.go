@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"prism/internal/dataset"
@@ -19,13 +22,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the suite mid-round instead of waiting out the budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "prism-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prism-bench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run: all, t1, e1, e2, e3")
 	seed := fs.Int64("seed", 1, "random seed for data and workload generation")
@@ -33,7 +39,8 @@ func run(args []string, out io.Writer) error {
 	schedCases := fs.Int("sched-cases", 8, "test cases for the scheduling comparison (E3)")
 	scale := fs.Float64("scale", 1.0, "database scale factor relative to the default synthetic Mondial")
 	markdown := fs.Bool("markdown", false, "emit markdown tables instead of plain text")
-	timeout := fs.Duration("timeout", 60*time.Second, "per-round discovery time limit")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-round discovery time limit, enforced as a context deadline")
+	parallelism := fs.Int("parallelism", 0, "concurrent filter validations per round (0 = sequential, the reproducible default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		CasesPerLevel:   *cases,
 		SchedulingCases: *schedCases,
 		TimeLimit:       *timeout,
+		Parallelism:     *parallelism,
 	}
 	runner, err := experiment.NewRunner(cfg)
 	if err != nil {
@@ -60,25 +68,42 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "prism-bench: synthetic Mondial with %d rows, seed %d\n\n", runner.DB.TotalRows(), *seed)
 
+	// The -timeout budget bounds each round from inside discovery (it
+	// covers every phase of a round), and the signal context lets Ctrl-C
+	// abort between rounds — no extra whole-experiment deadline, which
+	// would mis-cancel large but progressing suites.
+	perExperiment := func(f func(context.Context) (*experiment.Table, error)) (*experiment.Table, error) {
+		return f(ctx)
+	}
+
 	var tables []*experiment.Table
 	switch strings.ToLower(*exp) {
 	case "all":
-		tables, err = runner.RunAll()
+		for _, f := range []func(context.Context) (*experiment.Table, error){
+			runner.RunTable1, runner.RunE1, runner.RunE2, runner.RunE3,
+		} {
+			var t *experiment.Table
+			t, err = perExperiment(f)
+			if err != nil {
+				break
+			}
+			tables = append(tables, t)
+		}
 	case "t1", "table1":
 		var t *experiment.Table
-		t, err = runner.RunTable1()
+		t, err = perExperiment(runner.RunTable1)
 		tables = append(tables, t)
 	case "e1":
 		var t *experiment.Table
-		t, err = runner.RunE1()
+		t, err = perExperiment(runner.RunE1)
 		tables = append(tables, t)
 	case "e2":
 		var t *experiment.Table
-		t, err = runner.RunE2()
+		t, err = perExperiment(runner.RunE2)
 		tables = append(tables, t)
 	case "e3":
 		var t *experiment.Table
-		t, err = runner.RunE3()
+		t, err = perExperiment(runner.RunE3)
 		tables = append(tables, t)
 	default:
 		return fmt.Errorf("unknown experiment %q (want all, t1, e1, e2 or e3)", *exp)

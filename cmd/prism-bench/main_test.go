@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"t1", "e1", "e2", "e3"} {
 		var out bytes.Buffer
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-exp", exp,
 			"-scale", "0.2",
 			"-cases", "2",
@@ -26,7 +27,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunMarkdownOutput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-exp", "t1", "-scale", "0.2", "-markdown"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "t1", "-scale", "0.2", "-markdown"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "### T1") || !strings.Contains(out.String(), "| State |") {
@@ -36,10 +37,10 @@ func TestRunMarkdownOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-exp", "nonsense", "-scale", "0.2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nonsense", "-scale", "0.2"}, &out); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Error("unknown flag should fail")
 	}
 }

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"prism"
@@ -30,13 +34,17 @@ func (s *sampleFlags) Set(v string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the discovery round; the partial report found so far is
+	// still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "prism-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prism-cli", flag.ContinueOnError)
 	dbName := fs.String("db", "mondial", "source database: mondial, imdb or nba")
 	columns := fs.Int("columns", 3, "number of columns in the target schema")
@@ -44,15 +52,22 @@ func run(args []string, out io.Writer) error {
 	fs.Var(&samples, "sample", "sample-constraint row, cells separated by '|' (repeatable)")
 	metadata := fs.String("metadata", "", "metadata-constraint row, cells separated by '|'")
 	policy := fs.String("policy", string(prism.PolicyBayes), "scheduling policy: bayes, pathlength, random, oracle")
-	timeLimit := fs.Duration("timeout", 60*time.Second, "discovery time limit per round")
+	timeLimit := fs.Duration("timeout", 60*time.Second, "discovery time limit per round, enforced as a context deadline")
+	parallelism := fs.Int("parallelism", 0, "concurrent filter validations (0 = GOMAXPROCS)")
 	maxResults := fs.Int("max-results", 0, "cap on returned mapping queries (0 = all)")
 	showResults := fs.Bool("results", false, "execute each mapping and print a result preview")
+	stream := fs.Bool("stream", false, "stream mappings and progress as they are found instead of waiting for the round to finish")
 	explainMode := fs.String("explain", "", "render the first mapping's query graph: ascii, dot or svg")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch strings.ToLower(*explainMode) {
+	case "", "ascii", "dot", "svg":
+	default:
+		return fmt.Errorf("unknown -explain mode %q (want ascii, dot or svg)", *explainMode)
+	}
 
-	eng, err := prism.OpenDataset(*dbName)
+	eng, err := prism.Open(*dbName)
 	if err != nil {
 		return err
 	}
@@ -70,14 +85,35 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	report, err := eng.Discover(spec, prism.Options{
+	// The timeout is enforced as a context deadline so the whole round is
+	// bounded even if it wedges outside discovery. The grace keeps the
+	// engine's own budget (Options.TimeLimit, which covers every phase)
+	// firing first, so an overrun is reported as a clean paper-style
+	// timeout rather than a cancellation.
+	if *timeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeLimit+2*time.Second)
+		defer cancel()
+	}
+	opts := prism.Options{
 		Policy:         prism.Policy(*policy),
 		TimeLimit:      *timeLimit,
+		Parallelism:    *parallelism,
 		MaxResults:     *maxResults,
 		IncludeResults: *showResults,
 		ResultLimit:    10,
-	})
-	if err != nil {
+	}
+
+	var report *prism.Report
+	if *stream {
+		report, err = streamRound(ctx, out, eng, spec, opts)
+	} else {
+		report, err = eng.Discover(ctx, spec, opts)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if report == nil {
 		return err
 	}
 	fmt.Fprintln(out, report.Summary())
@@ -100,11 +136,31 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, g.DOT())
 		case "svg":
 			fmt.Fprint(out, g.SVG())
-		default:
-			return fmt.Errorf("unknown -explain mode %q (want ascii, dot or svg)", *explainMode)
 		}
 	}
 	return nil
+}
+
+// streamRound consumes a DiscoverStream, printing mappings the moment they
+// are confirmed, and returns the final report.
+func streamRound(ctx context.Context, out io.Writer, eng *prism.Engine, spec *prism.Spec, opts prism.Options) (*prism.Report, error) {
+	n := 0
+	for ev := range eng.DiscoverStream(ctx, spec, opts) {
+		switch ev.Kind {
+		case prism.EventCandidates:
+			fmt.Fprintf(out, "candidates: %d\n", ev.Progress.CandidatesEnumerated)
+		case prism.EventFilters:
+			fmt.Fprintf(out, "filters: %d\n", ev.Progress.FiltersGenerated)
+		case prism.EventMapping:
+			n++
+			fmt.Fprintf(out, "<- mapping %d (after %d validations): %s\n", n, ev.Progress.Validations, ev.Mapping.SQL)
+		case prism.EventDone:
+			return ev.Report, ev.Err
+		}
+	}
+	// The stream closed without a done event: only possible when ctx was
+	// cancelled while the final event was pending.
+	return nil, ctx.Err()
 }
 
 // splitCells splits a row on '|' while keeping '||' disjunctions intact and

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestRunPaperWalkthrough(t *testing.T) {
 		t.Skip("builds the default Mondial dataset")
 	}
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-db", "mondial",
 		"-columns", "3",
 		"-sample", "California || Nevada | Lake Tahoe | ",
@@ -33,16 +34,16 @@ func TestRunPaperWalkthrough(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-db", "unknown"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-db", "unknown"}, &out); err == nil {
 		t.Error("unknown database should fail")
 	}
-	if err := run([]string{"-db", "mondial", "-columns", "2", "-sample", ">= | x"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-db", "mondial", "-columns", "2", "-sample", ">= | x"}, &out); err == nil {
 		t.Error("bad constraint cell should fail")
 	}
-	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, &out); err == nil {
 		t.Error("unknown flag should fail")
 	}
-	if err := run([]string{
+	if err := run(context.Background(), []string{
 		"-db", "mondial", "-columns", "2",
 		"-sample", "Lake Tahoe | California",
 		"-explain", "nonsense",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 10})
+	report, err := eng.Discover(context.Background(), spec, prism.Options{IncludeResults: true, ResultLimit: 10})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	eng, err := prism.OpenDataset("imdb")
+	eng, err := prism.Open("imdb")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 8})
+	report, err := eng.Discover(context.Background(), spec, prism.Options{IncludeResults: true, ResultLimit: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,7 @@ import (
 )
 
 func main() {
-	eng, err := prism.OpenDataset("nba")
+	eng, err := prism.Open("nba")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 5, MaxResults: 6})
+	report, err := eng.Discover(context.Background(), spec, prism.Options{IncludeResults: true, ResultLimit: 5, MaxResults: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 func main() {
 	// 1. Configuration: pick the Mondial source database (built
 	//    synthetically, with the rows the walkthrough relies on).
-	eng, err := prism.OpenDataset("mondial")
+	eng, err := prism.Open("mondial")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,8 +35,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Start searching (the demo's 60-second budget is the default).
-	report, err := eng.Discover(spec, prism.Options{IncludeResults: true, ResultLimit: 5})
+	// 3. Start searching (the demo's 60-second budget is the default). The
+	//    context cancels the round early if the program is interrupted.
+	report, err := eng.Discover(context.Background(), spec, prism.Options{IncludeResults: true, ResultLimit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,10 +16,10 @@ import (
 )
 
 func main() {
-	eng, err := prism.OpenMondial(prism.MondialConfig{
+	eng, err := prism.Open("mondial", prism.WithMondialConfig(prism.MondialConfig{
 		Seed: 7, Countries: 6, ProvincesPerCountry: 4, CitiesPerProvince: 3,
 		Lakes: 60, Rivers: 40, Mountains: 25,
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,8 @@ func main() {
 	for _, policy := range []prism.Policy{
 		prism.PolicyOracle, prism.PolicyBayes, prism.PolicyPathLength, prism.PolicyRandom,
 	} {
-		report, err := eng.Discover(spec, prism.Options{Policy: policy})
+		// Parallelism 1 keeps validation counts comparable across policies.
+		report, err := eng.Discover(context.Background(), spec, prism.Options{Policy: policy, Parallelism: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,64 @@
+// Streaming: consume a discovery round incrementally — the interactive
+// experience the paper's demo is about. Mappings print the moment the
+// scheduler confirms them, progress ticks while validation runs, and the
+// whole round is abandoned early once three mappings are in hand, which
+// cancels any in-flight filter validations.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"prism"
+)
+
+func main() {
+	eng, err := prism.Open("mondial")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := prism.ParseConstraints(3,
+		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const wanted = 3
+	mappings := 0
+	for ev := range eng.DiscoverStream(ctx, spec, prism.Options{}) {
+		switch ev.Kind {
+		case prism.EventCandidates:
+			fmt.Printf("enumerated %d candidate queries\n", ev.Progress.CandidatesEnumerated)
+		case prism.EventFilters:
+			fmt.Printf("decomposed into %d filters, validating...\n", ev.Progress.FiltersGenerated)
+		case prism.EventMapping:
+			mappings++
+			if mappings > wanted {
+				// Mappings emitted into the stream buffer before the
+				// cancellation landed; ignore them.
+				continue
+			}
+			fmt.Printf("mapping %d (validation %d): %s\n",
+				mappings, ev.Progress.Validations, ev.Mapping.SQL)
+			if mappings == wanted {
+				// Enough: abandon the rest of the round mid-validation.
+				fmt.Println("got enough, cancelling the round...")
+				cancel()
+			}
+		case prism.EventDone:
+			if ev.Err != nil && !errors.Is(ev.Err, context.Canceled) {
+				log.Fatal(ev.Err)
+			}
+			fmt.Printf("round over: %s\n", ev.Report.Summary())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module prism
+
+go 1.24

@@ -6,7 +6,10 @@
 package discovery
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -60,6 +63,13 @@ type Options struct {
 	ResultLimit int
 	// MaxResults caps the number of final mappings returned (0 = all).
 	MaxResults int
+	// Parallelism bounds the number of filter validations kept in flight
+	// concurrently during the validation phase — the hot path of a round.
+	// The default is runtime.GOMAXPROCS(0); 1 reproduces the paper's
+	// sequential greedy loop exactly. The final mapping set is identical at
+	// every parallelism level because filter outcomes are ground truths of
+	// the database, independent of validation order.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +90,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ResultLimit <= 0 {
 		o.ResultLimit = 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -113,11 +126,22 @@ type Report struct {
 	Validations int
 	Implied     int
 	Cost        mem.ExecStats
+	// CandidatesConfirmed and CandidatesPruned count candidate resolutions;
+	// CandidatesConfirmed can exceed len(Mappings) when MaxResults truncates
+	// the report.
+	CandidatesConfirmed int
+	CandidatesPruned    int
 	// Policy names the scheduling policy used.
 	Policy string
+	// Parallelism is the validation parallelism the round ran with.
+	Parallelism int
 	// TimedOut reports whether the round hit the time limit before
 	// resolving every candidate (the paper reports this as a failure).
 	TimedOut bool
+	// Cancelled reports whether the round's context was cancelled before
+	// resolving every candidate; the report then covers the work done up to
+	// the cancellation.
+	Cancelled bool
 	// Elapsed is the wall-clock duration of the round.
 	Elapsed time.Duration
 }
@@ -126,6 +150,9 @@ type Report struct {
 // succeeded), mirroring the paper's behaviour of reporting a failure on
 // timeout.
 func (r *Report) Failure() string {
+	if r.Cancelled {
+		return "discovery was cancelled before resolving every candidate query"
+	}
 	if r.TimedOut {
 		return "discovery timed out before resolving every candidate query"
 	}
@@ -184,17 +211,119 @@ func (e *Engine) RelatedColumns(spec *constraint.Spec) ([][]schema.ColumnRef, er
 
 // Discover runs one discovery round: it synthesizes every Project-Join
 // schema mapping query satisfying the specification, within the options'
-// search bounds and time budget.
-func (e *Engine) Discover(spec *constraint.Spec, opts Options) (*Report, error) {
+// search bounds and time budget. Cancelling ctx aborts the round
+// mid-validation; the partial report accumulated so far is returned
+// together with ctx.Err().
+func (e *Engine) Discover(ctx context.Context, spec *constraint.Spec, opts Options) (*Report, error) {
+	return e.run(ctx, spec, opts, nil)
+}
+
+// streamBuffer sizes the event channel of DiscoverStream: deep enough that
+// a briefly busy consumer drops nothing, small enough to bound memory.
+const streamBuffer = 64
+
+// DiscoverStream runs one discovery round incrementally: it returns a
+// channel that yields phase events, validation progress, and every
+// confirmed Mapping as soon as the scheduler resolves its candidate —
+// before the round completes. The stream always ends with one EventDone
+// carrying the final (or partial) Report and the round error, after which
+// the channel is closed.
+//
+// Consumers should receive until the channel closes. Cancelling ctx stops
+// the round promptly; the producing goroutine never leaks: once ctx is
+// done, pending event sends are abandoned and the channel is closed. A
+// consumer that keeps draining after cancelling still receives the final
+// EventDone with the partial report in all but pathological cases (it is
+// delivered without blocking whenever buffer space remains).
+//
+// Mappings are streamed in confirmation order, while the final report
+// sorts them simplest-first — so when MaxResults truncates a round, the
+// streamed subset and Report.Mappings may select different mappings.
+// Consumers that care about the canonical result set should read it from
+// the EventDone report.
+func (e *Engine) DiscoverStream(ctx context.Context, spec *constraint.Spec, opts Options) <-chan Event {
+	ch := make(chan Event, streamBuffer)
+	go func() {
+		defer close(ch)
+		emit := func(ev Event) {
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+			}
+		}
+		report, err := e.run(ctx, spec, opts, emit)
+		done := Event{Kind: EventDone, Report: report, Err: err, Progress: report.progress()}
+		select {
+		case ch <- done:
+		default:
+			emit(done)
+		}
+	}()
+	return ch
+}
+
+// progress summarises a report as a Progress snapshot (used for events
+// emitted outside the scheduler, where no live Snapshot exists).
+func (r *Report) progress() Progress {
+	return Progress{
+		CandidatesEnumerated: r.CandidatesEnumerated,
+		FiltersGenerated:     r.FiltersGenerated,
+		Validations:          r.Validations,
+		Implied:              r.Implied,
+		Confirmed:            r.CandidatesConfirmed,
+		Pruned:               r.CandidatesPruned,
+		Unresolved:           r.CandidatesEnumerated - r.CandidatesConfirmed - r.CandidatesPruned,
+		Elapsed:              r.Elapsed,
+	}
+}
+
+// errTimeBudget is the cancellation cause installed on the round context
+// when Options.TimeLimit expires; it distinguishes budget exhaustion (a
+// clean paper-style timeout) from caller cancellation.
+var errTimeBudget = errors.New("discovery: time budget exhausted")
+
+// run is the shared implementation of Discover and DiscoverStream; emit is
+// nil for the non-streaming path.
+func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event)) (*Report, error) {
 	opts = opts.withDefaults()
-	report := &Report{Spec: spec, Policy: string(opts.Policy)}
+	report := &Report{Spec: spec, Policy: string(opts.Policy), Parallelism: opts.Parallelism}
 	start := time.Now()
 	defer func() { report.Elapsed = time.Since(start) }()
 
+	// The time budget bounds the whole round — including candidate
+	// enumeration and filter decomposition, not just the validation loop —
+	// via a context deadline. Skipped when a test clock is injected, since
+	// a synthetic clock cannot drive a real deadline.
+	if opts.TimeLimit > 0 && opts.Now == nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadlineCause(ctx, start.Add(opts.TimeLimit), errTimeBudget)
+		defer cancel()
+	}
+	// interrupted classifies a dead round context: budget exhaustion ends
+	// the round cleanly as a timeout (nil error, partial report); anything
+	// else is caller cancellation and surfaces ctx's error.
+	interrupted := func() (error, bool) {
+		if ctx.Err() == nil {
+			return nil, false
+		}
+		if errors.Is(context.Cause(ctx), errTimeBudget) {
+			report.TimedOut = true
+			return nil, true
+		}
+		report.Cancelled = true
+		return ctx.Err(), true
+	}
+
+	if err, dead := interrupted(); dead {
+		return report, err
+	}
 	related, err := e.RelatedColumns(spec)
 	report.Related = related
 	if err != nil {
 		return report, err
+	}
+	if emit != nil {
+		emit(Event{Kind: EventRelated, Related: related})
 	}
 
 	candidates, err := graphx.Enumerate(e.graph, related, graphx.EnumerateOptions{
@@ -209,34 +338,129 @@ func (e *Engine) Discover(spec *constraint.Spec, opts Options) (*Report, error) 
 	if len(candidates) == 0 {
 		return report, fmt.Errorf("discovery: no candidate schema mapping queries connect the related columns")
 	}
+	if emit != nil {
+		emit(Event{Kind: EventCandidates, Progress: Progress{
+			CandidatesEnumerated: len(candidates),
+			Unresolved:           len(candidates),
+		}})
+	}
 
-	set := filter.Decompose(candidates)
-	report.FiltersGenerated = set.NumFilters()
-
-	estimator, err := e.estimator(opts, spec, set)
+	set, err := filter.DecomposeContext(ctx, candidates)
 	if err != nil {
+		err, _ := interrupted()
 		return report, err
+	}
+	report.FiltersGenerated = set.NumFilters()
+	if emit != nil {
+		emit(Event{Kind: EventFilters, Progress: Progress{
+			CandidatesEnumerated: len(candidates),
+			FiltersGenerated:     set.NumFilters(),
+			Unresolved:           len(candidates),
+		}})
+	}
+
+	estimator, err := e.estimator(ctx, opts, spec, set)
+	if err != nil {
+		if err2, dead := interrupted(); dead {
+			return report, err2
+		}
+		return report, err
+	}
+
+	// Mappings are assembled lazily and cached so the streaming path and the
+	// final report share one execution of each confirmed candidate. Once the
+	// round context is dead, result previews are no longer executed — the
+	// partial report keeps every confirmed mapping's SQL (plus any previews
+	// already built), and cancellation latency stays bounded by the
+	// in-flight work, not by MaxResults preview queries.
+	built := make(map[int]*Mapping)
+	var buildErr error
+	buildMapping := func(ci int) *Mapping {
+		if m, ok := built[ci]; ok {
+			return m
+		}
+		cand := set.Candidates[ci]
+		plan := cand.Plan()
+		plan.Distinct = true
+		m := &Mapping{Candidate: cand, Plan: plan, SQL: sqlgen.Generate(plan)}
+		if opts.IncludeResults && ctx.Err() == nil {
+			result, err := e.db.ExecuteWith(plan, mem.ExecOptions{Limit: opts.ResultLimit})
+			if err != nil {
+				if buildErr == nil {
+					buildErr = fmt.Errorf("discovery: executing final mapping %s: %w", m.SQL, err)
+				}
+				return nil
+			}
+			m.Result = result
+		}
+		built[ci] = m
+		return m
+	}
+
+	progressOf := func(s sched.Snapshot) Progress {
+		return Progress{
+			CandidatesEnumerated: len(candidates),
+			FiltersGenerated:     set.NumFilters(),
+			Validations:          s.Validations,
+			Implied:              s.Implied,
+			Confirmed:            s.Confirmed,
+			Pruned:               s.Pruned,
+			Unresolved:           s.Unresolved,
+			Elapsed:              s.Elapsed,
+			TimeRemaining:        s.Remaining,
+		}
+	}
+	schedOpts := sched.Options{
+		TimeLimit:   opts.TimeLimit,
+		Now:         opts.Now,
+		Parallelism: opts.Parallelism,
+	}
+	if emit != nil {
+		streamed := 0
+		schedOpts.OnResolved = func(ci int, confirmed bool, s sched.Snapshot) {
+			if !confirmed || buildErr != nil {
+				return
+			}
+			if opts.MaxResults > 0 && streamed >= opts.MaxResults {
+				return
+			}
+			m := buildMapping(ci)
+			if m == nil {
+				return
+			}
+			streamed++
+			emit(Event{Kind: EventMapping, Mapping: m, Progress: progressOf(s)})
+		}
+		schedOpts.OnProgress = func(s sched.Snapshot) {
+			emit(Event{Kind: EventProgress, Progress: progressOf(s)})
+		}
 	}
 	runner := &sched.Runner{
 		DB:        e.db,
 		Spec:      spec,
 		Set:       set,
 		Estimator: estimator,
-		Options: sched.Options{
-			TimeLimit: opts.TimeLimit,
-			Now:       opts.Now,
-		},
+		Options:   schedOpts,
 	}
-	res, err := runner.Run()
-	if err != nil {
-		return report, fmt.Errorf("discovery: %w", err)
-	}
+	res, err := runner.RunContext(ctx)
 	report.Validations = res.Validations
 	report.Implied = res.Implied
 	report.Cost = res.Cost
-	report.TimedOut = res.TimedOut
+	report.CandidatesConfirmed = len(res.Confirmed)
+	report.CandidatesPruned = len(res.Pruned)
+	report.TimedOut = report.TimedOut || res.TimedOut
+	if err != nil {
+		if res.Cancelled {
+			// Classify: our own budget deadline ends the round as a clean
+			// timeout; caller cancellation surfaces ctx's error.
+			err, _ = interrupted()
+		} else {
+			err = fmt.Errorf("discovery: %w", err)
+		}
+	}
 
-	// Assemble final mappings, simplest (fewest tables) first.
+	// Assemble final mappings, simplest (fewest tables) first — also after
+	// cancellation or timeout, so interrupted rounds report partial results.
 	confirmed := append([]int(nil), res.Confirmed...)
 	sort.Slice(confirmed, func(i, j int) bool {
 		a, b := set.Candidates[confirmed[i]], set.Candidates[confirmed[j]]
@@ -249,24 +473,23 @@ func (e *Engine) Discover(spec *constraint.Spec, opts Options) (*Report, error) 
 		if opts.MaxResults > 0 && len(report.Mappings) >= opts.MaxResults {
 			break
 		}
-		cand := set.Candidates[ci]
-		plan := cand.Plan()
-		plan.Distinct = true
-		m := Mapping{Candidate: cand, Plan: plan, SQL: sqlgen.Generate(plan)}
-		if opts.IncludeResults {
-			result, err := e.db.ExecuteWith(plan, mem.ExecOptions{Limit: opts.ResultLimit})
-			if err != nil {
-				return report, fmt.Errorf("discovery: executing final mapping %s: %w", m.SQL, err)
-			}
-			m.Result = result
+		m := buildMapping(ci)
+		if m == nil {
+			break
 		}
-		report.Mappings = append(report.Mappings, m)
+		report.Mappings = append(report.Mappings, *m)
+	}
+	if err != nil {
+		return report, err
+	}
+	if buildErr != nil {
+		return report, buildErr
 	}
 	return report, nil
 }
 
 // estimator builds the scheduling estimator named by the options.
-func (e *Engine) estimator(opts Options, spec *constraint.Spec, set *filter.Set) (sched.Estimator, error) {
+func (e *Engine) estimator(ctx context.Context, opts Options, spec *constraint.Spec, set *filter.Set) (sched.Estimator, error) {
 	switch opts.Policy {
 	case PolicyBayes:
 		return &sched.BayesEstimator{Model: e.model, Spec: spec}, nil
@@ -275,7 +498,7 @@ func (e *Engine) estimator(opts Options, spec *constraint.Spec, set *filter.Set)
 	case PolicyRandom:
 		return &sched.RandomEstimator{Seed: opts.RandomSeed}, nil
 	case PolicyOracle:
-		truth, err := sched.GroundTruth(e.db, spec, set)
+		truth, err := sched.GroundTruthContext(ctx, e.db, spec, set)
 		if err != nil {
 			return nil, fmt.Errorf("discovery: computing oracle ground truth: %w", err)
 		}
@@ -290,7 +513,12 @@ func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "policy=%s candidates=%d filters=%d validations=%d (+%d implied) mappings=%d elapsed=%s",
 		r.Policy, r.CandidatesEnumerated, r.FiltersGenerated, r.Validations, r.Implied, len(r.Mappings), r.Elapsed.Round(time.Millisecond))
-	if r.TimedOut {
+	if r.Parallelism > 1 {
+		fmt.Fprintf(&b, " parallelism=%d", r.Parallelism)
+	}
+	if r.Cancelled {
+		b.WriteString(" CANCELLED")
+	} else if r.TimedOut {
 		b.WriteString(" TIMED OUT")
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -86,7 +87,7 @@ func TestRelatedColumnsNoMatch(t *testing.T) {
 
 func TestDiscoverPaperExample(t *testing.T) {
 	e := NewEngine(smallMondial(t))
-	report, err := e.Discover(paperSpec(t), Options{IncludeResults: true, ResultLimit: 5})
+	report, err := e.Discover(context.Background(), paperSpec(t), Options{IncludeResults: true, ResultLimit: 5})
 	if err != nil {
 		t.Fatalf("Discover: %v", err)
 	}
@@ -132,7 +133,7 @@ func TestDiscoverPaperExample(t *testing.T) {
 func TestDiscoverEveryMappingSatisfiesSpec(t *testing.T) {
 	e := NewEngine(smallMondial(t))
 	spec := paperSpec(t)
-	report, err := e.Discover(spec, Options{})
+	report, err := e.Discover(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestDiscoverPolicies(t *testing.T) {
 	spec := paperSpec(t)
 	var counts []int
 	for _, policy := range []Policy{PolicyBayes, PolicyPathLength, PolicyRandom, PolicyOracle} {
-		report, err := e.Discover(spec, Options{Policy: policy})
+		report, err := e.Discover(context.Background(), spec, Options{Policy: policy})
 		if err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
@@ -172,7 +173,7 @@ func TestDiscoverPolicies(t *testing.T) {
 
 func TestDiscoverUnknownPolicy(t *testing.T) {
 	e := NewEngine(smallMondial(t))
-	if _, err := e.Discover(paperSpec(t), Options{Policy: Policy("nonsense")}); err == nil {
+	if _, err := e.Discover(context.Background(), paperSpec(t), Options{Policy: Policy("nonsense")}); err == nil {
 		t.Error("unknown policy should fail")
 	}
 }
@@ -185,7 +186,7 @@ func TestDiscoverTimeLimit(t *testing.T) {
 		calls++
 		return fake.Add(time.Duration(calls) * 45 * time.Second)
 	}
-	report, err := e.Discover(paperSpec(t), Options{TimeLimit: 60 * time.Second, Now: now})
+	report, err := e.Discover(context.Background(), paperSpec(t), Options{TimeLimit: 60 * time.Second, Now: now})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestDiscoverTimeLimit(t *testing.T) {
 
 func TestDiscoverNoTimeLimit(t *testing.T) {
 	e := NewEngine(smallMondial(t))
-	report, err := e.Discover(paperSpec(t), Options{TimeLimit: -1})
+	report, err := e.Discover(context.Background(), paperSpec(t), Options{TimeLimit: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +211,14 @@ func TestDiscoverNoTimeLimit(t *testing.T) {
 
 func TestDiscoverMaxResults(t *testing.T) {
 	e := NewEngine(smallMondial(t))
-	full, err := e.Discover(paperSpec(t), Options{})
+	full, err := e.Discover(context.Background(), paperSpec(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(full.Mappings) < 2 {
 		t.Skip("need at least two mappings to test truncation")
 	}
-	capped, err := e.Discover(paperSpec(t), Options{MaxResults: 1})
+	capped, err := e.Discover(context.Background(), paperSpec(t), Options{MaxResults: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestDiscoverMetadataOnlySpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.Discover(spec, Options{})
+	report, err := e.Discover(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatalf("metadata-only discovery failed: %v", err)
 	}
@@ -265,7 +266,7 @@ func TestDiscoverMultipleSamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := e.Discover(spec, Options{})
+	report, err := e.Discover(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func BenchmarkDiscoverPaperExample(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Discover(spec, Options{}); err != nil {
+		if _, err := e.Discover(context.Background(), spec, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

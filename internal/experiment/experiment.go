@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -108,6 +109,10 @@ type Config struct {
 	// MaxTables bounds candidate join trees (default 3 to keep the
 	// experiment suite fast; the library default is 4).
 	MaxTables int
+	// Parallelism bounds concurrent filter validations per round (default
+	// 1, the sequential loop, so validation counts stay exactly
+	// reproducible across machines).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +139,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTables <= 0 {
 		c.MaxTables = 3
+	}
+	if c.Parallelism <= 0 {
+		// Sequential by default so validation counts stay exactly
+		// reproducible across machines.
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -176,17 +186,21 @@ type levelMetrics struct {
 	mappings    int
 }
 
-func (r *Runner) sweepLevel(level workload.Level) (levelMetrics, error) {
+func (r *Runner) sweepLevel(ctx context.Context, level workload.Level) (levelMetrics, error) {
 	var m levelMetrics
 	cases, err := r.Gen.Generate(level, r.Config.CasesPerLevel, workload.Config{SamplesPerCase: r.Config.SamplesPerCase})
 	if err != nil {
 		return m, err
 	}
 	for _, tc := range cases {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		m.cases++
-		report, err := r.Engine.Discover(tc.Spec, discovery.Options{
-			TimeLimit: r.Config.TimeLimit,
-			MaxTables: r.Config.MaxTables,
+		report, err := r.Engine.Discover(ctx, tc.Spec, discovery.Options{
+			TimeLimit:   r.Config.TimeLimit,
+			MaxTables:   r.Config.MaxTables,
+			Parallelism: r.Config.Parallelism,
 		})
 		if err != nil {
 			m.failures++
@@ -206,7 +220,7 @@ func (r *Runner) sweepLevel(level workload.Level) (levelMetrics, error) {
 // RunE1 regenerates the execution-time-vs-resolution series: the paper's
 // claim that overall execution time does not grow significantly as user
 // constraints become loose.
-func (r *Runner) RunE1() (*Table, error) {
+func (r *Runner) RunE1(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Discovery effort as constraints become looser (synthetic Mondial)",
@@ -216,7 +230,7 @@ func (r *Runner) RunE1() (*Table, error) {
 		},
 	}
 	for _, level := range workload.Levels() {
-		m, err := r.sweepLevel(level)
+		m, err := r.sweepLevel(ctx, level)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +254,7 @@ func (r *Runner) RunE1() (*Table, error) {
 // RunE2 regenerates the result-set-size-vs-resolution series: the paper's
 // claim that the number of satisfying schema mapping queries does not
 // increase much, except when many cells are missing.
-func (r *Runner) RunE2() (*Table, error) {
+func (r *Runner) RunE2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Number of satisfying schema mapping queries as constraints become looser",
@@ -250,7 +264,7 @@ func (r *Runner) RunE2() (*Table, error) {
 		},
 	}
 	for _, level := range workload.Levels() {
-		m, err := r.sweepLevel(level)
+		m, err := r.sweepLevel(ctx, level)
 		if err != nil {
 			return nil, err
 		}
@@ -273,7 +287,7 @@ func (r *Runner) RunE2() (*Table, error) {
 // the Filter baseline, by Prism's Bayesian scheduling, by a random order,
 // and by the (greedy) optimum, plus the gap reduction the paper reports
 // (up to ~70%, ~30% on average).
-func (r *Runner) RunE3() (*Table, error) {
+func (r *Runner) RunE3(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:    "E3",
 		Title: "Filter validations per scheduling policy (gap to optimum)",
@@ -307,7 +321,10 @@ func (r *Runner) RunE3() (*Table, error) {
 	var sumReduction, maxReduction float64
 	counted := 0
 	for _, tc := range cases {
-		row, reduction, err := r.scheduleCase(tc)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, reduction, err := r.scheduleCase(ctx, tc)
 		if err != nil {
 			// Cases whose constraints cannot be matched (rare) are skipped.
 			continue
@@ -334,7 +351,7 @@ func (r *Runner) RunE3() (*Table, error) {
 
 // scheduleCase runs the three policies on one test case and returns the
 // table row plus the bayes-vs-pathlength gap reduction.
-func (r *Runner) scheduleCase(tc workload.TestCase) ([]string, float64, error) {
+func (r *Runner) scheduleCase(ctx context.Context, tc workload.TestCase) ([]string, float64, error) {
 	related, err := r.Engine.RelatedColumns(tc.Spec)
 	if err != nil {
 		return nil, 0, err
@@ -350,7 +367,7 @@ func (r *Runner) scheduleCase(tc workload.TestCase) ([]string, float64, error) {
 		return nil, 0, err
 	}
 	set := filter.Decompose(cands)
-	truth, err := sched.GroundTruth(r.DB, tc.Spec, set)
+	truth, err := sched.GroundTruthContext(ctx, r.DB, tc.Spec, set)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -358,8 +375,11 @@ func (r *Runner) scheduleCase(tc workload.TestCase) ([]string, float64, error) {
 
 	run := func(est sched.Estimator) (int, error) {
 		runner := &sched.Runner{DB: r.DB, Spec: tc.Spec, Set: set, Estimator: est,
-			Options: sched.Options{TimeLimit: r.Config.TimeLimit}}
-		res, err := runner.Run()
+			Options: sched.Options{
+				TimeLimit:   r.Config.TimeLimit,
+				Parallelism: r.Config.Parallelism,
+			}}
+		res, err := runner.RunContext(ctx)
 		if err != nil {
 			return 0, err
 		}
@@ -392,7 +412,7 @@ func (r *Runner) scheduleCase(tc workload.TestCase) ([]string, float64, error) {
 
 // RunTable1 reproduces the paper's running example: the §3 constraints over
 // Mondial, the discovered SQL (the paper's §1 query), and the Table 1 rows.
-func (r *Runner) RunTable1() (*Table, error) {
+func (r *Runner) RunTable1(ctx context.Context) (*Table, error) {
 	spec, err := constraint.ParseGrid(3,
 		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
 		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"},
@@ -400,9 +420,10 @@ func (r *Runner) RunTable1() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	report, err := r.Engine.Discover(spec, discovery.Options{
+	report, err := r.Engine.Discover(ctx, spec, discovery.Options{
 		TimeLimit:      r.Config.TimeLimit,
 		MaxTables:      r.Config.MaxTables,
+		Parallelism:    r.Config.Parallelism,
 		IncludeResults: true,
 		ResultLimit:    5,
 	})
@@ -443,10 +464,10 @@ func (r *Runner) RunTable1() (*Table, error) {
 }
 
 // RunAll regenerates every evaluation artefact.
-func (r *Runner) RunAll() ([]*Table, error) {
+func (r *Runner) RunAll(ctx context.Context) ([]*Table, error) {
 	var out []*Table
-	for _, f := range []func() (*Table, error){r.RunTable1, r.RunE1, r.RunE2, r.RunE3} {
-		t, err := f()
+	for _, f := range []func(context.Context) (*Table, error){r.RunTable1, r.RunE1, r.RunE2, r.RunE3} {
+		t, err := f(ctx)
 		if err != nil {
 			return out, err
 		}

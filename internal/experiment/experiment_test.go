@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func TestNewRunnerDefaults(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	r := newRunner(t)
-	table, err := r.RunTable1()
+	table, err := r.RunTable1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunE1ShapeMatchesPaper(t *testing.T) {
 	r := newRunner(t)
-	table, err := r.RunE1()
+	table, err := r.RunE1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestRunE1ShapeMatchesPaper(t *testing.T) {
 
 func TestRunE2ShapeMatchesPaper(t *testing.T) {
 	r := newRunner(t)
-	table, err := r.RunE2()
+	table, err := r.RunE2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestRunE2ShapeMatchesPaper(t *testing.T) {
 
 func TestRunE3ShapeMatchesPaper(t *testing.T) {
 	r := newRunner(t)
-	table, err := r.RunE3()
+	table, err := r.RunE3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestRunE3ShapeMatchesPaper(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	r := newRunner(t)
-	tables, err := r.RunAll()
+	tables, err := r.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func BenchmarkRunTable1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunTable1(); err != nil {
+		if _, err := r.RunTable1(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,7 +233,7 @@ func BenchmarkRunE3(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunE3(); err != nil {
+		if _, err := r.RunE3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,8 @@
 package filter
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -153,6 +155,14 @@ func (s *Set) CandidatesOf(i int) []int { return s.candidatesOf[i] }
 // subtree of each candidate's join tree that hosts at least one projected
 // column becomes a filter, deduplicated across candidates.
 func Decompose(candidates []graphx.Candidate) *Set {
+	s, _ := DecomposeContext(context.Background(), candidates)
+	return s
+}
+
+// DecomposeContext is Decompose under a context. The dependency relation is
+// quadratic in the number of filters — tens of seconds on wide candidate
+// sets — so cancellation is checked throughout and aborts with ctx.Err().
+func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set, error) {
 	s := &Set{
 		Candidates:       candidates,
 		CandidateFilters: make([][]int, len(candidates)),
@@ -161,6 +171,9 @@ func Decompose(candidates []graphx.Candidate) *Set {
 	index := make(map[string]int)
 
 	for ci, cand := range candidates {
+		if ci%64 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		subtrees := enumerateSubtrees(cand.Tree)
 		candFilterSet := make(map[int]struct{})
 		for _, sub := range subtrees {
@@ -213,6 +226,9 @@ func Decompose(candidates []graphx.Candidate) *Set {
 	s.parents = make([][]int, len(s.Filters))
 	s.children = make([][]int, len(s.Filters))
 	for i := range s.Filters {
+		if i%16 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		for j := range s.Filters {
 			if i == j {
 				continue
@@ -223,7 +239,7 @@ func Decompose(candidates []graphx.Candidate) *Set {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // isSubFilter reports whether a is contained in b.
@@ -332,11 +348,21 @@ type Validator struct {
 	MaxIntermediate int
 }
 
-// Validate executes the filter: for every sample constraint there must be a
-// result tuple of the filter's plan matching the sample's cells restricted
-// to the covered target columns. Samples with no constrained covered cells
-// still require the sub-join to be non-empty.
+// Validate executes the filter without cancellation; it is shorthand for
+// ValidateContext with a background context.
 func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
+	return v.ValidateContext(context.Background(), f)
+}
+
+// ValidateContext executes the filter: for every sample constraint there
+// must be a result tuple of the filter's plan matching the sample's cells
+// restricted to the covered target columns. Samples with no constrained
+// covered cells still require the sub-join to be non-empty.
+//
+// Cancelling ctx aborts the validation mid-execution (between samples and
+// inside the row-processing loops of the in-memory executor) and returns
+// ctx.Err().
+func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationResult, error) {
 	plan := f.Plan()
 	var total mem.ExecStats
 	samples := v.Spec.Samples
@@ -344,7 +370,13 @@ func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
 		samples = []constraint.SampleConstraint{{Cells: make([]lang.ValueExpr, v.Spec.NumColumns)}}
 	}
 	for _, sample := range samples {
-		opts := mem.ExecOptions{MaxIntermediate: v.MaxIntermediate}
+		if err := ctx.Err(); err != nil {
+			return ValidationResult{Cost: total}, err
+		}
+		opts := mem.ExecOptions{
+			MaxIntermediate: v.MaxIntermediate,
+			Interrupt:       func() bool { return ctx.Err() != nil },
+		}
 		// Push single-column predicates down to base scans.
 		for i, tc := range f.TargetCols {
 			if tc >= len(sample.Cells) || sample.Cells[tc] == nil {
@@ -366,6 +398,9 @@ func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
 		ok, stats, err := v.DB.Exists(plan, opts)
 		total.Add(stats)
 		if err != nil {
+			if errors.Is(err, mem.ErrInterrupted) && ctx.Err() != nil {
+				return ValidationResult{Cost: total}, ctx.Err()
+			}
 			return ValidationResult{Cost: total}, fmt.Errorf("filter: validating %s: %w", f, err)
 		}
 		if !ok {

@@ -144,6 +144,34 @@ type ExecOptions struct {
 	// MaxIntermediate aborts execution when an intermediate relation exceeds
 	// this many tuples (0 = unlimited); a guard for runaway joins.
 	MaxIntermediate int
+	// Interrupt, when non-nil, is polled periodically during execution;
+	// returning true aborts the run with ErrInterrupted. It is how context
+	// cancellation reaches the row-processing loops without the executor
+	// depending on context directly.
+	Interrupt func() bool
+}
+
+// ErrInterrupted is returned by ExecuteWith when ExecOptions.Interrupt
+// reports that execution should stop (typically a cancelled context).
+var ErrInterrupted = errors.New("mem: execution interrupted")
+
+// interruptEvery bounds how many row-loop iterations run between Interrupt
+// polls; small enough that cancellation lands promptly, large enough that
+// the poll is free on the hot path.
+const interruptEvery = 1024
+
+// interruptChecker wraps ExecOptions.Interrupt with the polling cadence.
+type interruptChecker struct {
+	fn    func() bool
+	steps int
+}
+
+func (c *interruptChecker) hit() bool {
+	if c.fn == nil {
+		return false
+	}
+	c.steps++
+	return c.steps%interruptEvery == 0 && c.fn()
 }
 
 // ExecStats reports work performed by one execution; the filter-scheduling
@@ -263,6 +291,7 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		return nil, err
 	}
 	var stats ExecStats
+	interrupt := &interruptChecker{fn: opts.Interrupt}
 
 	// Group pushed-down predicates by table.
 	predsByTable := make(map[string][]ColumnPredicate)
@@ -278,6 +307,9 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		preds := predsByTable[key]
 		rows := make([]value.Tuple, 0, len(rel.Rows))
 		for _, row := range rel.Rows {
+			if interrupt.hit() {
+				return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
+			}
 			stats.RowsScanned++
 			keep := true
 			for _, cp := range preds {
@@ -364,6 +396,9 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		// Probe.
 		var out []value.Tuple
 		for _, left := range im.rows {
+			if interrupt.hit() {
+				return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
+			}
 			v := left[off]
 			if v.IsNull() {
 				continue
@@ -451,6 +486,9 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		dedup = make(map[string]struct{})
 	}
 	for _, row := range im.rows {
+		if interrupt.hit() {
+			return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
+		}
 		proj := make(value.Tuple, len(offsets))
 		for i, off := range offsets {
 			proj[i] = row[off]

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestRunContextParallelMatchesSequential(t *testing.T) {
+	fx := newFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, est := range estimators(fx, truth) {
+		var reference []int
+		for _, p := range []int{1, 2, 4, 8} {
+			runner := &Runner{
+				DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est,
+				Options: Options{Parallelism: p},
+			}
+			res, err := runner.RunContext(context.Background())
+			if err != nil {
+				t.Fatalf("%s/p%d: %v", key, p, err)
+			}
+			if len(res.Confirmed)+len(res.Pruned) != fx.set.NumCandidates() {
+				t.Errorf("%s/p%d: resolved %d+%d of %d candidates",
+					key, p, len(res.Confirmed), len(res.Pruned), fx.set.NumCandidates())
+			}
+			confirmed := append([]int(nil), res.Confirmed...)
+			sort.Ints(confirmed)
+			if reference == nil {
+				reference = confirmed
+				continue
+			}
+			if len(confirmed) != len(reference) {
+				t.Fatalf("%s/p%d: %d confirmed, want %d", key, p, len(confirmed), len(reference))
+			}
+			for i := range confirmed {
+				if confirmed[i] != reference[i] {
+					t.Errorf("%s/p%d: confirmed set diverged", key, p)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	fx := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from the scheduler's own clock so the run is guaranteed to be
+	// inside the validation loop when the context dies (the clock is
+	// consulted once per iteration while a time limit is armed).
+	calls := 0
+	now := func() time.Time {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return time.Now()
+	}
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Now: now, TimeLimit: time.Hour, Parallelism: 2},
+	}
+	res, err := runner.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !res.Cancelled {
+		t.Error("result should be marked cancelled")
+	}
+	if res.TimedOut {
+		t.Error("cancellation is not a timeout")
+	}
+	if len(res.Confirmed)+len(res.Pruned) == fx.set.NumCandidates() && res.Validations == 0 {
+		t.Error("result should reflect a partial run")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	fx := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runner := &Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: &PathLengthEstimator{}}
+	res, err := runner.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Validations != 0 {
+		t.Errorf("pre-cancelled run executed %d validations", res.Validations)
+	}
+}
+
+func TestRunContextCallbacks(t *testing.T) {
+	fx := newFixture(t)
+	resolved := map[int]bool{}
+	confirmedCount := 0
+	progressCalls := 0
+	var lastSnap Snapshot
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options: Options{
+			OnResolved: func(ci int, confirmed bool, s Snapshot) {
+				if resolved[ci] {
+					t.Errorf("candidate %d resolved twice", ci)
+				}
+				resolved[ci] = true
+				if confirmed {
+					confirmedCount++
+				}
+				if s.Confirmed+s.Pruned == 0 {
+					t.Error("snapshot should reflect the resolution")
+				}
+			},
+			OnProgress: func(s Snapshot) {
+				progressCalls++
+				lastSnap = s
+			},
+		},
+	}
+	res, err := runner.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved) != fx.set.NumCandidates() {
+		t.Errorf("OnResolved covered %d of %d candidates", len(resolved), fx.set.NumCandidates())
+	}
+	if confirmedCount != len(res.Confirmed) {
+		t.Errorf("OnResolved reported %d confirmations, result has %d", confirmedCount, len(res.Confirmed))
+	}
+	if progressCalls != res.Validations {
+		t.Errorf("OnProgress called %d times for %d validations", progressCalls, res.Validations)
+	}
+	if lastSnap.Unresolved != 0 {
+		t.Errorf("final snapshot should have no unresolved candidates: %+v", lastSnap)
+	}
+}
+
+func TestSnapshotRemainingBudget(t *testing.T) {
+	fx := newFixture(t)
+	var remanings []time.Duration
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options: Options{
+			TimeLimit:  time.Hour,
+			OnProgress: func(s Snapshot) { remanings = append(remanings, s.Remaining) },
+		},
+	}
+	if _, err := runner.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(remanings) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	for _, rem := range remanings {
+		if rem <= 0 || rem > time.Hour {
+			t.Errorf("remaining budget %s out of range", rem)
+		}
+	}
+}

@@ -18,6 +18,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -194,8 +196,40 @@ type Options struct {
 	// filters are preferred at equal pruning power.
 	CostModel func(f *filter.Filter) float64
 	// MaxValidations bounds the number of validations (0 = unlimited); a
-	// safety valve for experiments.
+	// safety valve for experiments. Exact at Parallelism 1; with P workers
+	// the count can overshoot by up to P−1, since validations already in
+	// flight when the cap is reached still complete and are recorded.
 	MaxValidations int
+	// Parallelism is the number of filter validations kept in flight at
+	// once (default 1, the paper's sequential greedy loop). With P > 1 the
+	// scheduler still selects filters in exactly the policy's priority
+	// order — it launches the highest-scoring undetermined filter not
+	// already in flight whenever a worker frees up — so parallelism only
+	// overlaps validation executions; it never reorders selections.
+	Parallelism int
+	// OnResolved, when non-nil, is invoked from the scheduling goroutine
+	// each time a candidate becomes confirmed or pruned, with a progress
+	// snapshot taken at that moment. Discovery streaming hangs off it.
+	OnResolved func(candidate int, confirmed bool, s Snapshot)
+	// OnProgress, when non-nil, is invoked from the scheduling goroutine
+	// after every applied validation outcome.
+	OnProgress func(s Snapshot)
+}
+
+// Snapshot is a point-in-time view of a scheduling run, delivered through
+// the OnResolved/OnProgress callbacks.
+type Snapshot struct {
+	// Validations and Implied count executed and propagated outcomes so far.
+	Validations int
+	Implied     int
+	// Confirmed, Pruned and Unresolved partition the candidates.
+	Confirmed  int
+	Pruned     int
+	Unresolved int
+	// Elapsed is the time spent so far; Remaining is the budget left
+	// (0 when the run has no time limit).
+	Elapsed   time.Duration
+	Remaining time.Duration
 }
 
 // Result summarises one scheduling run.
@@ -214,6 +248,9 @@ type Result struct {
 	// TimedOut reports whether the time limit was hit before resolving all
 	// candidates.
 	TimedOut bool
+	// Cancelled reports whether the caller's context was cancelled before
+	// resolving all candidates.
+	Cancelled bool
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -237,10 +274,22 @@ type scoreEntry struct {
 }
 
 // Run executes validations until every candidate is confirmed or pruned,
-// the time limit expires, or the validation cap is reached.
+// the time limit expires, or the validation cap is reached. It is shorthand
+// for RunContext with a background context.
 func (r *Runner) Run() (Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext executes the scheduling loop under a context. Validations run
+// on a bounded worker pool of Options.Parallelism goroutines; outcomes are
+// applied (and implications propagated) on this goroutine as workers finish,
+// so the session state and the callbacks never need locking. Cancelling ctx
+// interrupts in-flight validations, marks the result Cancelled, and returns
+// ctx.Err() alongside the partial result.
+func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	opts := r.Options
-	if opts.Now == nil {
+	realClock := opts.Now == nil
+	if realClock {
 		opts.Now = time.Now
 	}
 	if opts.CostModel == nil {
@@ -255,6 +304,23 @@ func (r *Runner) Run() (Result, error) {
 			return cost
 		}
 	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+
+	// runCtx interrupts in-flight validations: on caller cancellation always,
+	// and on the time budget too when running against the real clock (an
+	// injected test clock cannot drive a context deadline).
+	var runCtx context.Context
+	var cancel context.CancelFunc
+	if realClock && opts.TimeLimit > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
 	validator := &filter.Validator{DB: r.DB, Spec: r.Spec}
 	sess := filter.NewSession(r.Set)
 	res := Result{Policy: r.Estimator.Name()}
@@ -271,27 +337,125 @@ func (r *Runner) Run() (Result, error) {
 		isTop[ti] = true
 	}
 
-	for sess.UnresolvedCandidates() > 0 {
-		if opts.TimeLimit > 0 && opts.Now().Sub(start) >= opts.TimeLimit {
-			res.TimedOut = true
+	snapshot := func() Snapshot {
+		s := Snapshot{
+			Validations: sess.Executed,
+			Implied:     sess.Implied,
+			Elapsed:     opts.Now().Sub(start),
+		}
+		for _, st := range sess.Status {
+			switch st {
+			case filter.CandidateConfirmed:
+				s.Confirmed++
+			case filter.CandidatePruned:
+				s.Pruned++
+			default:
+				s.Unresolved++
+			}
+		}
+		if opts.TimeLimit > 0 {
+			if rem := opts.TimeLimit - s.Elapsed; rem > 0 {
+				s.Remaining = rem
+			}
+		}
+		return s
+	}
+	// notified tracks which candidate resolutions were already delivered.
+	var notified []bool
+	if opts.OnResolved != nil {
+		notified = make([]bool, r.Set.NumCandidates())
+	}
+	applyOutcome := func(idx int, vr filter.ValidationResult) {
+		sess.RecordExecution(idx, vr)
+		if opts.OnResolved != nil {
+			var snap *Snapshot
+			for ci := range notified {
+				if notified[ci] || !sess.Resolved(ci) {
+					continue
+				}
+				notified[ci] = true
+				if snap == nil {
+					s := snapshot()
+					snap = &s
+				}
+				opts.OnResolved(ci, sess.Status[ci] == filter.CandidateConfirmed, *snap)
+			}
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(snapshot())
+		}
+	}
+
+	type outcome struct {
+		idx int
+		vr  filter.ValidationResult
+		err error
+	}
+	// Workers never block sending: at most `parallelism` sends are
+	// outstanding and the channel buffers them all.
+	results := make(chan outcome, parallelism)
+	inFlight := make(map[int]struct{}, parallelism)
+	launch := func(idx int) {
+		inFlight[idx] = struct{}{}
+		f := r.Set.Filters[idx]
+		go func() {
+			vr, err := validator.ValidateContext(runCtx, f)
+			results <- outcome{idx: idx, vr: vr, err: err}
+		}()
+	}
+
+	stopping := false
+	var runErr error
+	stop := func() {
+		stopping = true
+		cancel()
+	}
+	for {
+		if !stopping {
+			switch {
+			case ctx.Err() != nil:
+				res.Cancelled = true
+				runErr = ctx.Err()
+				stop()
+			case opts.TimeLimit > 0 && opts.Now().Sub(start) >= opts.TimeLimit:
+				res.TimedOut = true
+				stop()
+			case opts.MaxValidations > 0 && sess.Executed >= opts.MaxValidations:
+				res.TimedOut = true
+				stop()
+			case sess.UnresolvedCandidates() == 0:
+				stop()
+			}
+		}
+		if !stopping {
+			for len(inFlight) < parallelism {
+				next, ok := r.pick(sess, failProb, isTop, opts.CostModel, inFlight)
+				if !ok {
+					break
+				}
+				launch(next)
+			}
+		}
+		if len(inFlight) == 0 {
+			// Either the run is stopping, or nothing undetermined can make
+			// progress (top filters always remain available for unresolved
+			// candidates, so the latter should not happen).
 			break
 		}
-		if opts.MaxValidations > 0 && sess.Executed >= opts.MaxValidations {
-			res.TimedOut = true
-			break
+		d := <-results
+		delete(inFlight, d.idx)
+		switch {
+		case d.err == nil:
+			applyOutcome(d.idx, d.vr)
+		case errors.Is(d.err, context.Canceled) || errors.Is(d.err, context.DeadlineExceeded) || errors.Is(d.err, mem.ErrInterrupted):
+			// The validation was interrupted by cancellation or the time
+			// budget; its outcome is unknown and is simply discarded.
+		default:
+			if runErr == nil {
+				runErr = fmt.Errorf("sched: %w", d.err)
+			}
+			stop()
 		}
-		next, ok := r.pick(sess, failProb, isTop, opts.CostModel)
-		if !ok {
-			// Nothing left to validate that could make progress; should not
-			// happen because top filters always remain available for
-			// unresolved candidates.
-			break
-		}
-		vr, err := validator.Validate(r.Set.Filters[next])
-		if err != nil {
-			return res, fmt.Errorf("sched: %w", err)
-		}
-		sess.RecordExecution(next, vr)
 	}
 
 	res.Validations = sess.Executed
@@ -300,7 +464,7 @@ func (r *Runner) Run() (Result, error) {
 	res.Confirmed = sess.Confirmed()
 	res.Pruned = sess.Pruned()
 	res.Elapsed = opts.Now().Sub(start)
-	return res, nil
+	return res, runErr
 }
 
 // pick selects the next filter to validate: the undetermined filter with
@@ -314,11 +478,14 @@ func (r *Runner) Run() (Result, error) {
 // favour of top filters, then higher reach, then lower estimated cost, then
 // index for determinism. Minimising validations is the paper's §2.4 metric;
 // the cost model only arbitrates ties, keeping validation time low at equal
-// pruning power.
-func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, costModel func(*filter.Filter) float64) (int, bool) {
+// pruning power. Filters already being validated (inFlight) are skipped.
+func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, costModel func(*filter.Filter) float64, inFlight map[int]struct{}) (int, bool) {
 	var entries []scoreEntry
 	for i := range r.Set.Filters {
 		if sess.Determined(i) {
+			continue
+		}
+		if _, busy := inFlight[i]; busy {
 			continue
 		}
 		reach := sess.PruningReach(i)
@@ -386,10 +553,16 @@ func clamp01(f float64) float64 {
 // true outcomes plus the total number of filters. It is used to build the
 // oracle and to compute the optimum validation count.
 func GroundTruth(db *mem.Database, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
+	return GroundTruthContext(context.Background(), db, spec, set)
+}
+
+// GroundTruthContext is GroundTruth under a context; cancelling ctx aborts
+// the exhaustive validation sweep.
+func GroundTruthContext(ctx context.Context, db *mem.Database, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
 	v := &filter.Validator{DB: db, Spec: spec}
 	out := make([]filter.Outcome, set.NumFilters())
 	for i, f := range set.Filters {
-		res, err := v.Validate(f)
+		res, err := v.ValidateContext(ctx, f)
 		if err != nil {
 			return nil, err
 		}

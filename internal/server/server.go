@@ -5,21 +5,26 @@
 // schema mapping query with its SQL text, result preview and query-graph
 // explanation.
 //
-// It exposes both server-rendered HTML (GET /, POST /discover) and a JSON
-// API (GET /api/datasets, POST /api/discover) used by tests and scripting.
+// It exposes server-rendered HTML (GET /, POST /discover) and a JSON API
+// (GET /api/datasets, POST /api/discover, POST /api/discover/stream) used
+// by tests and scripting. Engines are served from a prism.Registry, so
+// concurrent requests share preprocessed engines, every round runs under
+// the request's context (an abandoned connection cancels its round
+// mid-validation), and /api/discover/stream pushes mappings and progress
+// incrementally as NDJSON or SSE.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"html/template"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
-	"prism/internal/constraint"
-	"prism/internal/dataset"
+	"prism"
 	"prism/internal/discovery"
 	"prism/internal/explain"
 	"prism/internal/mem"
@@ -27,8 +32,9 @@ import (
 
 // Server is the demo web application.
 type Server struct {
-	mu      sync.Mutex
-	engines map[string]*discovery.Engine
+	// Registry serves the engines; the bundled data sets are pre-registered
+	// and built lazily on first use.
+	Registry *prism.Registry
 	// TimeLimit is the per-round discovery budget (default 60s, as in the
 	// paper's demo).
 	TimeLimit time.Duration
@@ -42,7 +48,7 @@ type Server struct {
 // lazily on first use so start-up stays instant.
 func New() *Server {
 	return &Server{
-		engines:   make(map[string]*discovery.Engine),
+		Registry:  prism.NewRegistry(),
 		TimeLimit: 60 * time.Second,
 		MaxGraphs: 3,
 		tmpl:      template.Must(template.New("page").Parse(pageTemplate)),
@@ -52,25 +58,11 @@ func New() *Server {
 // RegisterDatabase installs a custom database under the given name,
 // alongside the bundled synthetic ones.
 func (s *Server) RegisterDatabase(name string, db *mem.Database) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.engines[strings.ToLower(name)] = discovery.NewEngine(db)
+	s.Registry.RegisterDatabase(name, db)
 }
 
-func (s *Server) engine(name string) (*discovery.Engine, error) {
-	key := strings.ToLower(strings.TrimSpace(name))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.engines[key]; ok {
-		return e, nil
-	}
-	db, err := dataset.ByName(key)
-	if err != nil {
-		return nil, err
-	}
-	e := discovery.NewEngine(db)
-	s.engines[key] = e
-	return e, nil
+func (s *Server) engine(name string) (*prism.Engine, error) {
+	return s.Registry.Get(name)
 }
 
 // Handler returns the HTTP handler of the demo.
@@ -80,6 +72,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/discover", s.handleDiscoverForm)
 	mux.HandleFunc("/api/datasets", s.handleDatasets)
 	mux.HandleFunc("/api/discover", s.handleDiscoverAPI)
+	mux.HandleFunc("/api/discover/stream", s.handleDiscoverStream)
 	return mux
 }
 
@@ -97,8 +90,9 @@ func (s *Server) ListenAndServe(addr string) error {
 // Request/response types of the JSON API
 // ---------------------------------------------------------------------------
 
-// DiscoverRequest is the JSON body of POST /api/discover. It mirrors the
-// Configuration and Description sections.
+// DiscoverRequest is the JSON body of POST /api/discover and
+// POST /api/discover/stream. It mirrors the Configuration and Description
+// sections.
 type DiscoverRequest struct {
 	Database   string     `json:"database"`
 	NumColumns int        `json:"numColumns"`
@@ -106,6 +100,12 @@ type DiscoverRequest struct {
 	Metadata   []string   `json:"metadata,omitempty"`
 	Policy     string     `json:"policy,omitempty"`
 	MaxResults int        `json:"maxResults,omitempty"`
+	// TimeoutMs shortens the round's time budget below the server's
+	// TimeLimit (values above it are clamped).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Parallelism overrides the validation worker-pool size (0 = server
+	// default, i.e. GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // MappingResponse describes one discovered schema mapping query.
@@ -130,12 +130,28 @@ type DiscoverResponse struct {
 	Error       string            `json:"error,omitempty"`
 }
 
+// StreamEventResponse is one NDJSON line (or SSE data payload) of
+// POST /api/discover/stream.
+type StreamEventResponse struct {
+	Event       string            `json:"event"`
+	Candidates  int               `json:"candidates,omitempty"`
+	Filters     int               `json:"filters,omitempty"`
+	Validations int               `json:"validations,omitempty"`
+	Confirmed   int               `json:"confirmed,omitempty"`
+	Pruned      int               `json:"pruned,omitempty"`
+	Unresolved  int               `json:"unresolved,omitempty"`
+	ElapsedMS   int64             `json:"elapsedMs,omitempty"`
+	RemainingMS int64             `json:"remainingMs,omitempty"`
+	Mapping     *MappingResponse  `json:"mapping,omitempty"`
+	Result      *DiscoverResponse `json:"result,omitempty"`
+}
+
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": dataset.Names()})
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry.Names()})
 }
 
 func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
@@ -148,38 +164,88 @@ func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	resp, status := s.discover(req, false)
+	resp, status := s.discover(r.Context(), req, false)
 	writeJSON(w, status, resp)
 }
 
-// discover executes a discovery round for either handler.
-func (s *Server) discover(req DiscoverRequest, withGraphs bool) (DiscoverResponse, int) {
-	resp := DiscoverResponse{Database: req.Database}
+// round holds the validated inputs of one discovery round.
+type round struct {
+	eng  *prism.Engine
+	spec *prism.Spec
+	opts discovery.Options
+}
+
+// prepare resolves the engine, parses the constraint grids and assembles
+// the discovery options for a request.
+func (s *Server) prepare(req DiscoverRequest) (*round, error) {
 	eng, err := s.engine(req.Database)
 	if err != nil {
-		resp.Error = err.Error()
-		return resp, http.StatusBadRequest
+		return nil, err
 	}
 	var metadata []string
 	if len(req.Metadata) > 0 {
 		metadata = req.Metadata
 	}
-	spec, err := constraint.ParseGrid(req.NumColumns, req.Samples, metadata)
+	spec, err := prism.ParseConstraints(req.NumColumns, req.Samples, metadata)
 	if err != nil {
-		resp.Error = err.Error()
-		return resp, http.StatusBadRequest
+		return nil, err
 	}
 	policy := discovery.PolicyBayes
 	if req.Policy != "" {
 		policy = discovery.Policy(req.Policy)
 	}
-	report, err := eng.Discover(spec, discovery.Options{
-		TimeLimit:      s.TimeLimit,
-		Policy:         policy,
-		IncludeResults: true,
-		ResultLimit:    10,
-		MaxResults:     req.MaxResults,
-	})
+	timeLimit := s.TimeLimit
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; timeLimit <= 0 || d < timeLimit {
+			timeLimit = d
+		}
+	}
+	return &round{
+		eng:  eng,
+		spec: spec,
+		opts: discovery.Options{
+			TimeLimit:      timeLimit,
+			Policy:         policy,
+			Parallelism:    req.Parallelism,
+			IncludeResults: true,
+			ResultLimit:    10,
+			MaxResults:     req.MaxResults,
+		},
+	}, nil
+}
+
+// requestContext derives the per-round context: the request's context (so
+// an abandoned connection cancels its round) bounded by the time budget.
+func (rd *round) requestContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if rd.opts.TimeLimit > 0 {
+		// Grace on top of the budget: the scheduler handles the limit itself
+		// and reports a clean timeout; the deadline is a backstop.
+		return context.WithTimeout(parent, rd.opts.TimeLimit+5*time.Second)
+	}
+	return context.WithCancel(parent)
+}
+
+// mappingResponse converts one discovered mapping for JSON transport.
+func mappingResponse(m discovery.Mapping) MappingResponse {
+	mr := MappingResponse{SQL: m.SQL, Tables: m.Candidate.Tree.Tables}
+	for _, ref := range m.Plan.Project {
+		mr.Columns = append(mr.Columns, ref.String())
+	}
+	if m.Result != nil {
+		for _, row := range m.Result.Rows {
+			cells := make([]string, len(row))
+			for ci, v := range row {
+				cells[ci] = v.String()
+			}
+			mr.ResultRows = append(mr.ResultRows, cells)
+		}
+	}
+	return mr
+}
+
+// discoverResponse converts a report for JSON transport.
+func (s *Server) discoverResponse(req DiscoverRequest, report *discovery.Report, err error, spec *prism.Spec, withGraphs bool) DiscoverResponse {
+	resp := DiscoverResponse{Database: req.Database}
 	if report != nil {
 		resp.Candidates = report.CandidatesEnumerated
 		resp.Filters = report.FiltersGenerated
@@ -190,29 +256,107 @@ func (s *Server) discover(req DiscoverRequest, withGraphs bool) (DiscoverRespons
 	}
 	if err != nil {
 		resp.Error = err.Error()
-		return resp, http.StatusUnprocessableEntity
+		return resp
 	}
 	for i, m := range report.Mappings {
-		mr := MappingResponse{SQL: m.SQL, Tables: m.Candidate.Tree.Tables}
-		for _, ref := range m.Plan.Project {
-			mr.Columns = append(mr.Columns, ref.String())
-		}
-		if m.Result != nil {
-			for _, row := range m.Result.Rows {
-				cells := make([]string, len(row))
-				for ci, v := range row {
-					cells[ci] = v.String()
-				}
-				mr.ResultRows = append(mr.ResultRows, cells)
-			}
-		}
+		mr := mappingResponse(m)
 		if withGraphs && i < s.MaxGraphs {
 			g := explain.Build(m.Candidate, spec, m.SQL, explain.AllConstraints())
 			mr.GraphSVG = g.SVG()
 		}
 		resp.Mappings = append(resp.Mappings, mr)
 	}
+	return resp
+}
+
+// discover executes a blocking discovery round for the JSON and HTML
+// handlers.
+func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs bool) (DiscoverResponse, int) {
+	rd, err := s.prepare(req)
+	if err != nil {
+		return DiscoverResponse{Database: req.Database, Error: err.Error()}, http.StatusBadRequest
+	}
+	ctx, cancel := rd.requestContext(ctx)
+	defer cancel()
+	report, err := rd.eng.Discover(ctx, rd.spec, rd.opts)
+	resp := s.discoverResponse(req, report, err, rd.spec, withGraphs)
+	if err != nil {
+		return resp, http.StatusUnprocessableEntity
+	}
 	return resp, http.StatusOK
+}
+
+// handleDiscoverStream streams a discovery round incrementally. The
+// response is NDJSON (application/x-ndjson), one StreamEventResponse per
+// line, unless the client asks for Server-Sent Events with
+// Accept: text/event-stream. Mappings are pushed as soon as the scheduler
+// confirms them; the final event carries the full report.
+func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DiscoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	rd, err := s.prepare(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Database: req.Database, Error: err.Error()})
+		return
+	}
+	ctx, cancel := rd.requestContext(r.Context())
+	defer cancel()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	write := func(ev StreamEventResponse) {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, payload)
+		} else {
+			w.Write(payload)
+			w.Write([]byte("\n"))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	for ev := range rd.eng.DiscoverStream(ctx, rd.spec, rd.opts) {
+		out := StreamEventResponse{
+			Event:       string(ev.Kind),
+			Candidates:  ev.Progress.CandidatesEnumerated,
+			Filters:     ev.Progress.FiltersGenerated,
+			Validations: ev.Progress.Validations,
+			Confirmed:   ev.Progress.Confirmed,
+			Pruned:      ev.Progress.Pruned,
+			Unresolved:  ev.Progress.Unresolved,
+			ElapsedMS:   ev.Progress.Elapsed.Milliseconds(),
+			RemainingMS: ev.Progress.TimeRemaining.Milliseconds(),
+		}
+		switch ev.Kind {
+		case discovery.EventMapping:
+			mr := mappingResponse(*ev.Mapping)
+			out.Mapping = &mr
+		case discovery.EventDone:
+			resp := s.discoverResponse(req, ev.Report, ev.Err, rd.spec, false)
+			out.Result = &resp
+		}
+		write(out)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +380,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	data := &pageData{
-		Datasets:     dataset.Names(),
+		Datasets:     s.Registry.Names(),
 		Request:      DiscoverRequest{Database: "mondial", NumColumns: 3},
 		SamplesText:  "California || Nevada | Lake Tahoe | ",
 		MetadataText: " |  | DataType=='decimal' AND MinValue>='0'",
@@ -265,9 +409,9 @@ func (s *Server) handleDiscoverForm(w http.ResponseWriter, r *http.Request) {
 	if strings.TrimSpace(metadataText) != "" {
 		req.Metadata = padRow(splitCells(metadataText), numColumns)
 	}
-	resp, _ := s.discover(req, true)
+	resp, _ := s.discover(r.Context(), req, true)
 	data := &pageData{
-		Datasets:     dataset.Names(),
+		Datasets:     s.Registry.Names(),
 		Request:      req,
 		SamplesText:  samplesText,
 		MetadataText: metadataText,

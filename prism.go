@@ -13,16 +13,21 @@
 //
 // # Quick start
 //
-//	eng, err := prism.OpenDataset("mondial")
+//	eng, err := prism.Open("mondial")
 //	if err != nil { ... }
 //	spec, err := prism.ParseConstraints(3,
 //		[][]string{{"California || Nevada", "Lake Tahoe", ""}},
 //		[]string{"", "", "DataType=='decimal' AND MinValue>='0'"})
 //	if err != nil { ... }
-//	report, err := eng.Discover(spec, prism.Options{IncludeResults: true})
+//	report, err := eng.Discover(ctx, spec, prism.Options{IncludeResults: true})
 //	for _, m := range report.Mappings {
 //		fmt.Println(m.SQL)
 //	}
+//
+// Discovery is context-first: every round takes a context.Context whose
+// cancellation aborts the round mid-validation, and DiscoverStream yields
+// mappings and progress incrementally while the round runs. A Registry
+// serves shared engines to concurrent rounds.
 //
 // The subpackages under internal/ implement the substrate (in-memory
 // relational engine, constraint language, schema-graph search, Bayesian
@@ -31,6 +36,7 @@
 package prism
 
 import (
+	"context"
 	"fmt"
 
 	"prism/internal/bayes"
@@ -71,6 +77,14 @@ type (
 	Mapping = discovery.Mapping
 	// Policy selects the filter-scheduling policy.
 	Policy = discovery.Policy
+	// StreamEvent is one element of a DiscoverStream: a phase marker, a
+	// progress update, an incrementally delivered mapping, or the final
+	// report.
+	StreamEvent = discovery.Event
+	// EventKind names the kind of a StreamEvent.
+	EventKind = discovery.EventKind
+	// Progress describes how far a discovery round has advanced.
+	Progress = discovery.Progress
 	// ExplainGraph is the query-graph explanation of a mapping.
 	ExplainGraph = explain.Graph
 	// ConstraintSelection selects which constraints to overlay on an
@@ -100,6 +114,22 @@ const (
 	PolicyOracle = discovery.PolicyOracle
 )
 
+// Streaming event kinds (see DiscoverStream).
+const (
+	// EventRelated reports the related-column search result.
+	EventRelated = discovery.EventRelated
+	// EventCandidates reports that candidate enumeration finished.
+	EventCandidates = discovery.EventCandidates
+	// EventFilters reports that the validation phase is about to start.
+	EventFilters = discovery.EventFilters
+	// EventProgress reports validation-phase progress.
+	EventProgress = discovery.EventProgress
+	// EventMapping delivers one confirmed mapping as soon as it resolves.
+	EventMapping = discovery.EventMapping
+	// EventDone is the final event, carrying the Report and round error.
+	EventDone = discovery.EventDone
+)
+
 // Engine preprocesses one source database (column statistics, inverted
 // keyword index, Bayesian models) and answers discovery requests over it.
 type Engine struct {
@@ -111,43 +141,116 @@ func NewEngine(db *Database) *Engine {
 	return &Engine{inner: discovery.NewEngine(db)}
 }
 
+// openConfig collects the effect of OpenOptions.
+type openConfig struct {
+	mondial *MondialConfig
+	imdb    *IMDBConfig
+	nba     *NBAConfig
+	db      *Database
+}
+
+// OpenOption customises Open.
+type OpenOption func(*openConfig)
+
+// WithMondialConfig sizes the synthetic Mondial data set built by
+// Open("mondial").
+func WithMondialConfig(cfg MondialConfig) OpenOption {
+	return func(c *openConfig) { c.mondial = &cfg }
+}
+
+// WithIMDBConfig sizes the synthetic IMDB data set built by Open("imdb").
+func WithIMDBConfig(cfg IMDBConfig) OpenOption {
+	return func(c *openConfig) { c.imdb = &cfg }
+}
+
+// WithNBAConfig sizes the synthetic NBA data set built by Open("nba").
+func WithNBAConfig(cfg NBAConfig) OpenOption {
+	return func(c *openConfig) { c.nba = &cfg }
+}
+
+// WithDatabase opens an engine over a caller-provided database instead of a
+// bundled data set; the name is then only a label.
+func WithDatabase(db *Database) OpenOption {
+	return func(c *openConfig) { c.db = db }
+}
+
+// Open builds the named source database and returns an engine over it. The
+// bundled synthetic data sets are "mondial", "imdb" and "nba" (see
+// DatasetNames); their scale is tunable with WithMondialConfig /
+// WithIMDBConfig / WithNBAConfig, and WithDatabase substitutes a custom
+// database entirely. Open replaces the earlier OpenDataset / OpenMondial /
+// OpenIMDB / OpenNBA constructors.
+func Open(name string, options ...OpenOption) (*Engine, error) {
+	var cfg openConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	if cfg.db != nil {
+		return NewEngine(cfg.db), nil
+	}
+	// A sizing option for a data set other than the one being opened is a
+	// caller bug; report it instead of silently building the default size.
+	key := normalizeName(name)
+	for _, mismatch := range []struct {
+		set    bool
+		option string
+		wants  string
+	}{
+		{cfg.mondial != nil, "WithMondialConfig", "mondial"},
+		{cfg.imdb != nil, "WithIMDBConfig", "imdb"},
+		{cfg.nba != nil, "WithNBAConfig", "nba"},
+	} {
+		if mismatch.set && key != mismatch.wants {
+			return nil, fmt.Errorf("prism: %s applies to Open(%q), not Open(%q)", mismatch.option, mismatch.wants, name)
+		}
+	}
+	var (
+		db  *Database
+		err error
+	)
+	switch {
+	case cfg.mondial != nil:
+		db, err = dataset.Mondial(*cfg.mondial)
+	case cfg.imdb != nil:
+		db, err = dataset.IMDB(*cfg.imdb)
+	case cfg.nba != nil:
+		db, err = dataset.NBA(*cfg.nba)
+	default:
+		db, err = dataset.ByName(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(db), nil
+}
+
 // OpenDataset builds one of the bundled synthetic demo databases
 // ("mondial", "imdb", "nba") at its default size and returns an engine over
 // it.
-func OpenDataset(name string) (*Engine, error) {
-	db, err := dataset.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return NewEngine(db), nil
-}
+//
+// Deprecated: use Open.
+func OpenDataset(name string) (*Engine, error) { return Open(name) }
 
 // OpenMondial builds a synthetic Mondial database with the given
 // configuration (zero value = defaults) and returns an engine over it.
+//
+// Deprecated: use Open("mondial", WithMondialConfig(cfg)).
 func OpenMondial(cfg MondialConfig) (*Engine, error) {
-	db, err := dataset.Mondial(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return NewEngine(db), nil
+	return Open("mondial", WithMondialConfig(cfg))
 }
 
 // OpenIMDB builds the synthetic IMDB database and returns an engine.
+//
+// Deprecated: use Open("imdb", WithIMDBConfig(cfg)).
 func OpenIMDB(cfg IMDBConfig) (*Engine, error) {
-	db, err := dataset.IMDB(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return NewEngine(db), nil
+	return Open("imdb", WithIMDBConfig(cfg))
 }
 
 // OpenNBA builds the synthetic NBA database and returns an engine.
+//
+// Deprecated: use Open("nba", WithNBAConfig(cfg)).
 func OpenNBA(cfg NBAConfig) (*Engine, error) {
-	db, err := dataset.NBA(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return NewEngine(db), nil
+	return Open("nba", WithNBAConfig(cfg))
 }
 
 // DatasetNames lists the bundled demo databases.
@@ -159,8 +262,23 @@ func (e *Engine) Database() *Database { return e.inner.Database() }
 // Discover runs one discovery round: it returns every Project-Join schema
 // mapping query that satisfies the specification within the options' search
 // bounds and time budget (60 seconds by default, as in the demo).
-func (e *Engine) Discover(spec *Spec, opts Options) (*Report, error) {
-	return e.inner.Discover(spec, opts)
+//
+// Cancelling ctx aborts the round mid-validation: Discover then returns
+// promptly with the partial Report accumulated so far and ctx.Err().
+// Validation runs on a bounded worker pool (Options.Parallelism, default
+// GOMAXPROCS); the mapping set is identical at every parallelism level.
+func (e *Engine) Discover(ctx context.Context, spec *Spec, opts Options) (*Report, error) {
+	return e.inner.Discover(ctx, spec, opts)
+}
+
+// DiscoverStream runs one discovery round incrementally: the returned
+// channel yields phase markers, validation progress, and each confirmed
+// Mapping as soon as the scheduler resolves it — before the round
+// completes. The stream ends with one EventDone carrying the final (or,
+// after cancellation/timeout, partial) Report, after which the channel is
+// closed. Receive until the channel closes; cancel ctx to abandon a round.
+func (e *Engine) DiscoverStream(ctx context.Context, spec *Spec, opts Options) <-chan StreamEvent {
+	return e.inner.DiscoverStream(ctx, spec, opts)
 }
 
 // RelatedColumns returns, per target column, the source columns whose

@@ -1,6 +1,7 @@
 package prism
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -67,7 +68,7 @@ func TestEndToEndPaperWalkthrough(t *testing.T) {
 		t.Fatalf("related = %v", related)
 	}
 
-	report, err := eng.Discover(spec, Options{IncludeResults: true, ResultLimit: 10, TimeLimit: 30 * time.Second})
+	report, err := eng.Discover(context.Background(), spec, Options{IncludeResults: true, ResultLimit: 10, TimeLimit: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestDiscoverPolicyConstants(t *testing.T) {
 	eng := mondialEngine(t)
 	spec := paperSpec(t)
 	for _, p := range []Policy{PolicyBayes, PolicyPathLength, PolicyRandom, PolicyOracle} {
-		if _, err := eng.Discover(spec, Options{Policy: p}); err != nil {
+		if _, err := eng.Discover(context.Background(), spec, Options{Policy: p}); err != nil {
 			t.Errorf("policy %s: %v", p, err)
 		}
 	}
@@ -190,7 +191,7 @@ func TestBuildCustomDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := eng.Discover(spec, Options{})
+	report, err := eng.Discover(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func BenchmarkPublicDiscover(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Discover(spec, Options{}); err != nil {
+		if _, err := eng.Discover(context.Background(), spec, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,94 @@
+package prism
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// normalizeName canonicalises a registry / Open database name.
+func normalizeName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// registryEntry is one named engine slot; the engine is built at most once,
+// on first use, with concurrent callers waiting for the single build.
+type registryEntry struct {
+	once sync.Once
+	open func() (*Engine, error)
+	eng  *Engine
+	err  error
+}
+
+// Registry is a concurrency-safe catalog of named engines for serving
+// workloads: many goroutines can Get the same engine and run discovery
+// rounds over it concurrently (engines are read-only after preprocessing).
+// Engines are built lazily on first Get — registering is free, so a server
+// can start instantly — and each engine is built exactly once even under
+// concurrent first access.
+//
+// NewRegistry pre-registers the bundled synthetic data sets (DatasetNames)
+// at their default sizes; Register* calls add to or override them.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*registryEntry
+}
+
+// NewRegistry creates a registry with the bundled data sets pre-registered
+// for lazy construction.
+func NewRegistry() *Registry {
+	r := &Registry{entries: make(map[string]*registryEntry)}
+	for _, name := range DatasetNames() {
+		r.RegisterOpener(name, func() (*Engine, error) { return Open(name) })
+	}
+	return r
+}
+
+// RegisterOpener installs (or replaces) a named engine built by open on
+// first use.
+func (r *Registry) RegisterOpener(name string, open func() (*Engine, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[normalizeName(name)] = &registryEntry{open: open}
+}
+
+// Register installs (or replaces) an already-built engine under the name.
+func (r *Registry) Register(name string, eng *Engine) {
+	r.RegisterOpener(name, func() (*Engine, error) { return eng, nil })
+}
+
+// RegisterDatabase installs (or replaces) a custom database under the
+// name; preprocessing (statistics, inverted index, Bayesian models) runs
+// lazily on first Get.
+func (r *Registry) RegisterDatabase(name string, db *Database) {
+	r.RegisterOpener(name, func() (*Engine, error) { return NewEngine(db), nil })
+}
+
+// Get returns the named engine, building it on first use. Concurrent Gets
+// of the same name share one build; a failed build is cached and returned
+// to every caller (re-register to retry).
+func (r *Registry) Get(name string) (*Engine, error) {
+	key := normalizeName(name)
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("prism: unknown database %q (registered: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	e.once.Do(func() { e.eng, e.err = e.open() })
+	return e.eng, e.err
+}
+
+// Names lists the registered database names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
