@@ -26,6 +26,7 @@ import (
 	"prism/internal/bayes"
 	"prism/internal/dataset"
 	"prism/internal/discovery"
+	"prism/internal/exec"
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/sched"
@@ -362,6 +363,132 @@ func BenchmarkDiscoverParallelism(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchExecutorCases pairs each bundled data set with its walkthrough
+// constraints; the executor-comparison benchmarks sweep them.
+func benchExecutorCases(b *testing.B) []struct {
+	name string
+	eng  *Engine
+	spec *Spec
+} {
+	b.Helper()
+	build := func(name string, opts []OpenOption, rows [][]string, meta []string) struct {
+		name string
+		eng  *Engine
+		spec *Spec
+	} {
+		eng, err := Open(name, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec, err := ParseConstraints(3, rows, meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return struct {
+			name string
+			eng  *Engine
+			spec *Spec
+		}{name, eng, spec}
+	}
+	return []struct {
+		name string
+		eng  *Engine
+		spec *Spec
+	}{
+		build("mondial", []OpenOption{WithMondialConfig(benchMondialConfig())},
+			[][]string{{"California || Nevada", "Lake Tahoe", ""}},
+			[]string{"", "", "DataType=='decimal' AND MinValue>='0'"}),
+		build("imdb", nil,
+			[][]string{{"Inception", "Leonardo DiCaprio || Tim Robbins", "[8, 10]"}},
+			[]string{"", "", "DataType=='decimal' AND MinValue>='0' AND MaxValue<='10'"}),
+		build("nba", nil,
+			[][]string{{"Los Angeles", "Lakers", "[80, 140]"}},
+			[]string{"", "", "DataType=='int' AND MinValue>='0'"}),
+	}
+}
+
+// BenchmarkExecutors compares the execution backends end to end: one full
+// discovery round per iteration, for every bundled data set at several
+// validation parallelism levels. The README's benchmark table is read
+// straight off this benchmark's output:
+//
+//	go test -bench 'BenchmarkExecutors/' -benchmem .
+func BenchmarkExecutors(b *testing.B) {
+	for _, tc := range benchExecutorCases(b) {
+		tc := tc
+		for _, executor := range []string{"mem", "columnar"} {
+			executor := executor
+			for _, p := range []int{1, 4} {
+				p := p
+				b.Run(fmt.Sprintf("%s/%s/p%d", tc.name, executor, p), func(b *testing.B) {
+					opts := Options{Executor: executor, Parallelism: p}
+					// Warm-up builds the executor (column stores and hash
+					// indexes) outside the timed loop, matching the engine's
+					// open-once usage.
+					if _, err := tc.eng.Discover(context.Background(), tc.spec, opts); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						report, err := tc.eng.Discover(context.Background(), tc.spec, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(report.Mappings) == 0 {
+							b.Fatal("no mappings discovered")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkExecutorValidationPhase isolates the validation phase — the hot
+// path the columnar engine targets — on one shared filter set, per backend.
+func BenchmarkExecutorValidationPhase(b *testing.B) {
+	fx := newSchedulingFixture(b)
+	for _, name := range []string{"mem", "columnar"} {
+		name := name
+		ex, err := exec.New(name, fx.eng.Database())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner := &sched.Runner{
+					DB: ex, Spec: fx.spec, Set: fx.set,
+					Estimator: &sched.BayesEstimator{Model: fx.model, Spec: fx.spec},
+					Options:   sched.Options{TimeLimit: 60 * time.Second},
+				}
+				if _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorBuild measures the one-time cost of building the
+// columnar executor (column stores plus join and keyword indexes), which
+// Open pays once per engine.
+func BenchmarkExecutorBuild(b *testing.B) {
+	db, err := dataset.Mondial(dataset.MondialConfig(benchMondialConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.Analyze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.New("columnar", db); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

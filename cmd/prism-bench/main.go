@@ -41,6 +41,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit markdown tables instead of plain text")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-round discovery time limit, enforced as a context deadline")
 	parallelism := fs.Int("parallelism", 0, "concurrent filter validations per round (0 = sequential, the reproducible default)")
+	executor := fs.String("executor", "", "execution backend: columnar (default) or mem")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SchedulingCases: *schedCases,
 		TimeLimit:       *timeout,
 		Parallelism:     *parallelism,
+		Executor:        *executor,
 	}
 	runner, err := experiment.NewRunner(cfg)
 	if err != nil {

@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	policy := fs.String("policy", string(prism.PolicyBayes), "scheduling policy: bayes, pathlength, random, oracle")
 	timeLimit := fs.Duration("timeout", 60*time.Second, "discovery time limit per round, enforced as a context deadline")
 	parallelism := fs.Int("parallelism", 0, "concurrent filter validations (0 = GOMAXPROCS)")
+	executor := fs.String("executor", "", "execution backend: columnar (default) or mem")
 	maxResults := fs.Int("max-results", 0, "cap on returned mapping queries (0 = all)")
 	showResults := fs.Bool("results", false, "execute each mapping and print a result preview")
 	stream := fs.Bool("stream", false, "stream mappings and progress as they are found instead of waiting for the round to finish")
@@ -99,6 +100,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Policy:         prism.Policy(*policy),
 		TimeLimit:      *timeLimit,
 		Parallelism:    *parallelism,
+		Executor:       *executor,
 		MaxResults:     *maxResults,
 		IncludeResults: *showResults,
 		ResultLimit:    10,

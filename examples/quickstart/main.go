@@ -18,10 +18,21 @@ import (
 
 func main() {
 	// 1. Configuration: pick the Mondial source database (built
-	//    synthetically, with the rows the walkthrough relies on).
+	//    synthetically, with the rows the walkthrough relies on). Rounds run
+	//    on the columnar executor by default; prism.WithExecutor("mem")
+	//    would select the row-at-a-time reference engine instead — the
+	//    mapping sets are identical either way.
 	eng, err := prism.Open("mondial")
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Peek at the source before writing constraints against it.
+	if rows, err := eng.SampleRows("Lake", 3); err == nil {
+		fmt.Println("sample of Lake:")
+		for _, row := range rows {
+			fmt.Printf("  %v\n", row)
+		}
 	}
 
 	// 2. Description: three target columns, one sample constraint mixing a

@@ -1,0 +1,544 @@
+// Package colexec is Prism's columnar executor: the second exec.Executor
+// implementation, built for the validation phase of the interactive loop
+// (§2.3), where thousands of small Project-Join probes run against one
+// read-only database per discovery round.
+//
+// At build time it converts the source into column-oriented storage and
+// precomputes, per column, two hash indexes:
+//
+//   - a join index (canonical value key -> ascending row ids), so hash
+//     joins probe a prebuilt table instead of re-hashing the inner relation
+//     on every execution;
+//   - a keyword index (keyword-equality key -> ascending row ids), so
+//     equality-shaped pushed-down predicates (sample cells and disjunctions
+//     of sample cells) select matching rows by point lookup instead of
+//     scanning the column.
+//
+// Execution is late-materialising: intermediate join results are tuples of
+// int32 row ids, one slot per joined table; values are only gathered at
+// projection time. Result rows and their order are identical to the mem
+// reference executor (both start from exec.StartTable, extend the join by
+// scanning plan edges in declaration order, and probe in base-row order),
+// which the cross-executor equivalence tests rely on.
+package colexec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prism/internal/exec"
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+func init() {
+	exec.Register("columnar", New)
+}
+
+// column is the columnar storage of one table column plus its indexes.
+type column struct {
+	vals []value.Value
+	// join maps Value.Key() -> ascending row ids of non-null rows; probed
+	// by hash joins.
+	join map[string][]int32
+	// keyword maps keyword-equality keys (see keywordKeys) -> ascending row
+	// ids; probed by equality-shaped predicate push-down.
+	keyword map[string][]int32
+}
+
+// table is the columnar image of one relation.
+type table struct {
+	sch     *schema.Table
+	numRows int
+	cols    []*column
+}
+
+// Executor is the columnar engine. It is read-only and safe for concurrent
+// use once built.
+type Executor struct {
+	src    exec.Source
+	tables map[string]*table // key: lower(table name)
+}
+
+// New builds the columnar executor over a source: column stores and hash
+// indexes for every column. Catalog queries (statistics, keyword
+// membership) are delegated to the source, so they agree exactly with the
+// reference engine's preprocessing.
+func New(src exec.Source) (exec.Executor, error) {
+	e := &Executor{src: src, tables: make(map[string]*table)}
+	for _, ts := range src.Schema().Tables() {
+		t := &table{sch: ts}
+		for _, col := range ts.Columns {
+			vals, err := src.ColumnValues(schema.ColumnRef{Table: ts.Name, Column: col.Name})
+			if err != nil {
+				return nil, fmt.Errorf("colexec: loading %s.%s: %w", ts.Name, col.Name, err)
+			}
+			c := &column{
+				vals:    vals,
+				join:    make(map[string][]int32),
+				keyword: make(map[string][]int32),
+			}
+			for ri, v := range vals {
+				if v.IsNull() {
+					continue
+				}
+				c.join[v.Key()] = append(c.join[v.Key()], int32(ri))
+				for _, k := range keywordKeys(v) {
+					c.keyword[k] = append(c.keyword[k], int32(ri))
+				}
+			}
+			t.cols = append(t.cols, c)
+			t.numRows = len(vals)
+		}
+		e.tables[strings.ToLower(ts.Name)] = t
+	}
+	return e, nil
+}
+
+// ExecutorName implements exec.Executor.
+func (e *Executor) ExecutorName() string { return "columnar" }
+
+// Schema implements exec.Metadata.
+func (e *Executor) Schema() *schema.Schema { return e.src.Schema() }
+
+// NumRows implements exec.Metadata.
+func (e *Executor) NumRows(tbl string) int {
+	if t, ok := e.tables[strings.ToLower(tbl)]; ok {
+		return t.numRows
+	}
+	return 0
+}
+
+// Stats implements exec.Metadata by delegating to the source's
+// preprocessing.
+func (e *Executor) Stats(ref schema.ColumnRef) (schema.Stats, bool) { return e.src.Stats(ref) }
+
+// AllStats implements exec.Metadata by delegating to the source's
+// preprocessing.
+func (e *Executor) AllStats() []schema.Stats { return e.src.AllStats() }
+
+// ColumnHasKeyword implements exec.Metadata by delegating to the source's
+// inverted index.
+func (e *Executor) ColumnHasKeyword(ref schema.ColumnRef, keyword string) bool {
+	return e.src.ColumnHasKeyword(ref, keyword)
+}
+
+// SampleRows implements exec.Executor by gathering the first limit rows
+// from the column stores.
+func (e *Executor) SampleRows(tbl string, limit int) ([]value.Tuple, error) {
+	t, ok := e.tables[strings.ToLower(tbl)]
+	if !ok {
+		return nil, fmt.Errorf("colexec: unknown table %q", tbl)
+	}
+	n := t.numRows
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]value.Tuple, n)
+	for ri := 0; ri < n; ri++ {
+		row := make(value.Tuple, len(t.cols))
+		for ci, c := range t.cols {
+			row[ci] = c.vals[ri]
+		}
+		out[ri] = row
+	}
+	return out, nil
+}
+
+// selection is the post-push-down row set of one base table: the surviving
+// row ids in ascending order, plus a bitmap for O(1) membership tests
+// during index probes. A nil selection means "all rows".
+type selection struct {
+	ids  []int32
+	mask []bool
+}
+
+func (s *selection) count(all int) int {
+	if s == nil {
+		return all
+	}
+	return len(s.ids)
+}
+
+func (s *selection) contains(id int32) bool {
+	return s == nil || s.mask[id]
+}
+
+// idTuple layout: one intermediate row is a slice of row ids, indexed by
+// the slot assigned to each joined table.
+
+// Execute runs the plan and returns all matching projected tuples.
+func (e *Executor) Execute(p exec.Plan) (*exec.Result, error) {
+	return e.ExecuteWith(p, exec.ExecOptions{})
+}
+
+// ExecuteWith implements exec.Executor.
+func (e *Executor) ExecuteWith(p exec.Plan, opts exec.ExecOptions) (*exec.Result, error) {
+	if err := p.Validate(e.src.Schema()); err != nil {
+		return nil, err
+	}
+	var stats exec.ExecStats
+	interrupt := exec.NewInterruptChecker(opts.Interrupt)
+
+	// Group pushed-down predicates by table.
+	predsByTable := make(map[string][]exec.ColumnPredicate)
+	for _, cp := range opts.ColumnPredicates {
+		key := strings.ToLower(cp.Ref.Table)
+		predsByTable[key] = append(predsByTable[key], cp)
+	}
+
+	// Push predicates down onto base tables: equality-shaped predicates
+	// select rows by keyword-index lookup, everything else scans the
+	// column.
+	sels := make(map[string]*selection, len(p.Tables))
+	for _, tname := range p.Tables {
+		key := strings.ToLower(tname)
+		t := e.tables[key]
+		preds := predsByTable[key]
+		if len(preds) == 0 {
+			sels[key] = nil
+			continue
+		}
+		sel, aborted, err := e.selectRows(t, tname, preds, &stats, interrupt)
+		if err != nil {
+			return nil, err
+		}
+		if aborted {
+			return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+		}
+		sels[key] = sel
+	}
+
+	// Same starting table and edge-scan discipline as the reference engine,
+	// over the filtered cardinalities, so both executors emit rows in the
+	// same order.
+	startTable := exec.StartTable(p, func(tbl string) int {
+		key := strings.ToLower(tbl)
+		return sels[key].count(e.tables[key].numRows)
+	})
+
+	firstKey := strings.ToLower(startTable)
+	slots := map[string]int{firstKey: 0}
+	var rows [][]int32
+	if sel := sels[firstKey]; sel != nil {
+		rows = make([][]int32, len(sel.ids))
+		for i, id := range sel.ids {
+			rows[i] = []int32{id}
+		}
+	} else {
+		n := e.tables[firstKey].numRows
+		rows = make([][]int32, n)
+		for i := 0; i < n; i++ {
+			rows[i] = []int32{int32(i)}
+		}
+	}
+
+	joined := map[string]bool{firstKey: true}
+	remainingJoins := append([]exec.JoinEdge(nil), p.Joins...)
+
+	for len(joined) < len(p.Tables) {
+		// Find a join edge connecting the joined set to a new table.
+		edgeIdx := -1
+		for i, edge := range remainingJoins {
+			l, r := strings.ToLower(edge.Left.Table), strings.ToLower(edge.Right.Table)
+			if joined[l] != joined[r] {
+				edgeIdx = i
+				break
+			}
+		}
+		if edgeIdx < 0 {
+			return nil, fmt.Errorf("colexec: plan join graph is not connected")
+		}
+		edge := remainingJoins[edgeIdx]
+		remainingJoins = append(remainingJoins[:edgeIdx], remainingJoins[edgeIdx+1:]...)
+
+		// Determine which side is new.
+		joinedRef, newRef := edge.Left, edge.Right
+		if !joined[strings.ToLower(edge.Left.Table)] {
+			joinedRef, newRef = edge.Right, edge.Left
+		}
+		newKey := strings.ToLower(newRef.Table)
+		newSel := sels[newKey]
+
+		probeCol, err := e.columnOf(joinedRef)
+		if err != nil {
+			return nil, err
+		}
+		probeSlot := slots[strings.ToLower(joinedRef.Table)]
+		buildCol, err := e.columnOf(newRef)
+		if err != nil {
+			return nil, err
+		}
+
+		// Probe the prebuilt join index of the new table's column; no hash
+		// table is built per execution.
+		var out [][]int32
+		for _, left := range rows {
+			if interrupt.Hit() {
+				return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+			}
+			v := probeCol.vals[left[probeSlot]]
+			if v.IsNull() {
+				continue
+			}
+			for _, rid := range buildCol.join[v.Key()] {
+				if !newSel.contains(rid) {
+					continue
+				}
+				combined := make([]int32, len(left)+1)
+				copy(combined, left)
+				combined[len(left)] = rid
+				out = append(out, combined)
+				if opts.MaxIntermediate > 0 && len(out) > opts.MaxIntermediate {
+					stats.AbortedTooLarge = true
+					return &exec.Result{Columns: p.Project, Stats: stats},
+						fmt.Errorf("colexec: intermediate result exceeded %d tuples", opts.MaxIntermediate)
+				}
+			}
+		}
+		slots[newKey] = len(slots)
+		rows = out
+		joined[newKey] = true
+		stats.JoinsExecuted++
+		stats.IntermediateRows += len(out)
+
+		// Residual edges with both endpoints joined become filters.
+		kept := remainingJoins[:0]
+		for _, re := range remainingJoins {
+			l, r := strings.ToLower(re.Left.Table), strings.ToLower(re.Right.Table)
+			if joined[l] && joined[r] {
+				rows, err = e.filterResidual(rows, re, slots)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				kept = append(kept, re)
+			}
+		}
+		remainingJoins = kept
+	}
+
+	// Apply any leftover internal join edges.
+	for _, re := range remainingJoins {
+		var err error
+		rows, err = e.filterResidual(rows, re, slots)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Project: gather values from the column stores only now.
+	type gather struct {
+		slot int
+		col  *column
+	}
+	gathers := make([]gather, len(p.Project))
+	for i, ref := range p.Project {
+		c, err := e.columnOf(ref)
+		if err != nil {
+			return nil, err
+		}
+		gathers[i] = gather{slot: slots[strings.ToLower(ref.Table)], col: c}
+	}
+	res := &exec.Result{Columns: append([]schema.ColumnRef(nil), p.Project...)}
+	var dedup map[string]struct{}
+	if p.Distinct {
+		dedup = make(map[string]struct{})
+	}
+	for _, row := range rows {
+		if interrupt.Hit() {
+			return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+		}
+		proj := make(value.Tuple, len(gathers))
+		for i, g := range gathers {
+			proj[i] = g.col.vals[row[g.slot]]
+		}
+		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
+			continue
+		}
+		if p.Distinct {
+			k := proj.Key()
+			if _, dup := dedup[k]; dup {
+				continue
+			}
+			dedup[k] = struct{}{}
+		}
+		res.Rows = append(res.Rows, proj)
+		if opts.Limit > 0 && len(res.Rows) >= opts.Limit {
+			stats.TerminatedEarly = true
+			break
+		}
+	}
+	stats.ResultRows = len(res.Rows)
+	res.Stats = stats
+	return res, nil
+}
+
+// Exists implements exec.Executor.
+func (e *Executor) Exists(p exec.Plan, opts exec.ExecOptions) (bool, exec.ExecStats, error) {
+	opts.Limit = 1
+	res, err := e.ExecuteWith(p, opts)
+	if err != nil {
+		if res != nil {
+			return false, res.Stats, err
+		}
+		return false, exec.ExecStats{}, err
+	}
+	return res.NumRows() > 0, res.Stats, nil
+}
+
+// boundPred is a pushed-down predicate with its column index resolved.
+type boundPred struct {
+	cp exec.ColumnPredicate
+	ci int
+}
+
+// selectRows applies a table's pushed-down predicates and returns the
+// surviving rows. When at least one predicate carries a complete keyword
+// list, the candidate set is seeded by keyword-index point lookups and only
+// those candidates are examined; otherwise the column is scanned once. In
+// both cases every predicate's Pred is (re-)applied, so near-miss index
+// hits are filtered out.
+func (e *Executor) selectRows(t *table, tname string, preds []exec.ColumnPredicate, stats *exec.ExecStats, interrupt *exec.InterruptChecker) (*selection, bool, error) {
+	var indexable *boundPred
+	var check []boundPred
+	for _, cp := range preds {
+		ci := t.sch.ColumnIndex(cp.Ref.Column)
+		if ci < 0 {
+			return nil, false, fmt.Errorf("colexec: predicate column %s not in table %s", cp.Ref, tname)
+		}
+		bp := boundPred{cp: cp, ci: ci}
+		// The predicate with the fewest keywords seeds the candidate set;
+		// all predicates (including the seed) are verified below.
+		if len(cp.Keywords) > 0 && (indexable == nil || len(cp.Keywords) < len(indexable.cp.Keywords)) {
+			indexable = &bp
+		}
+		check = append(check, bp)
+	}
+
+	var candidates []int32
+	if indexable != nil {
+		seen := make(map[int32]struct{})
+		col := t.cols[indexable.ci]
+		for _, kw := range indexable.cp.Keywords {
+			for _, key := range keywordLookupKeys(kw) {
+				for _, id := range col.keyword[key] {
+					if _, dup := seen[id]; dup {
+						continue
+					}
+					seen[id] = struct{}{}
+					candidates = append(candidates, id)
+				}
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	} else {
+		candidates = make([]int32, t.numRows)
+		for ri := range candidates {
+			candidates[ri] = int32(ri)
+		}
+	}
+
+	ids := candidates[:0]
+	for _, id := range candidates {
+		if interrupt.Hit() {
+			return nil, true, nil
+		}
+		stats.RowsScanned++
+		keep := true
+		for _, bp := range check {
+			if !bp.cp.Pred(t.cols[bp.ci].vals[id]) {
+				keep = false
+				stats.PredicateFiltered++
+				break
+			}
+		}
+		if keep {
+			ids = append(ids, id)
+		}
+	}
+	mask := make([]bool, t.numRows)
+	for _, id := range ids {
+		mask[id] = true
+	}
+	return &selection{ids: ids, mask: mask}, false, nil
+}
+
+func (e *Executor) columnOf(ref schema.ColumnRef) (*column, error) {
+	t, ok := e.tables[strings.ToLower(ref.Table)]
+	if !ok {
+		return nil, fmt.Errorf("colexec: unknown table %q", ref.Table)
+	}
+	ci := t.sch.ColumnIndex(ref.Column)
+	if ci < 0 {
+		return nil, fmt.Errorf("colexec: unknown column %q in table %q", ref.Column, ref.Table)
+	}
+	return t.cols[ci], nil
+}
+
+// filterResidual keeps intermediate rows whose two referenced columns hold
+// equal, non-null values.
+func (e *Executor) filterResidual(rows [][]int32, edge exec.JoinEdge, slots map[string]int) ([][]int32, error) {
+	lc, err := e.columnOf(edge.Left)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := e.columnOf(edge.Right)
+	if err != nil {
+		return nil, err
+	}
+	ls, lok := slots[strings.ToLower(edge.Left.Table)]
+	rs, rok := slots[strings.ToLower(edge.Right.Table)]
+	if !lok || !rok {
+		return nil, fmt.Errorf("colexec: residual join %s references unjoined table", edge)
+	}
+	filtered := rows[:0]
+	for _, row := range rows {
+		lv := lc.vals[row[ls]]
+		if !lv.IsNull() && lv.Equal(rc.vals[row[rs]]) {
+			filtered = append(filtered, row)
+		}
+	}
+	return filtered, nil
+}
+
+// ---------------------------------------------------------------------------
+// Keyword index keys
+// ---------------------------------------------------------------------------
+
+// keywordKeys returns the canonical keys a stored value is indexed under
+// for keyword-equality lookups, and keywordLookupKeys the keys probed for a
+// keyword constant. They are constructed so that v.MatchesKeyword(kw)
+// implies keywordKeys(v) ∩ keywordLookupKeys(kw) ≠ ∅ (no false negatives —
+// a miss would wrongly prune a mapping); false positives are harmless
+// because index hits are re-checked with the predicate. Values are indexed
+// under both their text form and, when numeric, their numeric form, exactly
+// mirroring MatchesKeyword's two comparison paths.
+func keywordKeys(v value.Value) []string {
+	keys := []string{"t:" + value.Normalize(v.String())}
+	if f, ok := v.Float(); ok {
+		keys = append(keys, floatKey(f))
+	}
+	return keys
+}
+
+func keywordLookupKeys(kw string) []string {
+	kw = strings.TrimSpace(kw)
+	if kw == "" {
+		return nil
+	}
+	keys := []string{"t:" + strings.ToLower(kw)}
+	if f, err := strconv.ParseFloat(kw, 64); err == nil {
+		keys = append(keys, floatKey(f))
+	}
+	return keys
+}
+
+func floatKey(f float64) string {
+	if f == 0 {
+		f = 0 // fold -0 into +0; MatchesKeyword compares them equal
+	}
+	return "f:" + strconv.FormatFloat(f, 'g', -1, 64)
+}

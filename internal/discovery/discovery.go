@@ -12,16 +12,23 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"prism/internal/bayes"
 	"prism/internal/constraint"
+	"prism/internal/exec"
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/mem"
 	"prism/internal/sched"
 	"prism/internal/schema"
 	"prism/internal/sqlgen"
+	"prism/internal/value"
+
+	// Register the bundled execution backends so Options.Executor can name
+	// them ("mem" registers through the mem import above).
+	_ "prism/internal/colexec"
 )
 
 // Policy selects the filter-scheduling policy.
@@ -70,6 +77,11 @@ type Options struct {
 	// every parallelism level because filter outcomes are ground truths of
 	// the database, independent of validation order.
 	Parallelism int
+	// Executor selects the execution backend for this round by registry
+	// name ("columnar", "mem", ...). Empty selects the engine's default
+	// (normally exec.DefaultName). The mapping set is identical for every
+	// backend — executors differ only in how fast they answer.
+	Executor string
 }
 
 func (o Options) withDefaults() Options {
@@ -102,12 +114,12 @@ type Mapping struct {
 	// Candidate is the join tree plus projection that produced the mapping.
 	Candidate graphx.Candidate
 	// Plan is the executable Project-Join plan.
-	Plan mem.Plan
+	Plan exec.Plan
 	// SQL is the rendered SQL text shown to the user.
 	SQL string
 	// Result holds up to Options.ResultLimit result rows when
 	// Options.IncludeResults is set, nil otherwise.
-	Result *mem.Result
+	Result *exec.Result
 }
 
 // Report is the outcome of one discovery round.
@@ -123,9 +135,11 @@ type Report struct {
 	CandidatesEnumerated int
 	FiltersGenerated     int
 	// Validations, Implied and Cost describe the validation work performed.
+	// Cost counters are specific to the executor used (an indexed backend
+	// scans fewer rows for the same outcome).
 	Validations int
 	Implied     int
-	Cost        mem.ExecStats
+	Cost        exec.ExecStats
 	// CandidatesConfirmed and CandidatesPruned count candidate resolutions;
 	// CandidatesConfirmed can exceed len(Mappings) when MaxResults truncates
 	// the report.
@@ -133,6 +147,8 @@ type Report struct {
 	CandidatesPruned    int
 	// Policy names the scheduling policy used.
 	Policy string
+	// Executor names the execution backend the round ran on.
+	Executor string
 	// Parallelism is the validation parallelism the round ran with.
 	Parallelism int
 	// TimedOut reports whether the round hit the time limit before
@@ -161,25 +177,80 @@ func (r *Report) Failure() string {
 
 // Engine runs discovery rounds over one source database. Creating an engine
 // performs the preprocessing the paper assumes: column statistics, the
-// inverted index, and the Bayesian models.
+// inverted index, and the Bayesian models. Plan execution goes through a
+// pluggable exec.Executor; backends are built lazily per engine, cached,
+// and selected per round with Options.Executor.
 type Engine struct {
 	db    *mem.Database
 	model *bayes.Model
 	graph *graphx.Graph
+
+	defaultExecutor string
+	mu              sync.Mutex
+	executors       map[string]*executorEntry
 }
 
-// NewEngine preprocesses the database and returns an engine.
+// executorEntry builds one named backend exactly once; concurrent rounds
+// wait on the build without holding the engine mutex, so cache hits on
+// already-built backends never stall behind another backend's build.
+type executorEntry struct {
+	once sync.Once
+	ex   exec.Executor
+	err  error
+}
+
+// NewEngine preprocesses the database and returns an engine whose default
+// execution backend is exec.DefaultName (the columnar engine).
 func NewEngine(db *mem.Database) *Engine {
+	return NewEngineWithExecutor(db, "")
+}
+
+// NewEngineWithExecutor is NewEngine with an explicit default execution
+// backend ("" selects exec.DefaultName). The backend is built lazily on
+// first use; an unknown name surfaces as an error from the first round.
+func NewEngineWithExecutor(db *mem.Database, executor string) *Engine {
 	db.Analyze()
 	return &Engine{
-		db:    db,
-		model: bayes.Train(db),
-		graph: graphx.New(db.Schema()),
+		db:              db,
+		model:           bayes.Train(db),
+		graph:           graphx.New(db.Schema()),
+		defaultExecutor: executor,
+		executors:       make(map[string]*executorEntry),
 	}
 }
 
 // Database returns the underlying database.
 func (e *Engine) Database() *mem.Database { return e.db }
+
+// Executor returns the named execution backend over the engine's database,
+// building and caching it on first use. The empty name selects the
+// engine's default backend.
+func (e *Engine) Executor(name string) (exec.Executor, error) {
+	if name == "" {
+		name = e.defaultExecutor
+	}
+	key := exec.CanonicalName(name)
+	e.mu.Lock()
+	entry, ok := e.executors[key]
+	if !ok {
+		entry = &executorEntry{}
+		e.executors[key] = entry
+	}
+	e.mu.Unlock()
+	entry.once.Do(func() { entry.ex, entry.err = exec.New(name, e.db) })
+	return entry.ex, entry.err
+}
+
+// SampleRows returns up to limit rows of the named source table (limit <= 0
+// returns all rows); demo surfaces use it for dataset previews. The fetch
+// goes through the engine's default execution backend.
+func (e *Engine) SampleRows(table string, limit int) ([]value.Tuple, error) {
+	ex, err := e.Executor("")
+	if err != nil {
+		return nil, err
+	}
+	return ex.SampleRows(table, limit)
+}
 
 // Model returns the trained Bayesian model.
 func (e *Engine) Model() *bayes.Model { return e.model }
@@ -290,6 +361,12 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	start := time.Now()
 	defer func() { report.Elapsed = time.Since(start) }()
 
+	executor, err := e.Executor(opts.Executor)
+	if err != nil {
+		return report, fmt.Errorf("discovery: %w", err)
+	}
+	report.Executor = executor.ExecutorName()
+
 	// The time budget bounds the whole round — including candidate
 	// enumeration and filter decomposition, not just the validation loop —
 	// via a context deadline. Skipped when a test clock is injected, since
@@ -314,8 +391,8 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		return ctx.Err(), true
 	}
 
-	if err, dead := interrupted(); dead {
-		return report, err
+	if err2, dead := interrupted(); dead {
+		return report, err2
 	}
 	related, err := e.RelatedColumns(spec)
 	report.Related = related
@@ -359,7 +436,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		}})
 	}
 
-	estimator, err := e.estimator(ctx, opts, spec, set)
+	estimator, err := e.estimator(ctx, opts, executor, spec, set)
 	if err != nil {
 		if err2, dead := interrupted(); dead {
 			return report, err2
@@ -384,7 +461,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		plan.Distinct = true
 		m := &Mapping{Candidate: cand, Plan: plan, SQL: sqlgen.Generate(plan)}
 		if opts.IncludeResults && ctx.Err() == nil {
-			result, err := e.db.ExecuteWith(plan, mem.ExecOptions{Limit: opts.ResultLimit})
+			result, err := executor.ExecuteWith(plan, exec.ExecOptions{Limit: opts.ResultLimit})
 			if err != nil {
 				if buildErr == nil {
 					buildErr = fmt.Errorf("discovery: executing final mapping %s: %w", m.SQL, err)
@@ -436,7 +513,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		}
 	}
 	runner := &sched.Runner{
-		DB:        e.db,
+		DB:        executor,
 		Spec:      spec,
 		Set:       set,
 		Estimator: estimator,
@@ -489,7 +566,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 }
 
 // estimator builds the scheduling estimator named by the options.
-func (e *Engine) estimator(ctx context.Context, opts Options, spec *constraint.Spec, set *filter.Set) (sched.Estimator, error) {
+func (e *Engine) estimator(ctx context.Context, opts Options, executor exec.Executor, spec *constraint.Spec, set *filter.Set) (sched.Estimator, error) {
 	switch opts.Policy {
 	case PolicyBayes:
 		return &sched.BayesEstimator{Model: e.model, Spec: spec}, nil
@@ -498,7 +575,7 @@ func (e *Engine) estimator(ctx context.Context, opts Options, spec *constraint.S
 	case PolicyRandom:
 		return &sched.RandomEstimator{Seed: opts.RandomSeed}, nil
 	case PolicyOracle:
-		truth, err := sched.GroundTruthContext(ctx, e.db, spec, set)
+		truth, err := sched.GroundTruthContext(ctx, executor, spec, set)
 		if err != nil {
 			return nil, fmt.Errorf("discovery: computing oracle ground truth: %w", err)
 		}
@@ -511,8 +588,12 @@ func (e *Engine) estimator(ctx context.Context, opts Options, spec *constraint.S
 // Summary renders a short human-readable description of the report.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "policy=%s candidates=%d filters=%d validations=%d (+%d implied) mappings=%d elapsed=%s",
-		r.Policy, r.CandidatesEnumerated, r.FiltersGenerated, r.Validations, r.Implied, len(r.Mappings), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "policy=%s", r.Policy)
+	if r.Executor != "" {
+		fmt.Fprintf(&b, " executor=%s", r.Executor)
+	}
+	fmt.Fprintf(&b, " candidates=%d filters=%d validations=%d (+%d implied) mappings=%d elapsed=%s",
+		r.CandidatesEnumerated, r.FiltersGenerated, r.Validations, r.Implied, len(r.Mappings), r.Elapsed.Round(time.Millisecond))
 	if r.Parallelism > 1 {
 		fmt.Fprintf(&b, " parallelism=%d", r.Parallelism)
 	}

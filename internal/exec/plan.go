@@ -1,0 +1,299 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// JoinEdge is one equi-join condition Left = Right between two tables.
+type JoinEdge struct {
+	Left  schema.ColumnRef
+	Right schema.ColumnRef
+}
+
+// String renders the edge as "a.b = c.d".
+func (e JoinEdge) String() string { return e.Left.String() + " = " + e.Right.String() }
+
+// Plan is a Project-Join query plan: the class of schema mapping queries
+// Prism synthesizes (§2.1 System Output). Plans are backend-neutral — every
+// Executor implementation accepts the same Plan.
+type Plan struct {
+	// Tables lists every relation participating in the join (no duplicates).
+	Tables []string
+	// Joins are the equi-join conditions; for a candidate schema mapping
+	// they form a tree over Tables.
+	Joins []JoinEdge
+	// Project lists the output columns in target-schema order.
+	Project []schema.ColumnRef
+	// Distinct removes duplicate projected tuples when set.
+	Distinct bool
+}
+
+// String renders a compact description of the plan.
+func (p Plan) String() string {
+	var b strings.Builder
+	b.WriteString("π(")
+	for i, c := range p.Project {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(") ⋈(")
+	for i, j := range p.Joins {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(j.String())
+	}
+	b.WriteString(") over ")
+	b.WriteString(strings.Join(p.Tables, ", "))
+	return b.String()
+}
+
+// Validate checks that every table and column referenced by the plan exists
+// and that the join graph is connected.
+func (p Plan) Validate(sch *schema.Schema) error {
+	if len(p.Tables) == 0 {
+		return errors.New("exec: plan has no tables")
+	}
+	seen := make(map[string]bool, len(p.Tables))
+	for _, t := range p.Tables {
+		if _, ok := sch.Table(t); !ok {
+			return fmt.Errorf("exec: plan references unknown table %q", t)
+		}
+		key := strings.ToLower(t)
+		if seen[key] {
+			return fmt.Errorf("exec: plan lists table %q twice", t)
+		}
+		seen[key] = true
+	}
+	inPlan := func(table string) bool { return seen[strings.ToLower(table)] }
+	for _, j := range p.Joins {
+		for _, ref := range []schema.ColumnRef{j.Left, j.Right} {
+			if _, err := sch.Resolve(ref); err != nil {
+				return fmt.Errorf("exec: plan join %s: %w", j, err)
+			}
+			if !inPlan(ref.Table) {
+				return fmt.Errorf("exec: plan join %s references table %q not in plan", j, ref.Table)
+			}
+		}
+	}
+	for _, ref := range p.Project {
+		if _, err := sch.Resolve(ref); err != nil {
+			return fmt.Errorf("exec: plan projection: %w", err)
+		}
+		if !inPlan(ref.Table) {
+			return fmt.Errorf("exec: plan projects %s from table not in plan", ref)
+		}
+	}
+	if len(p.Tables) > 1 && !p.connected() {
+		return errors.New("exec: plan join graph is not connected")
+	}
+	return nil
+}
+
+func (p Plan) connected() bool {
+	if len(p.Tables) == 0 {
+		return false
+	}
+	adj := make(map[string][]string)
+	for _, j := range p.Joins {
+		a, b := strings.ToLower(j.Left.Table), strings.ToLower(j.Right.Table)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	visited := make(map[string]bool)
+	stack := []string{strings.ToLower(p.Tables[0])}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	for _, t := range p.Tables {
+		if !visited[strings.ToLower(t)] {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnPredicate is a single-column selection predicate; executors push
+// predicates below the joins onto base-table scans.
+type ColumnPredicate struct {
+	// Ref names the constrained column; it must belong to a plan table.
+	Ref schema.ColumnRef
+	// Pred decides row membership and is the authoritative semantics of the
+	// predicate; it must be non-nil.
+	Pred func(value.Value) bool
+	// Keywords, when non-empty, asserts that every value satisfying Pred
+	// matches at least one of these keywords under Value.MatchesKeyword —
+	// i.e. the predicate is equality-shaped (a sample cell or a disjunction
+	// of sample cells). Indexed executors use the keywords for point lookups
+	// instead of scanning the column; rows found that way are still
+	// re-checked with Pred, so an over-complete keyword list is safe while
+	// an incomplete one is not.
+	Keywords []string
+}
+
+// ExecOptions tune plan execution. The zero value executes the plan fully.
+type ExecOptions struct {
+	// ColumnPredicates are pushed down to base-table scans.
+	ColumnPredicates []ColumnPredicate
+	// TuplePredicate, when non-nil, filters projected tuples.
+	TuplePredicate func(value.Tuple) bool
+	// Limit stops execution after this many result tuples (0 = unlimited).
+	Limit int
+	// MaxIntermediate aborts execution when an intermediate relation exceeds
+	// this many tuples (0 = unlimited); a guard for runaway joins.
+	MaxIntermediate int
+	// Interrupt, when non-nil, is polled periodically during execution;
+	// returning true aborts the run with ErrInterrupted. It is how context
+	// cancellation reaches the row-processing loops without executors
+	// depending on context directly.
+	Interrupt func() bool
+}
+
+// ErrInterrupted is returned by Executor.ExecuteWith when
+// ExecOptions.Interrupt reports that execution should stop (typically a
+// cancelled context).
+var ErrInterrupted = errors.New("exec: execution interrupted")
+
+// InterruptEvery bounds how many row-loop iterations run between Interrupt
+// polls; small enough that cancellation lands promptly, large enough that
+// the poll is free on the hot path.
+const InterruptEvery = 1024
+
+// InterruptChecker wraps ExecOptions.Interrupt with the polling cadence
+// executors share. The zero value (nil function) never fires.
+type InterruptChecker struct {
+	fn    func() bool
+	steps int
+}
+
+// NewInterruptChecker builds a checker around an ExecOptions.Interrupt
+// function (which may be nil).
+func NewInterruptChecker(fn func() bool) *InterruptChecker {
+	return &InterruptChecker{fn: fn}
+}
+
+// Hit reports whether execution should abort; it polls the underlying
+// function once every interruptEvery calls.
+func (c *InterruptChecker) Hit() bool {
+	if c.fn == nil {
+		return false
+	}
+	c.steps++
+	return c.steps%InterruptEvery == 0 && c.fn()
+}
+
+// ExecStats reports work performed by one execution; the filter-scheduling
+// experiments use it as the validation cost measure. Counters describe the
+// work the executor actually did, so they are comparable within one
+// executor but not across executors (an indexed executor scans fewer rows
+// for the same answer).
+type ExecStats struct {
+	RowsScanned       int // base-table rows read
+	IntermediateRows  int // tuples materialised across all join steps
+	JoinsExecuted     int
+	ResultRows        int
+	TerminatedEarly   bool // stopped due to Limit
+	AbortedTooLarge   bool // stopped due to MaxIntermediate
+	PredicateFiltered int  // base rows removed by pushed-down predicates
+}
+
+// Add accumulates another execution's stats into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.RowsScanned += o.RowsScanned
+	s.IntermediateRows += o.IntermediateRows
+	s.JoinsExecuted += o.JoinsExecuted
+	s.ResultRows += o.ResultRows
+	s.PredicateFiltered += o.PredicateFiltered
+	s.TerminatedEarly = s.TerminatedEarly || o.TerminatedEarly
+	s.AbortedTooLarge = s.AbortedTooLarge || o.AbortedTooLarge
+}
+
+// Result is the output of a plan execution.
+type Result struct {
+	Columns []schema.ColumnRef
+	Rows    []value.Tuple
+	Stats   ExecStats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Contains reports whether any result row equals the given tuple
+// (value.Compare semantics per cell).
+func (r *Result) Contains(t value.Tuple) bool {
+	for _, row := range r.Rows {
+		if row.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the result as a simple aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	headers := make([]string, len(r.Columns))
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		headers[i] = c.String()
+		widths[i] = len(headers[i])
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			cells[ri][ci] = v.String()
+			if len(cells[ri][ci]) > widths[ci] {
+				widths[ci] = len(cells[ri][ci])
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for pad := len(v); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// StartTable picks the table a plan's join execution starts from: the one
+// with the smallest post-push-down cardinality (declaration order breaks
+// ties). Both bundled executors start here and then extend the join by
+// scanning the plan's edge list in declaration order for an edge touching
+// the joined set — it is that shared edge-scan discipline, together with
+// probing in base-row order, that makes their result row order identical;
+// StartTable only supplies the common anchor.
+func StartTable(p Plan, size func(table string) int) string {
+	best := p.Tables[0]
+	bestSize := size(best)
+	for _, t := range p.Tables[1:] {
+		if s := size(t); s < bestSize {
+			best, bestSize = t, s
+		}
+	}
+	return best
+}

@@ -14,6 +14,7 @@ import (
 	"prism/internal/constraint"
 	"prism/internal/dataset"
 	"prism/internal/discovery"
+	"prism/internal/exec"
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/mem"
@@ -113,6 +114,10 @@ type Config struct {
 	// 1, the sequential loop, so validation counts stay exactly
 	// reproducible across machines).
 	Parallelism int
+	// Executor selects the execution backend for every round and ground
+	// truth computation ("" = the engine default, columnar). Validation
+	// counts are identical across backends; wall-clock times are not.
+	Executor string
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +157,9 @@ func (c Config) withDefaults() Config {
 type Runner struct {
 	Config Config
 	DB     *mem.Database
+	// Exec is the execution backend named by Config.Executor, shared by the
+	// scheduling comparison and the discovery rounds.
+	Exec   exec.Executor
 	Engine *discovery.Engine
 	Gen    *workload.Generator
 }
@@ -167,12 +175,21 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	return &Runner{
+	r := &Runner{
 		Config: cfg,
 		DB:     db,
-		Engine: discovery.NewEngine(db),
+		Engine: discovery.NewEngineWithExecutor(db, cfg.Executor),
 		Gen:    gen,
-	}, nil
+	}
+	// Resolve the backend once so a bad name fails at construction, and so
+	// the scheduling comparison probes the same executor instance the
+	// discovery rounds use.
+	ex, err := r.Engine.Executor(cfg.Executor)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	r.Exec = ex
+	return r, nil
 }
 
 // levelMetrics aggregates per-level measurements for E1/E2.
@@ -201,6 +218,7 @@ func (r *Runner) sweepLevel(ctx context.Context, level workload.Level) (levelMet
 			TimeLimit:   r.Config.TimeLimit,
 			MaxTables:   r.Config.MaxTables,
 			Parallelism: r.Config.Parallelism,
+			Executor:    r.Config.Executor,
 		})
 		if err != nil {
 			m.failures++
@@ -367,14 +385,14 @@ func (r *Runner) scheduleCase(ctx context.Context, tc workload.TestCase) ([]stri
 		return nil, 0, err
 	}
 	set := filter.Decompose(cands)
-	truth, err := sched.GroundTruthContext(ctx, r.DB, tc.Spec, set)
+	truth, err := sched.GroundTruthContext(ctx, r.Exec, tc.Spec, set)
 	if err != nil {
 		return nil, 0, err
 	}
 	optimum := sched.OptimalValidationCount(set, truth)
 
 	run := func(est sched.Estimator) (int, error) {
-		runner := &sched.Runner{DB: r.DB, Spec: tc.Spec, Set: set, Estimator: est,
+		runner := &sched.Runner{DB: r.Exec, Spec: tc.Spec, Set: set, Estimator: est,
 			Options: sched.Options{
 				TimeLimit:   r.Config.TimeLimit,
 				Parallelism: r.Config.Parallelism,
@@ -424,6 +442,7 @@ func (r *Runner) RunTable1(ctx context.Context) (*Table, error) {
 		TimeLimit:      r.Config.TimeLimit,
 		MaxTables:      r.Config.MaxTables,
 		Parallelism:    r.Config.Parallelism,
+		Executor:       r.Config.Executor,
 		IncludeResults: true,
 		ResultLimit:    5,
 	})

@@ -27,9 +27,9 @@ import (
 	"strings"
 
 	"prism/internal/constraint"
+	"prism/internal/exec"
 	"prism/internal/graphx"
 	"prism/internal/lang"
-	"prism/internal/mem"
 	"prism/internal/schema"
 	"prism/internal/value"
 )
@@ -83,12 +83,12 @@ func (f *Filter) IsTopOf(c graphx.Candidate) bool {
 }
 
 // Plan returns the executable Project-Join plan of the filter.
-func (f *Filter) Plan() mem.Plan {
-	joins := make([]mem.JoinEdge, len(f.Tree.Edges))
+func (f *Filter) Plan() exec.Plan {
+	joins := make([]exec.JoinEdge, len(f.Tree.Edges))
 	for i, e := range f.Tree.Edges {
-		joins[i] = mem.JoinEdge{Left: e.From, Right: e.To}
+		joins[i] = exec.JoinEdge{Left: e.From, Right: e.To}
 	}
-	return mem.Plan{
+	return exec.Plan{
 		Tables:  append([]string(nil), f.Tree.Tables...),
 		Joins:   joins,
 		Project: append([]schema.ColumnRef(nil), f.Sources...),
@@ -336,13 +336,15 @@ func enumerateSubtrees(t graphx.Tree) []graphx.Tree {
 // ValidationResult reports one filter validation.
 type ValidationResult struct {
 	Passed bool
-	Cost   mem.ExecStats
+	Cost   exec.ExecStats
 }
 
-// Validator executes filter validations against a database for a given
-// constraint specification.
+// Validator executes filter validations against an execution backend for a
+// given constraint specification.
 type Validator struct {
-	DB   *mem.Database
+	// DB is the execution backend probed by validations: any exec.Executor
+	// (the in-memory reference engine or the columnar engine).
+	DB   exec.Executor
 	Spec *constraint.Spec
 	// MaxIntermediate guards runaway joins during validation (0 = default).
 	MaxIntermediate int
@@ -364,7 +366,7 @@ func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
 // ctx.Err().
 func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationResult, error) {
 	plan := f.Plan()
-	var total mem.ExecStats
+	var total exec.ExecStats
 	samples := v.Spec.Samples
 	if len(samples) == 0 {
 		samples = []constraint.SampleConstraint{{Cells: make([]lang.ValueExpr, v.Spec.NumColumns)}}
@@ -373,20 +375,26 @@ func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationR
 		if err := ctx.Err(); err != nil {
 			return ValidationResult{Cost: total}, err
 		}
-		opts := mem.ExecOptions{
+		opts := exec.ExecOptions{
 			MaxIntermediate: v.MaxIntermediate,
 			Interrupt:       func() bool { return ctx.Err() != nil },
 		}
-		// Push single-column predicates down to base scans.
+		// Push single-column predicates down to base scans. Equality-shaped
+		// cells additionally carry their keyword cover, which indexed
+		// executors resolve by point lookup instead of a column scan.
 		for i, tc := range f.TargetCols {
 			if tc >= len(sample.Cells) || sample.Cells[tc] == nil {
 				continue
 			}
 			expr := sample.Cells[tc]
-			opts.ColumnPredicates = append(opts.ColumnPredicates, mem.ColumnPredicate{
+			cp := exec.ColumnPredicate{
 				Ref:  f.Sources[i],
 				Pred: expr.Eval,
-			})
+			}
+			if kws, ok := lang.EqualityKeywords(expr); ok {
+				cp.Keywords = kws
+			}
+			opts.ColumnPredicates = append(opts.ColumnPredicates, cp)
 		}
 		// The pushed-down predicates already enforce every covered cell, but
 		// keep a tuple predicate as a defence in depth for shared source
@@ -398,7 +406,7 @@ func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationR
 		ok, stats, err := v.DB.Exists(plan, opts)
 		total.Add(stats)
 		if err != nil {
-			if errors.Is(err, mem.ErrInterrupted) && ctx.Err() != nil {
+			if errors.Is(err, exec.ErrInterrupted) && ctx.Err() != nil {
 				return ValidationResult{Cost: total}, ctx.Err()
 			}
 			return ValidationResult{Cost: total}, fmt.Errorf("filter: validating %s: %w", f, err)
@@ -451,7 +459,7 @@ type Session struct {
 	// execution.
 	Implied int
 	// Cost accumulates execution statistics of the validations run.
-	Cost mem.ExecStats
+	Cost exec.ExecStats
 }
 
 // NewSession creates a fresh session over a filter set.

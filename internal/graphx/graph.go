@@ -11,7 +11,7 @@ import (
 	"sort"
 	"strings"
 
-	"prism/internal/mem"
+	"prism/internal/exec"
 	"prism/internal/schema"
 )
 
@@ -206,12 +206,12 @@ func (c Candidate) Canonical() string {
 }
 
 // Plan converts the candidate into an executable Project-Join plan.
-func (c Candidate) Plan() mem.Plan {
-	joins := make([]mem.JoinEdge, len(c.Tree.Edges))
+func (c Candidate) Plan() exec.Plan {
+	joins := make([]exec.JoinEdge, len(c.Tree.Edges))
 	for i, e := range c.Tree.Edges {
-		joins[i] = mem.JoinEdge{Left: e.From, Right: e.To}
+		joins[i] = exec.JoinEdge{Left: e.From, Right: e.To}
 	}
-	return mem.Plan{
+	return exec.Plan{
 		Tables:  append([]string(nil), c.Tree.Tables...),
 		Joins:   joins,
 		Project: append([]schema.ColumnRef(nil), c.Projection...),

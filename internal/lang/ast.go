@@ -359,6 +359,54 @@ func Keywords(e ValueExpr) []string {
 	return out
 }
 
+// EqualityKeywords analyses whether the expression is equality-shaped: a
+// keyword, an equality comparison, a disjunction of such terms, or a
+// conjunction containing at least one equality-shaped term. When ok, the
+// returned keywords are a complete cover — Eval(v) implies
+// v.MatchesKeyword(k) for some returned k — so an executor with a keyword
+// index may select candidate rows by point lookup and re-check them with
+// Eval. ok is false for range, ordering and negation shapes, which have no
+// finite keyword cover.
+func EqualityKeywords(e ValueExpr) (keywords []string, ok bool) {
+	switch n := e.(type) {
+	case Keyword:
+		return []string{n.Word}, true
+	case Compare:
+		if n.Op == OpEq {
+			// Date/Time constants compare numerically against numeric cells
+			// (unix seconds) under Compare, which MatchesKeyword cannot
+			// express with a finite keyword list; leave those to a scan.
+			if k := n.Const.Kind(); k == value.Date || k == value.Time {
+				return nil, false
+			}
+			return []string{n.Const.String()}, true
+		}
+		return nil, false
+	case Or:
+		var out []string
+		for _, t := range n.Terms {
+			kws, tok := EqualityKeywords(t)
+			if !tok {
+				// One non-equality branch makes the disjunction uncoverable.
+				return nil, false
+			}
+			out = append(out, kws...)
+		}
+		return out, len(out) > 0
+	case And:
+		// A conjunction is covered by any one equality-shaped term: Eval
+		// implies that term's Eval, which implies its keyword cover.
+		for _, t := range n.Terms {
+			if kws, tok := EqualityKeywords(t); tok {
+				return kws, true
+			}
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
 // ColumnFeasible conservatively reports whether some value stored in a
 // column with the given statistics could satisfy the constraint. hasKeyword
 // answers whether the column contains an exact keyword (via the inverted

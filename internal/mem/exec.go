@@ -3,257 +3,80 @@ package mem
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
+	"prism/internal/exec"
 	"prism/internal/schema"
 	"prism/internal/value"
 )
 
-// JoinEdge is one equi-join condition Left = Right between two tables.
-type JoinEdge struct {
-	Left  schema.ColumnRef
-	Right schema.ColumnRef
-}
-
-// String renders the edge as "a.b = c.d".
-func (e JoinEdge) String() string { return e.Left.String() + " = " + e.Right.String() }
-
-// Plan is a Project-Join query plan: the class of schema mapping queries
-// Prism synthesizes (§2.1 System Output).
-type Plan struct {
-	// Tables lists every relation participating in the join (no duplicates).
-	Tables []string
-	// Joins are the equi-join conditions; for a candidate schema mapping
-	// they form a tree over Tables.
-	Joins []JoinEdge
-	// Project lists the output columns in target-schema order.
-	Project []schema.ColumnRef
-	// Distinct removes duplicate projected tuples when set.
-	Distinct bool
-}
-
-// String renders a compact description of the plan.
-func (p Plan) String() string {
-	var b strings.Builder
-	b.WriteString("π(")
-	for i, c := range p.Project {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(c.String())
-	}
-	b.WriteString(") ⋈(")
-	for i, j := range p.Joins {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(j.String())
-	}
-	b.WriteString(") over ")
-	b.WriteString(strings.Join(p.Tables, ", "))
-	return b.String()
-}
-
-// Validate checks that every table and column referenced by the plan exists
-// and that the join graph is connected.
-func (p Plan) Validate(sch *schema.Schema) error {
-	if len(p.Tables) == 0 {
-		return errors.New("mem: plan has no tables")
-	}
-	seen := make(map[string]bool, len(p.Tables))
-	for _, t := range p.Tables {
-		if _, ok := sch.Table(t); !ok {
-			return fmt.Errorf("mem: plan references unknown table %q", t)
-		}
-		key := strings.ToLower(t)
-		if seen[key] {
-			return fmt.Errorf("mem: plan lists table %q twice", t)
-		}
-		seen[key] = true
-	}
-	inPlan := func(table string) bool { return seen[strings.ToLower(table)] }
-	for _, j := range p.Joins {
-		for _, ref := range []schema.ColumnRef{j.Left, j.Right} {
-			if _, err := sch.Resolve(ref); err != nil {
-				return fmt.Errorf("mem: plan join %s: %w", j, err)
-			}
-			if !inPlan(ref.Table) {
-				return fmt.Errorf("mem: plan join %s references table %q not in plan", j, ref.Table)
-			}
-		}
-	}
-	for _, ref := range p.Project {
-		if _, err := sch.Resolve(ref); err != nil {
-			return fmt.Errorf("mem: plan projection: %w", err)
-		}
-		if !inPlan(ref.Table) {
-			return fmt.Errorf("mem: plan projects %s from table not in plan", ref)
-		}
-	}
-	if len(p.Tables) > 1 && !p.connected() {
-		return errors.New("mem: plan join graph is not connected")
-	}
-	return nil
-}
-
-func (p Plan) connected() bool {
-	if len(p.Tables) == 0 {
-		return false
-	}
-	adj := make(map[string][]string)
-	for _, j := range p.Joins {
-		a, b := strings.ToLower(j.Left.Table), strings.ToLower(j.Right.Table)
-		adj[a] = append(adj[a], b)
-		adj[b] = append(adj[b], a)
-	}
-	visited := make(map[string]bool)
-	stack := []string{strings.ToLower(p.Tables[0])}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if visited[n] {
-			continue
-		}
-		visited[n] = true
-		stack = append(stack, adj[n]...)
-	}
-	for _, t := range p.Tables {
-		if !visited[strings.ToLower(t)] {
-			return false
-		}
-	}
-	return true
-}
-
-// ColumnPredicate is a single-column selection predicate; predicates are
-// pushed below the joins onto base-table scans.
-type ColumnPredicate struct {
-	Ref  schema.ColumnRef
-	Pred func(value.Value) bool
-}
-
-// ExecOptions tune plan execution.
-type ExecOptions struct {
-	// ColumnPredicates are pushed down to base-table scans.
-	ColumnPredicates []ColumnPredicate
-	// TuplePredicate, when non-nil, filters projected tuples.
-	TuplePredicate func(value.Tuple) bool
-	// Limit stops execution after this many result tuples (0 = unlimited).
-	Limit int
-	// MaxIntermediate aborts execution when an intermediate relation exceeds
-	// this many tuples (0 = unlimited); a guard for runaway joins.
-	MaxIntermediate int
-	// Interrupt, when non-nil, is polled periodically during execution;
-	// returning true aborts the run with ErrInterrupted. It is how context
-	// cancellation reaches the row-processing loops without the executor
-	// depending on context directly.
-	Interrupt func() bool
-}
+// The plan language and execution contract live in package exec so that
+// every backend shares them; these aliases keep mem's historical names
+// working and mark mem as one implementation among several.
+type (
+	// JoinEdge is one equi-join condition between two tables.
+	JoinEdge = exec.JoinEdge
+	// Plan is a backend-neutral Project-Join query plan.
+	Plan = exec.Plan
+	// ColumnPredicate is a single-column selection predicate pushed below
+	// the joins.
+	ColumnPredicate = exec.ColumnPredicate
+	// ExecOptions tune plan execution.
+	ExecOptions = exec.ExecOptions
+	// ExecStats reports work performed by one execution.
+	ExecStats = exec.ExecStats
+	// Result is the output of a plan execution.
+	Result = exec.Result
+)
 
 // ErrInterrupted is returned by ExecuteWith when ExecOptions.Interrupt
 // reports that execution should stop (typically a cancelled context).
-var ErrInterrupted = errors.New("mem: execution interrupted")
+var ErrInterrupted = exec.ErrInterrupted
 
-// interruptEvery bounds how many row-loop iterations run between Interrupt
-// polls; small enough that cancellation lands promptly, large enough that
-// the poll is free on the hot path.
-const interruptEvery = 1024
+// interruptEvery mirrors the shared polling cadence for the tests that
+// size their fixtures around it.
+const interruptEvery = exec.InterruptEvery
 
-// interruptChecker wraps ExecOptions.Interrupt with the polling cadence.
-type interruptChecker struct {
-	fn    func() bool
-	steps int
-}
+// Database implements exec.Executor (the row-at-a-time reference engine)
+// and exec.Source (the substrate other executors are built from).
+var (
+	_ exec.Executor = (*Database)(nil)
+	_ exec.Source   = (*Database)(nil)
+)
 
-func (c *interruptChecker) hit() bool {
-	if c.fn == nil {
-		return false
-	}
-	c.steps++
-	return c.steps%interruptEvery == 0 && c.fn()
-}
-
-// ExecStats reports work performed by one execution; the filter-scheduling
-// experiments use it as the validation cost measure.
-type ExecStats struct {
-	RowsScanned       int // base-table rows read
-	IntermediateRows  int // tuples materialised across all join steps
-	JoinsExecuted     int
-	ResultRows        int
-	TerminatedEarly   bool // stopped due to Limit
-	AbortedTooLarge   bool // stopped due to MaxIntermediate
-	PredicateFiltered int  // base rows removed by pushed-down predicates
-}
-
-// Add accumulates another execution's stats into s.
-func (s *ExecStats) Add(o ExecStats) {
-	s.RowsScanned += o.RowsScanned
-	s.IntermediateRows += o.IntermediateRows
-	s.JoinsExecuted += o.JoinsExecuted
-	s.ResultRows += o.ResultRows
-	s.PredicateFiltered += o.PredicateFiltered
-	s.TerminatedEarly = s.TerminatedEarly || o.TerminatedEarly
-	s.AbortedTooLarge = s.AbortedTooLarge || o.AbortedTooLarge
-}
-
-// Result is the output of a plan execution.
-type Result struct {
-	Columns []schema.ColumnRef
-	Rows    []value.Tuple
-	Stats   ExecStats
-}
-
-// NumRows returns the number of result rows.
-func (r *Result) NumRows() int { return len(r.Rows) }
-
-// Contains reports whether any result row equals the given tuple
-// (value.Compare semantics per cell).
-func (r *Result) Contains(t value.Tuple) bool {
-	for _, row := range r.Rows {
-		if row.Equal(t) {
-			return true
+// init registers the reference executor. The factory requires the source to
+// be a *mem.Database because this executor scans mem's row storage
+// directly.
+func init() {
+	exec.Register("mem", func(src exec.Source) (exec.Executor, error) {
+		db, ok := src.(*Database)
+		if !ok {
+			return nil, fmt.Errorf("mem: executor requires a *mem.Database source, got %T", src)
 		}
-	}
-	return false
+		return db, nil
+	})
 }
 
-// String renders the result as a simple aligned text table.
-func (r *Result) String() string {
-	var b strings.Builder
-	headers := make([]string, len(r.Columns))
-	widths := make([]int, len(r.Columns))
-	for i, c := range r.Columns {
-		headers[i] = c.String()
-		widths[i] = len(headers[i])
+// ExecutorName implements exec.Executor.
+func (db *Database) ExecutorName() string { return "mem" }
+
+// SampleRows implements exec.Executor: the first limit rows of the table in
+// storage order (limit <= 0 returns all rows). Rows are copied, so callers
+// may mutate them freely.
+func (db *Database) SampleRows(table string, limit int) ([]value.Tuple, error) {
+	rel, ok := db.Relation(table)
+	if !ok {
+		return nil, fmt.Errorf("mem: unknown table %q", table)
 	}
-	cells := make([][]string, len(r.Rows))
-	for ri, row := range r.Rows {
-		cells[ri] = make([]string, len(row))
-		for ci, v := range row {
-			cells[ri][ci] = v.String()
-			if len(cells[ri][ci]) > widths[ci] {
-				widths[ci] = len(cells[ri][ci])
-			}
-		}
+	n := len(rel.Rows)
+	if limit > 0 && limit < n {
+		n = limit
 	}
-	writeRow := func(vals []string) {
-		for i, v := range vals {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(v)
-			for pad := len(v); pad < widths[i]; pad++ {
-				b.WriteByte(' ')
-			}
-		}
-		b.WriteByte('\n')
+	out := make([]value.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = append(value.Tuple(nil), rel.Rows[i]...)
 	}
-	writeRow(headers)
-	for _, row := range cells {
-		writeRow(row)
-	}
-	return b.String()
+	return out, nil
 }
 
 // intermediate is a working relation during join execution: a set of tuples
@@ -291,7 +114,7 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		return nil, err
 	}
 	var stats ExecStats
-	interrupt := &interruptChecker{fn: opts.Interrupt}
+	interrupt := exec.NewInterruptChecker(opts.Interrupt)
 
 	// Group pushed-down predicates by table.
 	predsByTable := make(map[string][]ColumnPredicate)
@@ -307,7 +130,7 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		preds := predsByTable[key]
 		rows := make([]value.Tuple, 0, len(rel.Rows))
 		for _, row := range rel.Rows {
-			if interrupt.hit() {
+			if interrupt.Hit() {
 				return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
 			}
 			stats.RowsScanned++
@@ -330,19 +153,20 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		base[key] = rows
 	}
 
-	// Choose a join order: start from the smallest filtered base table and
-	// repeatedly join along an edge that connects a new table, preferring
-	// the smallest next table (a greedy heuristic that keeps intermediates
-	// small for the tree-shaped candidate queries Prism generates).
-	order := joinOrder(p, base)
+	// Start from the smallest filtered base table (a greedy heuristic that
+	// keeps intermediates small for the tree-shaped candidate queries Prism
+	// generates), then join along plan edges in declaration order.
+	startTable := exec.StartTable(p, func(table string) int {
+		return len(base[strings.ToLower(table)])
+	})
 
-	first := strings.ToLower(order[0])
+	first := strings.ToLower(startTable)
 	im := &intermediate{
 		offsets: map[string]int{first: 0},
 		schemas: map[string]*schema.Table{},
 		rows:    base[first],
 	}
-	firstRel, _ := db.Relation(order[0])
+	firstRel, _ := db.Relation(startTable)
 	im.schemas[first] = firstRel.Schema
 	im.width = firstRel.Schema.Arity()
 
@@ -396,7 +220,7 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		// Probe.
 		var out []value.Tuple
 		for _, left := range im.rows {
-			if interrupt.hit() {
+			if interrupt.Hit() {
 				return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
 			}
 			v := left[off]
@@ -486,7 +310,7 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		dedup = make(map[string]struct{})
 	}
 	for _, row := range im.rows {
-		if interrupt.hit() {
+		if interrupt.Hit() {
 			return &Result{Columns: p.Project, Stats: stats}, ErrInterrupted
 		}
 		proj := make(value.Tuple, len(offsets))
@@ -512,72 +336,6 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 	stats.ResultRows = len(res.Rows)
 	res.Stats = stats
 	return res, nil
-}
-
-// joinOrder picks the execution order of tables: smallest filtered base
-// table first, then greedily the smallest table connected by a join edge.
-func joinOrder(p Plan, base map[string][]value.Tuple) []string {
-	if len(p.Tables) == 1 {
-		return p.Tables
-	}
-	adj := make(map[string]map[string]bool)
-	for _, e := range p.Joins {
-		l, r := strings.ToLower(e.Left.Table), strings.ToLower(e.Right.Table)
-		if adj[l] == nil {
-			adj[l] = make(map[string]bool)
-		}
-		if adj[r] == nil {
-			adj[r] = make(map[string]bool)
-		}
-		adj[l][r] = true
-		adj[r][l] = true
-	}
-	canonical := make(map[string]string, len(p.Tables))
-	for _, t := range p.Tables {
-		canonical[strings.ToLower(t)] = t
-	}
-	// Start table: the smallest.
-	startKey := strings.ToLower(p.Tables[0])
-	for _, t := range p.Tables {
-		k := strings.ToLower(t)
-		if len(base[k]) < len(base[startKey]) {
-			startKey = k
-		}
-	}
-	order := []string{canonical[startKey]}
-	inOrder := map[string]bool{startKey: true}
-	for len(order) < len(p.Tables) {
-		// Candidate next tables: connected to the ordered set.
-		var candidates []string
-		for k := range inOrder {
-			for n := range adj[k] {
-				if !inOrder[n] {
-					candidates = append(candidates, n)
-				}
-			}
-		}
-		if len(candidates) == 0 {
-			// Disconnected graph; append the rest in declared order (the
-			// executor will report the connectivity error).
-			for _, t := range p.Tables {
-				if !inOrder[strings.ToLower(t)] {
-					order = append(order, t)
-					inOrder[strings.ToLower(t)] = true
-				}
-			}
-			break
-		}
-		sort.Slice(candidates, func(i, j int) bool {
-			if len(base[candidates[i]]) != len(base[candidates[j]]) {
-				return len(base[candidates[i]]) < len(base[candidates[j]])
-			}
-			return candidates[i] < candidates[j]
-		})
-		next := candidates[0]
-		order = append(order, canonical[next])
-		inOrder[next] = true
-	}
-	return order
 }
 
 // Exists reports whether the plan produces at least one tuple satisfying

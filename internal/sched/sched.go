@@ -28,8 +28,8 @@ import (
 
 	"prism/internal/bayes"
 	"prism/internal/constraint"
+	"prism/internal/exec"
 	"prism/internal/filter"
-	"prism/internal/mem"
 )
 
 // Estimator predicts the probability that validating a filter fails.
@@ -241,7 +241,7 @@ type Result struct {
 	// Implied is the number of outcomes derived by propagation for free.
 	Implied int
 	// Cost aggregates the execution statistics of the validations run.
-	Cost mem.ExecStats
+	Cost exec.ExecStats
 	// Confirmed and Pruned list candidate indexes by final status.
 	Confirmed []int
 	Pruned    []int
@@ -257,7 +257,12 @@ type Result struct {
 
 // Runner executes the shared greedy scheduling loop with a given estimator.
 type Runner struct {
-	DB        *mem.Database
+	// DB is the execution backend validations run against: any
+	// exec.Executor. The scheduling decisions themselves only consult the
+	// backend's catalog (NumRows, for the default cost model), so the
+	// validation order — and therefore the validation count, the paper's
+	// §2.4 metric — is identical across backends.
+	DB        exec.Executor
 	Spec      *constraint.Spec
 	Set       *filter.Set
 	Estimator Estimator
@@ -447,7 +452,7 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		switch {
 		case d.err == nil:
 			applyOutcome(d.idx, d.vr)
-		case errors.Is(d.err, context.Canceled) || errors.Is(d.err, context.DeadlineExceeded) || errors.Is(d.err, mem.ErrInterrupted):
+		case errors.Is(d.err, context.Canceled) || errors.Is(d.err, context.DeadlineExceeded) || errors.Is(d.err, exec.ErrInterrupted):
 			// The validation was interrupted by cancellation or the time
 			// budget; its outcome is unknown and is simply discarded.
 		default:
@@ -552,13 +557,13 @@ func clamp01(f float64) float64 {
 // GroundTruth exhaustively validates every filter in the set and returns the
 // true outcomes plus the total number of filters. It is used to build the
 // oracle and to compute the optimum validation count.
-func GroundTruth(db *mem.Database, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
+func GroundTruth(db exec.Executor, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
 	return GroundTruthContext(context.Background(), db, spec, set)
 }
 
 // GroundTruthContext is GroundTruth under a context; cancelling ctx aborts
 // the exhaustive validation sweep.
-func GroundTruthContext(ctx context.Context, db *mem.Database, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
+func GroundTruthContext(ctx context.Context, db exec.Executor, spec *constraint.Spec, set *filter.Set) ([]filter.Outcome, error) {
 	v := &filter.Validator{DB: db, Spec: spec}
 	out := make([]filter.Outcome, set.NumFilters())
 	for i, f := range set.Filters {

@@ -71,6 +71,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/discover", s.handleDiscoverForm)
 	mux.HandleFunc("/api/datasets", s.handleDatasets)
+	mux.HandleFunc("/api/sample", s.handleSample)
 	mux.HandleFunc("/api/discover", s.handleDiscoverAPI)
 	mux.HandleFunc("/api/discover/stream", s.handleDiscoverStream)
 	return mux
@@ -106,6 +107,9 @@ type DiscoverRequest struct {
 	// Parallelism overrides the validation worker-pool size (0 = server
 	// default, i.e. GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Executor selects the execution backend for the round ("columnar",
+	// "mem"; empty = the engine default, columnar).
+	Executor string `json:"executor,omitempty"`
 }
 
 // MappingResponse describes one discovered schema mapping query.
@@ -120,6 +124,7 @@ type MappingResponse struct {
 // DiscoverResponse is the JSON answer of POST /api/discover.
 type DiscoverResponse struct {
 	Database    string            `json:"database"`
+	Executor    string            `json:"executor,omitempty"`
 	Mappings    []MappingResponse `json:"mappings"`
 	Candidates  int               `json:"candidates"`
 	Filters     int               `json:"filters"`
@@ -152,6 +157,42 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry.Names()})
+}
+
+// handleSample serves GET /api/sample?db=NAME&table=NAME&limit=N: a
+// preview of the named source table, for exploring a database before
+// writing constraints against it.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	eng, err := s.engine(r.URL.Query().Get("db"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	table := r.URL.Query().Get("table")
+	limit := 10
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		if n, err := strconv.Atoi(raw); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	rows, err := eng.SampleRows(table, limit)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for ci, v := range row {
+			cells[ci] = v.String()
+		}
+		out[i] = cells
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": table, "rows": out})
 }
 
 func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +248,7 @@ func (s *Server) prepare(req DiscoverRequest) (*round, error) {
 			TimeLimit:      timeLimit,
 			Policy:         policy,
 			Parallelism:    req.Parallelism,
+			Executor:       req.Executor,
 			IncludeResults: true,
 			ResultLimit:    10,
 			MaxResults:     req.MaxResults,
@@ -247,6 +289,7 @@ func mappingResponse(m discovery.Mapping) MappingResponse {
 func (s *Server) discoverResponse(req DiscoverRequest, report *discovery.Report, err error, spec *prism.Spec, withGraphs bool) DiscoverResponse {
 	resp := DiscoverResponse{Database: req.Database}
 	if report != nil {
+		resp.Executor = report.Executor
 		resp.Candidates = report.CandidatesEnumerated
 		resp.Filters = report.FiltersGenerated
 		resp.Validations = report.Validations

@@ -10,7 +10,7 @@ import (
 	"strings"
 	"unicode"
 
-	"prism/internal/mem"
+	"prism/internal/exec"
 	"prism/internal/schema"
 )
 
@@ -20,7 +20,7 @@ import (
 //	SELECT geo_lake.Province, Lake.Name, Lake.Area
 //	FROM Lake, geo_lake
 //	WHERE Lake.Name = geo_lake.Lake
-func Generate(p mem.Plan) string {
+func Generate(p exec.Plan) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	if p.Distinct {
@@ -56,7 +56,7 @@ func Generate(p mem.Plan) string {
 
 // GenerateMultiline renders the plan with one clause per line, which the
 // Result section uses for readability.
-func GenerateMultiline(p mem.Plan) string {
+func GenerateMultiline(p exec.Plan) string {
 	oneLine := Generate(p)
 	oneLine = strings.Replace(oneLine, " FROM ", "\nFROM ", 1)
 	oneLine = strings.Replace(oneLine, " WHERE ", "\nWHERE ", 1)
@@ -91,19 +91,19 @@ func quoteIdent(s string) string {
 // Generate (SELECT [DISTINCT] cols FROM tables [WHERE equi-join conjuncts])
 // and returns the corresponding plan. It validates the plan against the
 // schema when one is provided (pass nil to skip validation).
-func Parse(sql string, sch *schema.Schema) (mem.Plan, error) {
+func Parse(sql string, sch *schema.Schema) (exec.Plan, error) {
 	toks, err := tokenize(sql)
 	if err != nil {
-		return mem.Plan{}, err
+		return exec.Plan{}, err
 	}
 	p := &sqlParser{toks: toks, input: sql}
 	plan, err := p.parseSelect()
 	if err != nil {
-		return mem.Plan{}, err
+		return exec.Plan{}, err
 	}
 	if sch != nil {
 		if err := plan.Validate(sch); err != nil {
-			return mem.Plan{}, fmt.Errorf("sqlgen: parsed plan invalid: %w", err)
+			return exec.Plan{}, fmt.Errorf("sqlgen: parsed plan invalid: %w", err)
 		}
 	}
 	return plan, nil
@@ -199,8 +199,8 @@ func (p *sqlParser) expectKeyword(kw string) error {
 	return nil
 }
 
-func (p *sqlParser) parseSelect() (mem.Plan, error) {
-	var plan mem.Plan
+func (p *sqlParser) parseSelect() (exec.Plan, error) {
+	var plan exec.Plan
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return plan, err
 	}
@@ -263,7 +263,7 @@ func (p *sqlParser) parseSelect() (mem.Plan, error) {
 			if err != nil {
 				return plan, err
 			}
-			plan.Joins = append(plan.Joins, mem.JoinEdge{Left: left, Right: right})
+			plan.Joins = append(plan.Joins, exec.JoinEdge{Left: left, Right: right})
 			t, ok := p.peek()
 			if ok && t.upper == "AND" {
 				p.pos++
@@ -334,13 +334,13 @@ func Normalize(sql string, sch *schema.Schema) (string, error) {
 	})
 	for i, j := range plan.Joins {
 		if j.Right.String() < j.Left.String() {
-			plan.Joins[i] = mem.JoinEdge{Left: j.Right, Right: j.Left}
+			plan.Joins[i] = exec.JoinEdge{Left: j.Right, Right: j.Left}
 		}
 	}
 	return Generate(plan), nil
 }
 
-func canonicalJoin(j mem.JoinEdge) string {
+func canonicalJoin(j exec.JoinEdge) string {
 	a, b := strings.ToLower(j.Left.String()), strings.ToLower(j.Right.String())
 	if a > b {
 		a, b = b, a

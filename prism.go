@@ -43,6 +43,7 @@ import (
 	"prism/internal/constraint"
 	"prism/internal/dataset"
 	"prism/internal/discovery"
+	"prism/internal/exec"
 	"prism/internal/explain"
 	"prism/internal/graphx"
 	"prism/internal/lang"
@@ -57,10 +58,13 @@ import (
 type (
 	// Database is an in-memory relational source database.
 	Database = mem.Database
-	// Plan is an executable Project-Join query plan.
-	Plan = mem.Plan
+	// Plan is an executable, backend-neutral Project-Join query plan.
+	Plan = exec.Plan
 	// Result is the result of executing a plan.
-	Result = mem.Result
+	Result = exec.Result
+	// ExecStats reports the work one plan execution (or a whole validation
+	// phase) performed; counters are specific to the executor that ran.
+	ExecStats = exec.ExecStats
 	// Schema describes tables, columns and foreign keys.
 	Schema = schema.Schema
 	// ColumnRef names a column as Table.Column.
@@ -136,17 +140,28 @@ type Engine struct {
 	inner *discovery.Engine
 }
 
-// NewEngine preprocesses db and returns an engine bound to it.
+// NewEngine preprocesses db and returns an engine bound to it, using the
+// default execution backend (see WithExecutor for the alternatives).
 func NewEngine(db *Database) *Engine {
-	return &Engine{inner: discovery.NewEngine(db)}
+	return newEngine(db, "")
 }
+
+func newEngine(db *Database, executor string) *Engine {
+	return &Engine{inner: discovery.NewEngineWithExecutor(db, executor)}
+}
+
+// ExecutorNames lists the registered execution backends ("columnar",
+// "mem", ...), sorted. Any of them can be passed to WithExecutor or set as
+// Options.Executor.
+func ExecutorNames() []string { return exec.Names() }
 
 // openConfig collects the effect of OpenOptions.
 type openConfig struct {
-	mondial *MondialConfig
-	imdb    *IMDBConfig
-	nba     *NBAConfig
-	db      *Database
+	mondial  *MondialConfig
+	imdb     *IMDBConfig
+	nba      *NBAConfig
+	db       *Database
+	executor string
 }
 
 // OpenOption customises Open.
@@ -174,6 +189,16 @@ func WithDatabase(db *Database) OpenOption {
 	return func(c *openConfig) { c.db = db }
 }
 
+// WithExecutor selects the engine's default execution backend by name. The
+// bundled backends are "columnar" (the default: column stores with
+// prebuilt hash indexes, fastest for validation-heavy rounds) and "mem"
+// (the row-at-a-time reference engine). Options.Executor overrides the
+// choice per round; ExecutorNames lists what is registered. Every backend
+// returns identical mapping sets — they differ only in speed.
+func WithExecutor(name string) OpenOption {
+	return func(c *openConfig) { c.executor = name }
+}
+
 // Open builds the named source database and returns an engine over it. The
 // bundled synthetic data sets are "mondial", "imdb" and "nba" (see
 // DatasetNames); their scale is tunable with WithMondialConfig /
@@ -186,7 +211,7 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 		o(&cfg)
 	}
 	if cfg.db != nil {
-		return NewEngine(cfg.db), nil
+		return newEngine(cfg.db, cfg.executor), nil
 	}
 	// A sizing option for a data set other than the one being opened is a
 	// caller bug; report it instead of silently building the default size.
@@ -221,40 +246,63 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewEngine(db), nil
+	return newEngine(db, cfg.executor), nil
 }
 
 // OpenDataset builds one of the bundled synthetic demo databases
 // ("mondial", "imdb", "nba") at its default size and returns an engine over
 // it.
 //
-// Deprecated: use Open.
+// Deprecated: use Open. The wrappers below are thin shims over Open kept
+// for source compatibility with pre-registry callers; they accept no
+// OpenOption, so executor selection (WithExecutor) and custom databases
+// (WithDatabase) are only reachable through Open. Migration is mechanical:
+//
+//	OpenDataset(name)  ->  Open(name)
+//	OpenMondial(cfg)   ->  Open("mondial", WithMondialConfig(cfg))
+//	OpenIMDB(cfg)      ->  Open("imdb", WithIMDBConfig(cfg))
+//	OpenNBA(cfg)       ->  Open("nba", WithNBAConfig(cfg))
+//
+// See the README's "Migrating from the Open* constructors" section. The
+// wrappers will be removed once nothing in-tree calls them.
 func OpenDataset(name string) (*Engine, error) { return Open(name) }
 
 // OpenMondial builds a synthetic Mondial database with the given
 // configuration (zero value = defaults) and returns an engine over it.
 //
-// Deprecated: use Open("mondial", WithMondialConfig(cfg)).
+// Deprecated: use Open("mondial", WithMondialConfig(cfg)), which also
+// accepts further options such as WithExecutor. See OpenDataset for the
+// full migration table.
 func OpenMondial(cfg MondialConfig) (*Engine, error) {
 	return Open("mondial", WithMondialConfig(cfg))
 }
 
 // OpenIMDB builds the synthetic IMDB database and returns an engine.
 //
-// Deprecated: use Open("imdb", WithIMDBConfig(cfg)).
+// Deprecated: use Open("imdb", WithIMDBConfig(cfg)), which also accepts
+// further options such as WithExecutor. See OpenDataset for the full
+// migration table.
 func OpenIMDB(cfg IMDBConfig) (*Engine, error) {
 	return Open("imdb", WithIMDBConfig(cfg))
 }
 
 // OpenNBA builds the synthetic NBA database and returns an engine.
 //
-// Deprecated: use Open("nba", WithNBAConfig(cfg)).
+// Deprecated: use Open("nba", WithNBAConfig(cfg)), which also accepts
+// further options such as WithExecutor. See OpenDataset for the full
+// migration table.
 func OpenNBA(cfg NBAConfig) (*Engine, error) {
 	return Open("nba", WithNBAConfig(cfg))
 }
 
 // DatasetNames lists the bundled demo databases.
 func DatasetNames() []string { return dataset.Names() }
+
+// SampleRows returns up to limit rows of the named source table (limit <= 0
+// returns all rows), for dataset previews.
+func (e *Engine) SampleRows(table string, limit int) ([]Tuple, error) {
+	return e.inner.SampleRows(table, limit)
+}
 
 // Database returns the engine's source database.
 func (e *Engine) Database() *Database { return e.inner.Database() }
