@@ -1,0 +1,230 @@
+package prism
+
+// Session benchmark + trajectory artefact. BenchmarkSessionRefine measures
+// the interactive loop the session subsystem accelerates — cold rounds vs
+// refined rounds vs fully-cached replays — and emits BENCH_sessions.json, a
+// machine-readable trajectory of the cold→warm rounds (validations, cache
+// counters, timings) that CI smoke-runs regenerate so the cache's win is
+// tracked over time. TestSessionTrajectoryGuard asserts the invariants the
+// file encodes, so a regression fails tests even when no benchmark runs.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// trajectoryRound is one round record of BENCH_sessions.json.
+type trajectoryRound struct {
+	Round       int    `json:"round"`
+	Kind        string `json:"kind"` // cold | refine | revert | replay
+	Validations int    `json:"validations"`
+	CacheHits   int    `json:"cacheHits"`
+	CacheMisses int    `json:"cacheMisses"`
+	Filters     int    `json:"filters"`
+	Mappings    int    `json:"mappings"`
+	ElapsedUS   int64  `json:"elapsedUs"`
+}
+
+// trajectory is the BENCH_sessions.json document.
+type trajectory struct {
+	Benchmark string            `json:"benchmark"`
+	Dataset   string            `json:"dataset"`
+	Rounds    []trajectoryRound `json:"rounds"`
+	// ValidationsSaved is the fraction of the would-be validation work the
+	// cache absorbed across the warm rounds (hits / (hits + misses)).
+	ValidationsSaved float64 `json:"validationsSaved"`
+	// WarmSpeedup is cold elapsed time over fully-cached replay elapsed
+	// time — the end-to-end win of a round that reuses everything.
+	WarmSpeedup float64 `json:"warmSpeedup"`
+}
+
+// sessionTrajectory runs the canonical cold→refine→revert→replay loop on a
+// fresh session and records each round. The mapping SQL of the revert round
+// is asserted byte-identical to the cold round by the guard test.
+func sessionTrajectory(tb testing.TB) (*trajectory, []*Report) {
+	tb.Helper()
+	eng := benchEngine(tb)
+	spec := benchPaperSpec(tb)
+	sess := eng.NewSession(context.Background())
+	defer sess.Close()
+	opts := Options{Parallelism: 1, IncludeResults: true, ResultLimit: 5}
+
+	traj := &trajectory{Benchmark: "BenchmarkSessionRefine", Dataset: "mondial"}
+	var reports []*Report
+	run := func(kind string, round func() (*Report, error)) *Report {
+		start := time.Now()
+		report, err := round()
+		if err != nil {
+			tb.Fatalf("%s round: %v", kind, err)
+		}
+		traj.Rounds = append(traj.Rounds, trajectoryRound{
+			Round:       len(traj.Rounds) + 1,
+			Kind:        kind,
+			Validations: report.Validations,
+			CacheHits:   report.Cache.Hits,
+			CacheMisses: report.Cache.Misses,
+			Filters:     report.FiltersGenerated,
+			Mappings:    len(report.Mappings),
+			ElapsedUS:   time.Since(start).Microseconds(),
+		})
+		reports = append(reports, report)
+		return report
+	}
+
+	ctx := context.Background()
+	refine := Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: "[400, 600]"}}}
+	revert := Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: ""}}}
+	run("cold", func() (*Report, error) { return sess.Discover(ctx, spec, opts) })
+	run("refine", func() (*Report, error) { return sess.Refine(ctx, refine, opts) })
+	run("revert", func() (*Report, error) { return sess.Refine(ctx, revert, opts) })
+	run("replay", func() (*Report, error) { return sess.Discover(ctx, spec, opts) })
+
+	hits, misses := 0, 0
+	for _, r := range traj.Rounds[1:] {
+		hits += r.CacheHits
+		misses += r.CacheMisses
+	}
+	if hits+misses > 0 {
+		traj.ValidationsSaved = float64(hits) / float64(hits+misses)
+	}
+	if last := traj.Rounds[len(traj.Rounds)-1].ElapsedUS; last > 0 {
+		traj.WarmSpeedup = float64(traj.Rounds[0].ElapsedUS) / float64(last)
+	}
+	return traj, reports
+}
+
+// TestSessionTrajectoryGuard pins the invariants BENCH_sessions.json
+// reports: warm rounds validate strictly less than the cold round, fully
+// warm rounds validate nothing, the mapping set survives a refine/revert
+// loop byte-identically, and the trajectory serialises to valid JSON.
+func TestSessionTrajectoryGuard(t *testing.T) {
+	traj, reports := sessionTrajectory(t)
+	cold, refine, revert, replay := traj.Rounds[0], traj.Rounds[1], traj.Rounds[2], traj.Rounds[3]
+
+	if cold.Validations == 0 || cold.CacheHits != 0 || cold.Mappings == 0 {
+		t.Fatalf("cold round: %+v", cold)
+	}
+	if refine.CacheHits == 0 || refine.Validations >= cold.Validations {
+		t.Errorf("refine round should reuse: %+v (cold %d validations)", refine, cold.Validations)
+	}
+	if revert.Validations != 0 || replay.Validations != 0 {
+		t.Errorf("fully warm rounds executed validations: revert=%+v replay=%+v", revert, replay)
+	}
+	// Refined rounds reusing ≥ half their filters is the tentpole's target.
+	if traj.ValidationsSaved < 0.5 {
+		t.Errorf("cache absorbed only %.0f%% of warm-round validations, want >= 50%%",
+			traj.ValidationsSaved*100)
+	}
+	coldSQL, revertSQL := reports[0], reports[2]
+	if len(coldSQL.Mappings) != len(revertSQL.Mappings) {
+		t.Fatalf("mapping count changed across refine/revert: %d vs %d",
+			len(coldSQL.Mappings), len(revertSQL.Mappings))
+	}
+	for i := range coldSQL.Mappings {
+		if coldSQL.Mappings[i].SQL != revertSQL.Mappings[i].SQL {
+			t.Errorf("mapping %d changed: %q vs %q", i, coldSQL.Mappings[i].SQL, revertSQL.Mappings[i].SQL)
+		}
+	}
+	payload, err := json.Marshal(traj)
+	if err != nil {
+		t.Fatalf("trajectory does not serialise: %v", err)
+	}
+	var parsed trajectory
+	if err := json.Unmarshal(payload, &parsed); err != nil || len(parsed.Rounds) != 4 {
+		t.Fatalf("trajectory does not round-trip: %v", err)
+	}
+}
+
+// BenchmarkSessionRefine measures the session loop end to end:
+//
+//	cold    — a fresh session per round (no reuse, the pre-session cost)
+//	refine  — alternating refine/revert deltas on one warm session (the
+//	          steady-state interactive loop; after the first toggle both
+//	          constraint states are fully cached)
+//	replay  — the identical specification on a warm session (pure cache)
+//
+// Each variant reports validations/op and cachehits/op so the benchmark
+// output shows *why* the warm rounds are faster. After the run the
+// cold→warm trajectory is written to BENCH_sessions.json:
+//
+//	go test -run xxx -bench BenchmarkSessionRefine .
+func BenchmarkSessionRefine(b *testing.B) {
+	eng := benchEngine(b)
+	spec := benchPaperSpec(b)
+	ctx := context.Background()
+	opts := Options{Parallelism: 1}
+
+	b.Run("cold", func(b *testing.B) {
+		validations := 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := eng.NewSession(ctx)
+			report, err := sess.Discover(ctx, spec, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			validations += report.Validations
+			sess.Close()
+		}
+		b.ReportMetric(float64(validations)/float64(b.N), "validations/op")
+	})
+
+	b.Run("refine", func(b *testing.B) {
+		sess := eng.NewSession(ctx)
+		defer sess.Close()
+		if _, err := sess.Discover(ctx, spec, opts); err != nil {
+			b.Fatal(err)
+		}
+		toggle := []Delta{
+			{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: "[400, 600]"}}},
+			{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: ""}}},
+		}
+		validations, hits := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			report, err := sess.Refine(ctx, toggle[i%2], opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			validations += report.Validations
+			hits += report.Cache.Hits
+		}
+		b.ReportMetric(float64(validations)/float64(b.N), "validations/op")
+		b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		sess := eng.NewSession(ctx)
+		defer sess.Close()
+		if _, err := sess.Discover(ctx, spec, opts); err != nil {
+			b.Fatal(err)
+		}
+		validations, hits := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			report, err := sess.Discover(ctx, spec, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			validations += report.Validations
+			hits += report.Cache.Hits
+		}
+		b.ReportMetric(float64(validations)/float64(b.N), "validations/op")
+		b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+	})
+
+	// Emit the trajectory artefact for the CI smoke-run and the docs.
+	traj, _ := sessionTrajectory(b)
+	payload, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sessions.json", append(payload, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

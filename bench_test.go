@@ -42,7 +42,7 @@ func benchMondialConfig() MondialConfig {
 	}
 }
 
-func benchEngine(b *testing.B) *Engine {
+func benchEngine(b testing.TB) *Engine {
 	b.Helper()
 	eng, err := OpenMondial(benchMondialConfig())
 	if err != nil {
@@ -51,7 +51,7 @@ func benchEngine(b *testing.B) *Engine {
 	return eng
 }
 
-func benchPaperSpec(b *testing.B) *Spec {
+func benchPaperSpec(b testing.TB) *Spec {
 	b.Helper()
 	spec, err := ParseConstraints(3,
 		[][]string{{"California || Nevada", "Lake Tahoe", ""}},

@@ -6,9 +6,15 @@
 //	    -sample "California || Nevada | Lake Tahoe | " \
 //	    -metadata " |  | DataType=='decimal' AND MinValue>='0'" \
 //	    -results -explain ascii
+//
+// With -session the CLI becomes a small REPL over an interactive
+// refinement session: edit constraint cells between rounds and re-run; the
+// session's filter-outcome cache makes refined rounds validate only what
+// changed. Type "help" at the prompt for the commands.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -16,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -38,13 +45,13 @@ func main() {
 	// still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "prism-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("prism-cli", flag.ContinueOnError)
 	dbName := fs.String("db", "mondial", "source database: mondial, imdb or nba")
 	columns := fs.Int("columns", 3, "number of columns in the target schema")
@@ -58,6 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxResults := fs.Int("max-results", 0, "cap on returned mapping queries (0 = all)")
 	showResults := fs.Bool("results", false, "execute each mapping and print a result preview")
 	stream := fs.Bool("stream", false, "stream mappings and progress as they are found instead of waiting for the round to finish")
+	session := fs.Bool("session", false, "interactive refinement session: edit constraints between rounds at a REPL prompt; refined rounds reuse cached filter outcomes")
 	explainMode := fs.String("explain", "", "render the first mapping's query graph: ascii, dot or svg")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,17 +89,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if strings.TrimSpace(*metadata) != "" {
 		metadataRow = splitCells(*metadata, *columns)
 	}
-	spec, err := prism.ParseConstraints(*columns, sampleRows, metadataRow)
-	if err != nil {
-		return err
+	// A session may start with an empty Description and build it at the
+	// prompt; every other mode needs constraints up front.
+	var spec *prism.Spec
+	if !*session || len(sampleRows) > 0 || metadataRow != nil {
+		spec, err = prism.ParseConstraints(*columns, sampleRows, metadataRow)
+		if err != nil {
+			return err
+		}
 	}
 
 	// The timeout is enforced as a context deadline so the whole round is
 	// bounded even if it wedges outside discovery. The grace keeps the
 	// engine's own budget (Options.TimeLimit, which covers every phase)
 	// firing first, so an overrun is reported as a clean paper-style
-	// timeout rather than a cancellation.
-	if *timeLimit > 0 {
+	// timeout rather than a cancellation. Session mode applies the
+	// deadline per round instead — the REPL itself must be allowed to sit
+	// idle between rounds indefinitely.
+	if *timeLimit > 0 && !*session {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeLimit+2*time.Second)
 		defer cancel()
@@ -104,6 +119,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxResults:     *maxResults,
 		IncludeResults: *showResults,
 		ResultLimit:    10,
+	}
+
+	if *session {
+		return sessionLoop(ctx, in, out, eng, *columns, sampleRows, metadataRow, opts)
 	}
 
 	var report *prism.Report
@@ -139,6 +158,256 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		case "svg":
 			fmt.Fprint(out, g.SVG())
 		}
+	}
+	return nil
+}
+
+const sessionHelp = `commands:
+  sample CELLS        add a sample row, cells separated by '|'
+  set ROW COL CELL    rewrite one sample cell (1-based; empty CELL clears)
+  clear ROW COL       clear one sample cell
+  meta COL CELL       set a metadata constraint (empty CELL clears)
+  remove ROW          drop a sample row
+  show                print the current constraints and queued edits
+  reset               discard the queued (not yet run) edits
+  run                 run a discovery round with the edits applied
+  stats               print the session's cache statistics
+  quit                end the session
+`
+
+// sessionLoop is the -session REPL: it owns one refinement session and
+// turns edit commands into deltas, so every round after the first reuses
+// the cached filter outcomes of the rounds before it.
+func sessionLoop(ctx context.Context, in io.Reader, out io.Writer, eng *prism.Engine, columns int, rows [][]string, meta []string, opts prism.Options) error {
+	sess := eng.NewSession(ctx)
+	defer sess.Close()
+	var pending prism.Delta
+	round := 0
+
+	printReport := func(report *prism.Report) {
+		fmt.Fprintf(out, "round %d: %s\n", round, report.Summary())
+		if msg := report.Failure(); msg != "" {
+			fmt.Fprintln(out, "FAILURE:", msg)
+		}
+		for i, m := range report.Mappings {
+			fmt.Fprintf(out, "-- query %d --\n%s\n", i+1, m.SQL)
+			if m.Result != nil {
+				fmt.Fprint(out, m.Result.String())
+			}
+		}
+	}
+	runRound := func() {
+		// The per-round deadline: the session context stays untimed (the
+		// user may think between rounds for as long as they like), each
+		// round is bounded like a one-shot invocation.
+		roundCtx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.TimeLimit > 0 {
+			roundCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit+2*time.Second)
+		}
+		defer cancel()
+		var report *prism.Report
+		var err error
+		if round == 0 {
+			var spec *prism.Spec
+			spec, err = prism.ParseConstraints(columns, rows, meta)
+			if err == nil {
+				round++
+				report, err = sess.Discover(roundCtx, spec, opts)
+			}
+		} else {
+			round++
+			report, err = sess.Refine(roundCtx, pending, opts)
+		}
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			if report == nil {
+				if round > 0 && sess.Rounds() < round {
+					round-- // the round never ran; keep the pending edits
+				}
+				return
+			}
+		}
+		pending = prism.Delta{}
+		printReport(report)
+	}
+
+	fmt.Fprintf(out, "session over %s (%d target columns) — type 'help' for commands\n",
+		eng.Database().Name, columns)
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "prism> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "help", "?":
+			fmt.Fprint(out, sessionHelp)
+		case "quit", "exit":
+			return nil
+		case "run":
+			runRound()
+		case "stats":
+			st := sess.CacheStats()
+			fmt.Fprintf(out, "cache: %d/%d entries, %d hits, %d misses, %d stores, %d evictions over %d rounds\n",
+				st.Size, st.Capacity, st.Hits, st.Misses, st.Stores, st.Evictions, sess.Rounds())
+		case "show":
+			if spec := sess.Spec(); spec != nil {
+				fmt.Fprint(out, spec.String())
+			} else {
+				for i, row := range rows {
+					fmt.Fprintf(out, "sample %d: %s\n", i+1, strings.Join(row, " | "))
+				}
+				if meta != nil {
+					fmt.Fprintf(out, "metadata: %s\n", strings.Join(meta, " | "))
+				}
+			}
+			if !pending.IsZero() {
+				fmt.Fprintf(out, "queued: %s\n", pending)
+			}
+		case "reset":
+			pending = prism.Delta{}
+			fmt.Fprintln(out, "ok")
+		case "sample":
+			cells := splitCells(rest, columns)
+			if err := validateCells(cells); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if round == 0 {
+				rows = append(rows, cells)
+			} else {
+				pending.AddSamples = append(pending.AddSamples, cells)
+			}
+			fmt.Fprintln(out, "ok")
+		case "set", "clear", "meta", "remove":
+			if err := sessionEdit(&pending, cmd, rest, round, rows, meta, columns); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "ok")
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q — type 'help'\n", cmd)
+		}
+	}
+}
+
+// validateCells parses each cell of a sample row, rejecting malformed
+// constraint syntax before it is queued.
+func validateCells(cells []string) error {
+	for i, cell := range cells {
+		if _, err := prism.ParseValueConstraint(cell); err != nil {
+			return fmt.Errorf("cell %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// sessionEdit queues one cell edit as a delta operation. Before the first
+// round there is no session spec to refine, so edits mutate the initial
+// grid in place instead.
+func sessionEdit(pending *prism.Delta, cmd, rest string, round int, rows [][]string, meta []string, columns int) error {
+	fields := strings.Fields(rest)
+	num := func(i int, what string, limit int) (int, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("%s: missing %s", cmd, what)
+		}
+		n, err := strconv.Atoi(fields[i])
+		if err != nil || n < 1 || (limit > 0 && n > limit) {
+			return 0, fmt.Errorf("%s: bad %s %q", cmd, what, fields[i])
+		}
+		return n - 1, nil
+	}
+	// The trailing cell text (may contain spaces and '|' disjunctions).
+	// Tokens are skipped on any whitespace, matching strings.Fields above —
+	// a tab between ROW and COL must not silently swallow the cell.
+	cellAfter := func(n int) string {
+		s := rest
+		for i := 0; i < n; i++ {
+			s = strings.TrimLeft(s, " \t")
+			cut := strings.IndexAny(s, " \t")
+			if cut < 0 {
+				return ""
+			}
+			s = s[cut:]
+		}
+		return strings.TrimSpace(s)
+	}
+	switch strings.ToLower(cmd) {
+	case "set":
+		row, err := num(0, "row", 0)
+		if err != nil {
+			return err
+		}
+		col, err := num(1, "column", columns)
+		if err != nil {
+			return err
+		}
+		cell := cellAfter(2)
+		// Validate at queue time, so one bad cell is rejected immediately
+		// instead of wedging every later 'run'.
+		if _, err := prism.ParseValueConstraint(cell); err != nil {
+			return err
+		}
+		if round == 0 {
+			if row >= len(rows) {
+				return fmt.Errorf("set: row %d does not exist yet", row+1)
+			}
+			rows[row][col] = cell
+			return nil
+		}
+		pending.UpdateCells = append(pending.UpdateCells, prism.CellUpdate{Row: row, Col: col, Cell: cell})
+	case "clear":
+		row, err := num(0, "row", 0)
+		if err != nil {
+			return err
+		}
+		col, err := num(1, "column", columns)
+		if err != nil {
+			return err
+		}
+		if round == 0 {
+			if row >= len(rows) {
+				return fmt.Errorf("clear: row %d does not exist yet", row+1)
+			}
+			rows[row][col] = ""
+			return nil
+		}
+		pending.UpdateCells = append(pending.UpdateCells, prism.CellUpdate{Row: row, Col: col})
+	case "meta":
+		col, err := num(0, "column", columns)
+		if err != nil {
+			return err
+		}
+		cell := cellAfter(1)
+		if _, err := prism.ParseMetadataConstraint(cell); err != nil {
+			return err
+		}
+		if round == 0 {
+			// Before the first round there is no spec to refine; edit the
+			// initial metadata row, which must exist (-metadata flag).
+			if meta == nil {
+				return fmt.Errorf("meta: pass -metadata up front, or run a first round and refine")
+			}
+			meta[col] = cell
+			return nil
+		}
+		pending.SetMetadata = append(pending.SetMetadata, prism.MetadataUpdate{Col: col, Cell: cell})
+	case "remove":
+		row, err := num(0, "row", 0)
+		if err != nil {
+			return err
+		}
+		if round == 0 {
+			return fmt.Errorf("remove: no rounds yet — edit rows with 'set' or re-add them")
+		}
+		pending.RemoveSamples = append(pending.RemoveSamples, row)
 	}
 	return nil
 }

@@ -130,7 +130,7 @@ func (e *Executor) ColumnHasKeyword(ref schema.ColumnRef, keyword string) bool {
 func (e *Executor) SampleRows(tbl string, limit int) ([]value.Tuple, error) {
 	t, ok := e.tables[strings.ToLower(tbl)]
 	if !ok {
-		return nil, fmt.Errorf("colexec: unknown table %q", tbl)
+		return nil, fmt.Errorf("%w %q (columnar)", exec.ErrUnknownTable, tbl)
 	}
 	n := t.numRows
 	if limit > 0 && limit < n {

@@ -1,0 +1,157 @@
+// Refinement deltas: the unit of change of an interactive session. The
+// CIDR demo's workflow is iterative — the user adjusts a few cells of the
+// Description grids and hits "Start Searching!" again — so a Delta names
+// exactly the cells that changed and Apply produces the refined Spec,
+// leaving the original untouched. Filters whose covered cells are not
+// named by the delta keep their validation cache keys, which is what lets
+// a session round reuse the previous rounds' outcomes.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"prism/internal/lang"
+)
+
+// CellUpdate rewrites one cell of the sample-constraint grid. Row and Col
+// are zero-based; Cell is the new constraint in the multiresolution
+// language ("" clears the cell to unconstrained).
+type CellUpdate struct {
+	Row  int
+	Col  int
+	Cell string
+}
+
+// MetadataUpdate rewrites one cell of the metadata-constraint row. Col is
+// zero-based; Cell is the new metadata constraint ("" clears it).
+type MetadataUpdate struct {
+	Col  int
+	Cell string
+}
+
+// Delta is one refinement step over a specification. Operations apply in
+// the order: UpdateCells, SetMetadata, RemoveSamples, AddSamples — so row
+// indexes in UpdateCells and RemoveSamples always refer to the rows of the
+// specification being refined, never to rows the same delta adds.
+type Delta struct {
+	// UpdateCells rewrites individual sample cells in place.
+	UpdateCells []CellUpdate
+	// SetMetadata rewrites metadata cells.
+	SetMetadata []MetadataUpdate
+	// RemoveSamples drops whole sample rows by index (zero-based, against
+	// the pre-delta specification).
+	RemoveSamples []int
+	// AddSamples appends new sample rows, each with exactly NumColumns
+	// cells in the multiresolution language.
+	AddSamples [][]string
+}
+
+// IsZero reports whether the delta carries no operations at all.
+func (d Delta) IsZero() bool {
+	return len(d.UpdateCells) == 0 && len(d.SetMetadata) == 0 &&
+		len(d.RemoveSamples) == 0 && len(d.AddSamples) == 0
+}
+
+// Apply produces the refined specification; sp is not modified. The result
+// is validated like any parsed specification (it must keep at least one
+// constraint).
+func (d Delta) Apply(sp *Spec) (*Spec, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("constraint: delta applied to nil specification")
+	}
+	// Copy-on-write: rows are cloned the first time one of their cells is
+	// rewritten; untouched rows share their cell slices with the original.
+	samples := append([]SampleConstraint(nil), sp.Samples...)
+	metadata := append([]lang.MetaExpr(nil), sp.Metadata...)
+	cloned := make([]bool, len(samples))
+	cloneRow := func(row int) {
+		if !cloned[row] {
+			samples[row] = SampleConstraint{Cells: append([]lang.ValueExpr(nil), samples[row].Cells...)}
+			cloned[row] = true
+		}
+	}
+
+	for _, u := range d.UpdateCells {
+		if u.Row < 0 || u.Row >= len(samples) {
+			return nil, fmt.Errorf("constraint: delta updates sample row %d, have %d rows", u.Row, len(samples))
+		}
+		if u.Col < 0 || u.Col >= sp.NumColumns {
+			return nil, fmt.Errorf("constraint: delta updates column %d, target schema has %d columns", u.Col, sp.NumColumns)
+		}
+		expr, err := parseOptionalCell(u.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: delta cell (%d, %d): %w", u.Row, u.Col, err)
+		}
+		cloneRow(u.Row)
+		samples[u.Row].Cells[u.Col] = expr
+	}
+
+	for _, m := range d.SetMetadata {
+		if m.Col < 0 || m.Col >= sp.NumColumns {
+			return nil, fmt.Errorf("constraint: delta sets metadata column %d, target schema has %d columns", m.Col, sp.NumColumns)
+		}
+		expr, err := parseOptionalMeta(m.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: delta metadata column %d: %w", m.Col, err)
+		}
+		metadata[m.Col] = expr
+	}
+
+	if len(d.RemoveSamples) > 0 {
+		drop := make(map[int]struct{}, len(d.RemoveSamples))
+		for _, row := range d.RemoveSamples {
+			if row < 0 || row >= len(samples) {
+				return nil, fmt.Errorf("constraint: delta removes sample row %d, have %d rows", row, len(samples))
+			}
+			drop[row] = struct{}{}
+		}
+		kept := samples[:0:0]
+		for i, s := range samples {
+			if _, gone := drop[i]; !gone {
+				kept = append(kept, s)
+			}
+		}
+		samples = kept
+	}
+
+	for i, row := range d.AddSamples {
+		if len(row) != sp.NumColumns {
+			return nil, fmt.Errorf("constraint: delta adds sample row with %d cells, want %d", len(row), sp.NumColumns)
+		}
+		cells, err := lang.ParseSampleRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: delta added row %d: %w", i, err)
+		}
+		samples = append(samples, SampleConstraint{Cells: cells})
+	}
+
+	return NewSpec(sp.NumColumns, samples, metadata)
+}
+
+// String renders a compact description of the delta for logs and REPLs.
+func (d Delta) String() string {
+	if d.IsZero() {
+		return "delta{}"
+	}
+	removed := append([]int(nil), d.RemoveSamples...)
+	sort.Ints(removed)
+	return fmt.Sprintf("delta{update:%d meta:%d remove:%v add:%d}",
+		len(d.UpdateCells), len(d.SetMetadata), removed, len(d.AddSamples))
+}
+
+func parseOptionalCell(cell string) (lang.ValueExpr, error) {
+	cells, err := lang.ParseSampleRow([]string{cell})
+	if err != nil {
+		return nil, err
+	}
+	return cells[0], nil
+}
+
+func parseOptionalMeta(cell string) (lang.MetaExpr, error) {
+	row, err := lang.ParseMetadataRow([]string{cell})
+	if err != nil {
+		return nil, err
+	}
+	return row[0], nil
+}

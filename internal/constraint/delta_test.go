@@ -1,0 +1,121 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeltaApplyUpdateCell(t *testing.T) {
+	sp := paperSpec(t)
+	refined, err := Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: "[400, 600]"}}}.Apply(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Samples[0].Cells[2] == nil {
+		t.Fatal("cell (0,2) should now be constrained")
+	}
+	if sp.Samples[0].Cells[2] != nil {
+		t.Fatal("the original specification must not be modified")
+	}
+	if refined.Samples[0].Cells[0].String() != sp.Samples[0].Cells[0].String() {
+		t.Error("untouched cells must be preserved")
+	}
+
+	// Clearing a cell with "" makes it unconstrained again.
+	cleared, err := Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 2, Cell: ""}}}.Apply(refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleared.Samples[0].Cells[2] != nil {
+		t.Error("empty cell should clear the constraint")
+	}
+}
+
+func TestDeltaApplyAddRemoveRows(t *testing.T) {
+	sp := paperSpec(t)
+	grown, err := Delta{AddSamples: [][]string{{"Oregon", "Crater Lake", ""}}}.Apply(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(grown.Samples))
+	}
+	shrunk, err := Delta{RemoveSamples: []int{0}}.Apply(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shrunk.Samples) != 1 || !strings.Contains(shrunk.Samples[0].String(), "Oregon") {
+		t.Fatalf("wrong row removed: %v", shrunk.Samples)
+	}
+}
+
+func TestDeltaApplyMetadata(t *testing.T) {
+	sp := paperSpec(t)
+	refined, err := Delta{SetMetadata: []MetadataUpdate{{Col: 2, Cell: "DataType=='int'"}}}.Apply(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Metadata[2] == nil || !strings.Contains(refined.Metadata[2].String(), "int") {
+		t.Errorf("metadata not updated: %v", refined.Metadata[2])
+	}
+	if !strings.Contains(sp.Metadata[2].String(), "decimal") {
+		t.Error("original metadata must be preserved")
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	sp := paperSpec(t)
+	cases := []struct {
+		name  string
+		delta Delta
+	}{
+		{"row out of range", Delta{UpdateCells: []CellUpdate{{Row: 5, Col: 0, Cell: "x"}}}},
+		{"col out of range", Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 9, Cell: "x"}}}},
+		{"bad cell syntax", Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 0, Cell: ">="}}}},
+		{"bad metadata", Delta{SetMetadata: []MetadataUpdate{{Col: 0, Cell: "NoSuchField=='x'"}}}},
+		{"remove out of range", Delta{RemoveSamples: []int{3}}},
+		{"added row arity", Delta{AddSamples: [][]string{{"just-one-cell"}}}},
+		{"empties the spec", Delta{
+			RemoveSamples: []int{0},
+			SetMetadata:   []MetadataUpdate{{Col: 2, Cell: ""}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.delta.Apply(sp); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+	if _, err := (Delta{}).Apply(nil); err == nil {
+		t.Error("nil spec should be rejected")
+	}
+}
+
+func TestDeltaOrderOfOperations(t *testing.T) {
+	// Updates and removals address pre-delta rows; the added row is appended
+	// afterwards and is not reachable by UpdateCells in the same delta.
+	sp := paperSpec(t)
+	refined, err := Delta{
+		UpdateCells:   []CellUpdate{{Row: 0, Col: 1, Cell: "Mono Lake"}},
+		RemoveSamples: []int{0},
+		AddSamples:    [][]string{{"Utah", "Great Salt Lake", ""}},
+	}.Apply(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined.Samples) != 1 || !strings.Contains(refined.Samples[0].String(), "Great Salt Lake") {
+		t.Fatalf("unexpected rows: %v", refined.Samples)
+	}
+}
+
+func TestDeltaStringAndIsZero(t *testing.T) {
+	if !(Delta{}).IsZero() {
+		t.Error("zero delta should report IsZero")
+	}
+	d := Delta{UpdateCells: []CellUpdate{{Row: 0, Col: 1, Cell: "x"}}, RemoveSamples: []int{2, 1}}
+	if d.IsZero() {
+		t.Error("non-empty delta reported IsZero")
+	}
+	if s := d.String(); !strings.Contains(s, "update:1") || !strings.Contains(s, "[1 2]") {
+		t.Errorf("String() = %q", s)
+	}
+}

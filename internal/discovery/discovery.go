@@ -140,6 +140,9 @@ type Report struct {
 	Validations int
 	Implied     int
 	Cost        exec.ExecStats
+	// Cache reports the session filter-outcome cache activity of the round.
+	// It is zero for cache-less rounds (Engine.Discover outside a session).
+	Cache CacheCounters
 	// CandidatesConfirmed and CandidatesPruned count candidate resolutions;
 	// CandidatesConfirmed can exceed len(Mappings) when MaxResults truncates
 	// the report.
@@ -161,6 +164,24 @@ type Report struct {
 	// Elapsed is the wall-clock duration of the round.
 	Elapsed time.Duration
 }
+
+// CacheCounters summarises what a session's filter-outcome cache did for
+// one round. Because filter outcomes are ground truths of the database, a
+// hit stands for a validation (plus its share of the propagation) the round
+// did not have to execute — Hits is the round's saved-validation count.
+type CacheCounters struct {
+	// Hits counts filter outcomes served from the cache, i.e. validations
+	// skipped entirely.
+	Hits int
+	// Misses counts validations that executed because the cache had no
+	// entry for them (equal to Report.Validations on session rounds).
+	Misses int
+	// Stores counts outcomes written back for future rounds.
+	Stores int
+}
+
+// IsZero reports whether the round ran without any cache activity.
+func (c CacheCounters) IsZero() bool { return c == CacheCounters{} }
 
 // Failure returns a human-readable failure reason ("" when the round fully
 // succeeded), mirroring the paper's behaviour of reporting a failure on
@@ -286,7 +307,7 @@ func (e *Engine) RelatedColumns(spec *constraint.Spec) ([][]schema.ColumnRef, er
 // mid-validation; the partial report accumulated so far is returned
 // together with ctx.Err().
 func (e *Engine) Discover(ctx context.Context, spec *constraint.Spec, opts Options) (*Report, error) {
-	return e.run(ctx, spec, opts, nil)
+	return e.run(ctx, spec, opts, nil, nil)
 }
 
 // streamBuffer sizes the event channel of DiscoverStream: deep enough that
@@ -322,7 +343,7 @@ func (e *Engine) DiscoverStream(ctx context.Context, spec *constraint.Spec, opts
 			case <-ctx.Done():
 			}
 		}
-		report, err := e.run(ctx, spec, opts, emit)
+		report, err := e.run(ctx, spec, opts, emit, nil)
 		done := Event{Kind: EventDone, Report: report, Err: err, Progress: report.progress()}
 		select {
 		case ch <- done:
@@ -353,9 +374,10 @@ func (r *Report) progress() Progress {
 // clean paper-style timeout) from caller cancellation.
 var errTimeBudget = errors.New("discovery: time budget exhausted")
 
-// run is the shared implementation of Discover and DiscoverStream; emit is
-// nil for the non-streaming path.
-func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event)) (*Report, error) {
+// run is the shared implementation of Discover, DiscoverStream and session
+// rounds; emit is nil for the non-streaming path, sess is nil outside a
+// session.
+func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event), sess *Session) (*Report, error) {
 	opts = opts.withDefaults()
 	report := &Report{Spec: spec, Policy: string(opts.Policy), Parallelism: opts.Parallelism}
 	start := time.Now()
@@ -422,10 +444,24 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		}})
 	}
 
-	set, err := filter.DecomposeContext(ctx, candidates)
-	if err != nil {
-		err, _ := interrupted()
-		return report, err
+	// Sessions also reuse the filter decomposition across rounds: the Set
+	// depends only on the candidate list (which refinement deltas usually
+	// leave unchanged), it is read-only during scheduling, and building its
+	// dependency relation is quadratic in the number of filters — the
+	// dominant fixed cost of a fully cached round.
+	var set *filter.Set
+	if sess != nil {
+		set = sess.lookupSet(candidates)
+	}
+	if set == nil {
+		set, err = filter.DecomposeContext(ctx, candidates)
+		if err != nil {
+			err, _ := interrupted()
+			return report, err
+		}
+		if sess != nil {
+			sess.storeSet(candidates, set)
+		}
 	}
 	report.FiltersGenerated = set.NumFilters()
 	if emit != nil {
@@ -492,6 +528,16 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		Now:         opts.Now,
 		Parallelism: opts.Parallelism,
 	}
+	if sess != nil {
+		// Keys bind each filter to the round's constraints and the current
+		// data version, so a refined round reuses exactly the outcomes its
+		// delta left intact and a data mutation invalidates everything.
+		version := e.db.Version()
+		schedOpts.Cache = sess.cache
+		schedOpts.CacheKey = func(i int) string {
+			return filter.ValidationKey(set.Filters[i], spec, version)
+		}
+	}
 	if emit != nil {
 		streamed := 0
 		schedOpts.OnResolved = func(ci int, confirmed bool, s sched.Snapshot) {
@@ -523,6 +569,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	report.Validations = res.Validations
 	report.Implied = res.Implied
 	report.Cost = res.Cost
+	report.Cache = CacheCounters{Hits: res.CacheHits, Misses: res.CacheMisses, Stores: res.CacheStores}
 	report.CandidatesConfirmed = len(res.Confirmed)
 	report.CandidatesPruned = len(res.Pruned)
 	report.TimedOut = report.TimedOut || res.TimedOut
@@ -594,6 +641,9 @@ func (r *Report) Summary() string {
 	}
 	fmt.Fprintf(&b, " candidates=%d filters=%d validations=%d (+%d implied) mappings=%d elapsed=%s",
 		r.CandidatesEnumerated, r.FiltersGenerated, r.Validations, r.Implied, len(r.Mappings), r.Elapsed.Round(time.Millisecond))
+	if !r.Cache.IsZero() {
+		fmt.Fprintf(&b, " cache=%d/%d hits (validations saved)", r.Cache.Hits, r.Cache.Hits+r.Cache.Misses)
+	}
 	if r.Parallelism > 1 {
 		fmt.Fprintf(&b, " parallelism=%d", r.Parallelism)
 	}

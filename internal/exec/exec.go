@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,15 @@ import (
 	"prism/internal/schema"
 	"prism/internal/value"
 )
+
+// ErrUnknownExecutor is wrapped by New when no factory is registered under
+// the requested name; servers use it to classify the failure for clients.
+var ErrUnknownExecutor = errors.New("exec: unknown executor")
+
+// ErrUnknownTable is wrapped by executor implementations when a request
+// names a table the source database does not have; servers use it to
+// classify the failure for clients.
+var ErrUnknownTable = errors.New("exec: unknown table")
 
 // Metadata is the read-only catalog surface shared by every backend: the
 // schema plus the per-column statistics and keyword membership collected
@@ -119,7 +129,7 @@ func New(name string, src Source) (Executor, error) {
 	f, ok := registry[key]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("exec: unknown executor %q (registered: %v)", name, Names())
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknownExecutor, name, Names())
 	}
 	return f(src)
 }

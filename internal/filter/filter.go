@@ -458,6 +458,9 @@ type Session struct {
 	// Implied counts outcomes derived through propagation instead of
 	// execution.
 	Implied int
+	// Cached counts outcomes served from a cross-round outcome cache —
+	// validations an interactive session skipped entirely.
+	Cached int
 	// Cost accumulates execution statistics of the validations run.
 	Cost exec.ExecStats
 }
@@ -505,6 +508,18 @@ func (s *Session) RecordExecution(i int, res ValidationResult) {
 	s.Executed++
 	s.Cost.Add(res.Cost)
 	if res.Passed {
+		s.apply(i, Passed)
+	} else {
+		s.apply(i, Failed)
+	}
+}
+
+// RecordCached applies an outcome served from a cross-round outcome cache:
+// the filter is resolved (with full implication propagation) without
+// counting as an executed validation, because no executor work happened.
+func (s *Session) RecordCached(i int, passed bool) {
+	s.Cached++
+	if passed {
 		s.apply(i, Passed)
 	} else {
 		s.apply(i, Failed)

@@ -46,6 +46,10 @@ type Database struct {
 
 	mu       sync.RWMutex
 	analyzed bool
+	// version counts data mutations; session filter-outcome caches key on
+	// it so entries computed against older contents can never be served
+	// against newer ones.
+	version  uint64
 	stats    map[string]schema.Stats // key: lower(Table.Column)
 	inverted map[string][]Posting    // key: normalised keyword
 	// columnKeywords maps lower(Table.Column) -> set of normalised keywords
@@ -116,11 +120,25 @@ func (db *Database) Insert(table string, tuple value.Tuple) error {
 		}
 		row[i] = coerced
 	}
-	rel.Rows = append(rel.Rows, row)
+	// The row is published and the version bumped in one critical section,
+	// so no reader can observe the new data under the old version — cache
+	// keys tagged with a Version never describe newer contents.
 	db.mu.Lock()
+	rel.Rows = append(rel.Rows, row)
 	db.analyzed = false
+	db.version++
 	db.mu.Unlock()
 	return nil
+}
+
+// Version returns the data version of the database: a counter bumped by
+// every mutation. Filter outcomes are ground truths *of one version* of the
+// database, so session caches include it in their keys — a mutation makes
+// every older entry unreachable rather than wrong.
+func (db *Database) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // InsertStrings parses and inserts a row given as raw strings, coercing each

@@ -66,7 +66,7 @@ func (db *Database) ExecutorName() string { return "mem" }
 func (db *Database) SampleRows(table string, limit int) ([]value.Tuple, error) {
 	rel, ok := db.Relation(table)
 	if !ok {
-		return nil, fmt.Errorf("mem: unknown table %q", table)
+		return nil, fmt.Errorf("%w %q (mem)", exec.ErrUnknownTable, table)
 	}
 	n := len(rel.Rows)
 	if limit > 0 && limit < n {

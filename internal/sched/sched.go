@@ -214,6 +214,18 @@ type Options struct {
 	// OnProgress, when non-nil, is invoked from the scheduling goroutine
 	// after every applied validation outcome.
 	OnProgress func(s Snapshot)
+	// Cache, when non-nil, is an interactive session's cross-round
+	// filter-outcome cache. Before any validation runs, every filter with a
+	// cached outcome is resolved for free (with full implication
+	// propagation); every validation the run does execute is written back.
+	// Requires CacheKey. Because filter outcomes are ground truths of the
+	// database, the resolved candidate set is identical with or without a
+	// cache — only the number of executed validations changes.
+	Cache *filter.OutcomeCache
+	// CacheKey returns the cache key of filter i (filter.ValidationKey of
+	// the filter under the run's spec and dataset version). Must be set
+	// when Cache is.
+	CacheKey func(i int) string
 }
 
 // Snapshot is a point-in-time view of a scheduling run, delivered through
@@ -240,6 +252,14 @@ type Result struct {
 	Validations int
 	// Implied is the number of outcomes derived by propagation for free.
 	Implied int
+	// CacheHits counts filter outcomes served from Options.Cache —
+	// validations skipped entirely. CacheMisses counts validations that had
+	// to execute because the cache had no entry (equal to Validations when
+	// a cache is configured); CacheStores counts outcomes written back. All
+	// three are zero for cache-less runs.
+	CacheHits   int
+	CacheMisses int
+	CacheStores int
 	// Cost aggregates the execution statistics of the validations run.
 	Cost exec.ExecStats
 	// Confirmed and Pruned list candidate indexes by final status.
@@ -370,8 +390,9 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	if opts.OnResolved != nil {
 		notified = make([]bool, r.Set.NumCandidates())
 	}
-	applyOutcome := func(idx int, vr filter.ValidationResult) {
-		sess.RecordExecution(idx, vr)
+	// notifyOutcome delivers the callbacks after any applied outcome —
+	// executed, or served from the session cache.
+	notifyOutcome := func() {
 		if opts.OnResolved != nil {
 			var snap *Snapshot
 			for ci := range notified {
@@ -389,6 +410,43 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		if opts.OnProgress != nil {
 			opts.OnProgress(snapshot())
 		}
+	}
+
+	// Session cache: resolve every filter with a known outcome before any
+	// validation executes. Hits propagate implications exactly like
+	// executed validations, so one cached failure can still prune many
+	// candidates; the remaining loop then only pays for what the cache
+	// does not know.
+	var cacheKeys []string
+	if opts.Cache != nil {
+		if opts.CacheKey == nil {
+			return res, errors.New("sched: Options.Cache requires Options.CacheKey")
+		}
+		cacheKeys = make([]string, r.Set.NumFilters())
+		for i := range cacheKeys {
+			cacheKeys[i] = opts.CacheKey(i)
+		}
+		for i := range cacheKeys {
+			if sess.Determined(i) {
+				// Already implied by an earlier cached outcome.
+				continue
+			}
+			if passed, ok := opts.Cache.Lookup(cacheKeys[i]); ok {
+				sess.RecordCached(i, passed)
+				res.CacheHits++
+				notifyOutcome()
+			}
+		}
+	}
+
+	applyOutcome := func(idx int, vr filter.ValidationResult) {
+		sess.RecordExecution(idx, vr)
+		if opts.Cache != nil {
+			opts.Cache.Store(cacheKeys[idx], vr.Passed)
+			res.CacheStores++
+			res.CacheMisses++
+		}
+		notifyOutcome()
 	}
 
 	type outcome struct {

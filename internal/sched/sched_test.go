@@ -482,3 +482,105 @@ func BenchmarkGroundTruth(b *testing.B) {
 		}
 	}
 }
+
+// cachedRunner builds a Runner wired to a session outcome cache, the way
+// discovery sessions drive the scheduler.
+func cachedRunner(fx *fixture, cache *filter.OutcomeCache) *Runner {
+	return &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &BayesEstimator{Model: fx.model, Spec: fx.spec},
+		Options: Options{
+			Cache:    cache,
+			CacheKey: func(i int) string { return filter.ValidationKey(fx.set.Filters[i], fx.spec, 0) },
+		},
+	}
+}
+
+func TestRunWithOutcomeCache(t *testing.T) {
+	fx := newFixture(t)
+	cache := filter.NewOutcomeCache(0)
+
+	cold, err := cachedRunner(fx, cache).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold run hits = %d, want 0", cold.CacheHits)
+	}
+	if cold.CacheStores != cold.Validations || cold.CacheMisses != cold.Validations {
+		t.Errorf("cold run stores=%d misses=%d, want both = validations %d",
+			cold.CacheStores, cold.CacheMisses, cold.Validations)
+	}
+	if cache.Len() != cold.Validations {
+		t.Errorf("cache holds %d outcomes, want %d", cache.Len(), cold.Validations)
+	}
+
+	// A warm identical run resolves everything from the cache: zero
+	// executed validations, identical candidate resolutions.
+	warm, err := cachedRunner(fx, cache).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Validations != 0 {
+		t.Errorf("warm run executed %d validations, want 0", warm.Validations)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm run should have cache hits")
+	}
+	if len(warm.Confirmed) != len(cold.Confirmed) || len(warm.Pruned) != len(cold.Pruned) {
+		t.Errorf("warm run resolved (%d confirmed, %d pruned), cold (%d, %d)",
+			len(warm.Confirmed), len(warm.Pruned), len(cold.Confirmed), len(cold.Pruned))
+	}
+	for i := range warm.Confirmed {
+		if warm.Confirmed[i] != cold.Confirmed[i] {
+			t.Fatalf("confirmed sets diverge: %v vs %v", warm.Confirmed, cold.Confirmed)
+		}
+	}
+
+	// A cache-less run matches the cold resolutions too (ground truths).
+	plain, err := (&Runner{DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &BayesEstimator{Model: fx.model, Spec: fx.spec}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CacheHits != 0 || plain.CacheStores != 0 || plain.CacheMisses != 0 {
+		t.Errorf("cache-less run reported cache counters: %+v", plain)
+	}
+	if len(plain.Confirmed) != len(cold.Confirmed) {
+		t.Errorf("cache changes the confirmed set: %d vs %d", len(plain.Confirmed), len(cold.Confirmed))
+	}
+}
+
+func TestRunCacheRequiresKeyFunc(t *testing.T) {
+	fx := newFixture(t)
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Cache: filter.NewOutcomeCache(0)},
+	}
+	if _, err := runner.Run(); err == nil {
+		t.Fatal("Cache without CacheKey should be rejected")
+	}
+}
+
+func TestRunCacheAcrossParallelism(t *testing.T) {
+	fx := newFixture(t)
+	cache := filter.NewOutcomeCache(0)
+	r1 := cachedRunner(fx, cache)
+	if _, err := r1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm runs resolve everything in the preload sweep, before the worker
+	// pool starts — at every parallelism level.
+	for _, p := range []int{1, 4} {
+		r := cachedRunner(fx, cache)
+		r.Options.Parallelism = p
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Validations != 0 {
+			t.Errorf("p=%d: warm run executed %d validations", p, res.Validations)
+		}
+	}
+}

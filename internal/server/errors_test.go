@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestStructuredAPIErrors is the contract of the JSON API's failure mode:
+// every bad request to /api/sample, /api/discover and /api/discover/stream
+// comes back as a JSON body carrying both a human-readable "error" and a
+// machine-readable "code" — never a bare non-JSON status page.
+func TestStructuredAPIErrors(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"sample unknown dataset", http.MethodGet, "/api/sample?db=atlantis&table=Lake", "", http.StatusBadRequest, "unknown_database"},
+		{"sample unknown table", http.MethodGet, "/api/sample?db=mondial&table=Spaceship", "", http.StatusBadRequest, "unknown_table"},
+		{"sample wrong method", http.MethodPost, "/api/sample?db=mondial&table=Lake", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"discover unknown dataset", http.MethodPost, "/api/discover",
+			`{"database":"atlantis","numColumns":1,"samples":[["x"]]}`, http.StatusBadRequest, "unknown_database"},
+		{"discover unknown executor", http.MethodPost, "/api/discover",
+			`{"database":"mondial","numColumns":1,"samples":[["x"]],"executor":"gpu"}`, http.StatusBadRequest, "unknown_executor"},
+		{"discover invalid json", http.MethodPost, "/api/discover", `{not json`, http.StatusBadRequest, "bad_request"},
+		{"discover bad constraints", http.MethodPost, "/api/discover",
+			`{"database":"mondial","numColumns":0,"samples":[]}`, http.StatusBadRequest, "bad_request"},
+		{"discover wrong method", http.MethodGet, "/api/discover", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"stream unknown dataset", http.MethodPost, "/api/discover/stream",
+			`{"database":"atlantis","numColumns":1,"samples":[["x"]]}`, http.StatusBadRequest, "unknown_database"},
+		{"stream unknown executor", http.MethodPost, "/api/discover/stream",
+			`{"database":"mondial","numColumns":1,"samples":[["x"]],"executor":"gpu"}`, http.StatusBadRequest, "unknown_executor"},
+		{"stream invalid json", http.MethodPost, "/api/discover/stream", `{not json`, http.StatusBadRequest, "bad_request"},
+		{"stream wrong method", http.MethodGet, "/api/discover/stream", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"datasets wrong method", http.MethodPost, "/api/datasets", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"session unknown dataset", http.MethodPost, "/api/session", `{"database":"atlantis"}`, http.StatusBadRequest, "unknown_database"},
+		{"session unknown id", http.MethodGet, "/api/session/deadbeef", "", http.StatusNotFound, "unknown_session"},
+		{"session refine unknown id", http.MethodPost, "/api/session/deadbeef/refine", `{}`, http.StatusNotFound, "unknown_session"},
+		{"session wrong method", http.MethodGet, "/api/session", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"session id wrong method", http.MethodPut, "/api/session/deadbeef", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"session refine wrong method", http.MethodGet, "/api/session/deadbeef/refine", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, body))
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body)
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type = %q — errors must be JSON, not bare statuses", ct)
+			}
+			var payload struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+				t.Fatalf("body is not JSON: %q (%v)", rec.Body.String(), err)
+			}
+			if payload.Error == "" {
+				t.Error("error message missing")
+			}
+			if payload.Code != tc.code {
+				t.Errorf("code = %q, want %q (error: %s)", payload.Code, tc.code, payload.Error)
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 
 	"prism"
 	"prism/internal/discovery"
+	"prism/internal/exec"
 	"prism/internal/explain"
 	"prism/internal/mem"
 )
@@ -40,18 +42,26 @@ type Server struct {
 	TimeLimit time.Duration
 	// MaxGraphs bounds the number of inline SVG explanations rendered.
 	MaxGraphs int
+	// SessionTTL evicts refinement sessions idle for longer (default 15
+	// minutes); MaxSessions bounds live sessions, evicting the least
+	// recently used beyond it (default 64).
+	SessionTTL  time.Duration
+	MaxSessions int
 
-	tmpl *template.Template
+	sessions *sessionStore
+	tmpl     *template.Template
 }
 
 // New creates the demo server. Engines for the bundled data sets are built
 // lazily on first use so start-up stays instant.
 func New() *Server {
 	return &Server{
-		Registry:  prism.NewRegistry(),
-		TimeLimit: 60 * time.Second,
-		MaxGraphs: 3,
-		tmpl:      template.Must(template.New("page").Parse(pageTemplate)),
+		Registry:    prism.NewRegistry(),
+		TimeLimit:   60 * time.Second,
+		MaxGraphs:   3,
+		SessionTTL:  15 * time.Minute,
+		MaxSessions: 64,
+		tmpl:        template.Must(template.New("page").Parse(pageTemplate)),
 	}
 }
 
@@ -67,6 +77,9 @@ func (s *Server) engine(name string) (*prism.Engine, error) {
 
 // Handler returns the HTTP handler of the demo.
 func (s *Server) Handler() http.Handler {
+	if s.sessions == nil {
+		s.sessions = newSessionStore(s.SessionTTL, s.MaxSessions)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/discover", s.handleDiscoverForm)
@@ -74,6 +87,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/sample", s.handleSample)
 	mux.HandleFunc("/api/discover", s.handleDiscoverAPI)
 	mux.HandleFunc("/api/discover/stream", s.handleDiscoverStream)
+	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
+	mux.HandleFunc("GET /api/session/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE /api/session/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /api/session/{id}/refine", s.handleSessionRefine)
+	// Method-less fallbacks so wrong-method requests get the structured
+	// JSON 405 like every other API endpoint, not net/http's text page.
+	methodNotAllowed := func(allowed string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use "+allowed)
+		}
+	}
+	mux.HandleFunc("/api/session", methodNotAllowed("POST"))
+	mux.HandleFunc("/api/session/{id}", methodNotAllowed("GET or DELETE"))
+	mux.HandleFunc("/api/session/{id}/refine", methodNotAllowed("POST"))
 	return mux
 }
 
@@ -121,7 +148,16 @@ type MappingResponse struct {
 	GraphSVG   string     `json:"graphSvg,omitempty"`
 }
 
-// DiscoverResponse is the JSON answer of POST /api/discover.
+// CacheResponse reports a session round's filter-outcome cache counters;
+// hits count validations skipped entirely (the saved-validation metric).
+type CacheResponse struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Stores int `json:"stores"`
+}
+
+// DiscoverResponse is the JSON answer of POST /api/discover and of session
+// refine rounds (which additionally carry the session fields).
 type DiscoverResponse struct {
 	Database    string            `json:"database"`
 	Executor    string            `json:"executor,omitempty"`
@@ -133,6 +169,56 @@ type DiscoverResponse struct {
 	TimedOut    bool              `json:"timedOut"`
 	Failure     string            `json:"failure,omitempty"`
 	Error       string            `json:"error,omitempty"`
+	// Code classifies Error for programmatic clients ("unknown_database",
+	// "unknown_executor", "bad_request", ...).
+	Code string `json:"code,omitempty"`
+	// SessionID, Round and Cache are set on session refine rounds.
+	SessionID string         `json:"sessionId,omitempty"`
+	Round     int            `json:"round,omitempty"`
+	Cache     *CacheResponse `json:"cache,omitempty"`
+}
+
+// errorCode classifies an error for the structured JSON error responses:
+// unknown names are told apart from malformed requests so clients can react
+// (retry with a listed dataset, drop a stale session id, ...) instead of
+// parsing error prose.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, prism.ErrUnknownDatabase):
+		return "unknown_database"
+	case errors.Is(err, exec.ErrUnknownTable):
+		return "unknown_table"
+	case errors.Is(err, exec.ErrUnknownExecutor):
+		return "unknown_executor"
+	default:
+		return "bad_request"
+	}
+}
+
+// apiError is the uniform structured error body of the JSON API: every
+// failure is {"error": ..., "code": ...}, never a bare non-JSON status.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Error: msg, Code: code})
+}
+
+// checkExecutor validates an executor name before a round starts, so the
+// failure surfaces as a structured 4xx instead of a mid-round error.
+func checkExecutor(name string) error {
+	if name == "" {
+		return nil
+	}
+	key := exec.CanonicalName(name)
+	for _, n := range exec.Names() {
+		if n == key {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w %q (registered: %v)", exec.ErrUnknownExecutor, name, exec.Names())
 }
 
 // StreamEventResponse is one NDJSON line (or SSE data payload) of
@@ -153,7 +239,7 @@ type StreamEventResponse struct {
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry.Names()})
@@ -161,15 +247,17 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 // handleSample serves GET /api/sample?db=NAME&table=NAME&limit=N: a
 // preview of the named source table, for exploring a database before
-// writing constraints against it.
+// writing constraints against it. Unknown dataset and table names come
+// back as structured JSON errors with a classifying code, not bare
+// statuses.
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	eng, err := s.engine(r.URL.Query().Get("db"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		writeAPIError(w, http.StatusBadRequest, errorCode(err), err.Error())
 		return
 	}
 	table := r.URL.Query().Get("table")
@@ -181,7 +269,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := eng.SampleRows(table, limit)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		writeAPIError(w, http.StatusBadRequest, errorCode(err), err.Error())
 		return
 	}
 	out := make([][]string, len(rows))
@@ -197,12 +285,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	var req DiscoverRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: "bad_request"})
 		return
 	}
 	resp, status := s.discover(r.Context(), req, false)
@@ -231,6 +319,19 @@ func (s *Server) prepare(req DiscoverRequest) (*round, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts, err := s.roundOptions(req)
+	if err != nil {
+		return nil, err
+	}
+	return &round{eng: eng, spec: spec, opts: opts}, nil
+}
+
+// roundOptions assembles (and validates) the discovery options shared by
+// the discover and session handlers.
+func (s *Server) roundOptions(req DiscoverRequest) (discovery.Options, error) {
+	if err := checkExecutor(req.Executor); err != nil {
+		return discovery.Options{}, err
+	}
 	policy := discovery.PolicyBayes
 	if req.Policy != "" {
 		policy = discovery.Policy(req.Policy)
@@ -241,18 +342,14 @@ func (s *Server) prepare(req DiscoverRequest) (*round, error) {
 			timeLimit = d
 		}
 	}
-	return &round{
-		eng:  eng,
-		spec: spec,
-		opts: discovery.Options{
-			TimeLimit:      timeLimit,
-			Policy:         policy,
-			Parallelism:    req.Parallelism,
-			Executor:       req.Executor,
-			IncludeResults: true,
-			ResultLimit:    10,
-			MaxResults:     req.MaxResults,
-		},
+	return discovery.Options{
+		TimeLimit:      timeLimit,
+		Policy:         policy,
+		Parallelism:    req.Parallelism,
+		Executor:       req.Executor,
+		IncludeResults: true,
+		ResultLimit:    10,
+		MaxResults:     req.MaxResults,
 	}, nil
 }
 
@@ -296,9 +393,17 @@ func (s *Server) discoverResponse(req DiscoverRequest, report *discovery.Report,
 		resp.ElapsedMS = report.Elapsed.Milliseconds()
 		resp.TimedOut = report.TimedOut
 		resp.Failure = report.Failure()
+		if !report.Cache.IsZero() {
+			resp.Cache = &CacheResponse{
+				Hits:   report.Cache.Hits,
+				Misses: report.Cache.Misses,
+				Stores: report.Cache.Stores,
+			}
+		}
 	}
 	if err != nil {
 		resp.Error = err.Error()
+		resp.Code = errorCode(err)
 		return resp
 	}
 	for i, m := range report.Mappings {
@@ -317,7 +422,7 @@ func (s *Server) discoverResponse(req DiscoverRequest, report *discovery.Report,
 func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs bool) (DiscoverResponse, int) {
 	rd, err := s.prepare(req)
 	if err != nil {
-		return DiscoverResponse{Database: req.Database, Error: err.Error()}, http.StatusBadRequest
+		return DiscoverResponse{Database: req.Database, Error: err.Error(), Code: errorCode(err)}, http.StatusBadRequest
 	}
 	ctx, cancel := rd.requestContext(ctx)
 	defer cancel()
@@ -336,17 +441,19 @@ func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs b
 // confirms them; the final event carries the full report.
 func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	var req DiscoverRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: "bad_request"})
 		return
 	}
+	// Bad inputs (unknown dataset or executor, malformed constraints) fail
+	// as a structured 400 here, before the 200 streaming header goes out.
 	rd, err := s.prepare(req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Database: req.Database, Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Database: req.Database, Error: err.Error(), Code: errorCode(err)})
 		return
 	}
 	ctx, cancel := rd.requestContext(r.Context())

@@ -138,16 +138,22 @@ const (
 // keyword index, Bayesian models) and answers discovery requests over it.
 type Engine struct {
 	inner *discovery.Engine
+	// sessionCacheCapacity bounds the filter-outcome cache of sessions
+	// created by NewSession (0 = the package default).
+	sessionCacheCapacity int
 }
 
 // NewEngine preprocesses db and returns an engine bound to it, using the
 // default execution backend (see WithExecutor for the alternatives).
 func NewEngine(db *Database) *Engine {
-	return newEngine(db, "")
+	return newEngine(db, "", 0)
 }
 
-func newEngine(db *Database, executor string) *Engine {
-	return &Engine{inner: discovery.NewEngineWithExecutor(db, executor)}
+func newEngine(db *Database, executor string, sessionCacheCapacity int) *Engine {
+	return &Engine{
+		inner:                discovery.NewEngineWithExecutor(db, executor),
+		sessionCacheCapacity: sessionCacheCapacity,
+	}
 }
 
 // ExecutorNames lists the registered execution backends ("columnar",
@@ -157,11 +163,12 @@ func ExecutorNames() []string { return exec.Names() }
 
 // openConfig collects the effect of OpenOptions.
 type openConfig struct {
-	mondial  *MondialConfig
-	imdb     *IMDBConfig
-	nba      *NBAConfig
-	db       *Database
-	executor string
+	mondial      *MondialConfig
+	imdb         *IMDBConfig
+	nba          *NBAConfig
+	db           *Database
+	executor     string
+	sessionCache int
 }
 
 // OpenOption customises Open.
@@ -199,6 +206,15 @@ func WithExecutor(name string) OpenOption {
 	return func(c *openConfig) { c.executor = name }
 }
 
+// WithSessionCacheCapacity bounds the filter-outcome cache of every
+// Session created from the opened engine (entries, evicted LRU; 0 keeps
+// the package default). One cache entry is a short key plus one boolean,
+// so the default is generous; shrink it for engines serving very many
+// concurrent sessions.
+func WithSessionCacheCapacity(entries int) OpenOption {
+	return func(c *openConfig) { c.sessionCache = entries }
+}
+
 // Open builds the named source database and returns an engine over it. The
 // bundled synthetic data sets are "mondial", "imdb" and "nba" (see
 // DatasetNames); their scale is tunable with WithMondialConfig /
@@ -211,7 +227,7 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 		o(&cfg)
 	}
 	if cfg.db != nil {
-		return newEngine(cfg.db, cfg.executor), nil
+		return newEngine(cfg.db, cfg.executor, cfg.sessionCache), nil
 	}
 	// A sizing option for a data set other than the one being opened is a
 	// caller bug; report it instead of silently building the default size.
@@ -246,7 +262,7 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(db, cfg.executor), nil
+	return newEngine(db, cfg.executor, cfg.sessionCache), nil
 }
 
 // OpenDataset builds one of the bundled synthetic demo databases

@@ -1,11 +1,17 @@
 package prism
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ErrUnknownDatabase is wrapped by Registry.Get when no engine is
+// registered under the requested name; servers use it to classify the
+// failure for clients.
+var ErrUnknownDatabase = errors.New("prism: unknown database")
 
 // normalizeName canonicalises a registry / Open database name.
 func normalizeName(name string) string {
@@ -74,8 +80,8 @@ func (r *Registry) Get(name string) (*Engine, error) {
 	e, ok := r.entries[key]
 	r.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("prism: unknown database %q (registered: %s)",
-			name, strings.Join(r.Names(), ", "))
+		return nil, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownDatabase, name, strings.Join(r.Names(), ", "))
 	}
 	e.once.Do(func() { e.eng, e.err = e.open() })
 	return e.eng, e.err
