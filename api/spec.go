@@ -1,0 +1,358 @@
+package api
+
+// The structured constraint-specification codec. The demo's string grids
+// ("California || Nevada | Lake Tahoe | ") stay supported, but programs
+// should not have to render constraint trees to strings only for the
+// server to parse them back: Spec is the JSON form of a parsed
+// specification — one typed expression tree per constrained cell — and
+// EncodeSpec / Spec.Decode convert losslessly between it and the
+// engine's constraint.Spec.
+
+import (
+	"fmt"
+
+	"prism/internal/constraint"
+	"prism/internal/lang"
+	"prism/internal/value"
+)
+
+// Spec is the structured wire form of a multiresolution constraint
+// specification: the Configuration (NumColumns) plus the Description's
+// sample and metadata constraints as typed expression trees. Null cells
+// are unconstrained ("missing values" in the paper's terminology).
+type Spec struct {
+	NumColumns int `json:"numColumns"`
+	// Samples holds one row per sample constraint, each with exactly
+	// NumColumns cells.
+	Samples [][]*ValueExpr `json:"samples,omitempty"`
+	// Metadata holds one optional metadata constraint per target column.
+	Metadata []*MetaExpr `json:"metadata,omitempty"`
+}
+
+// ValueExpr kinds.
+const (
+	// KindKeyword is an exact-value cell; Word carries the keyword.
+	KindKeyword = "keyword"
+	// KindCompare is "op constant"; Op and Value carry the parts.
+	KindCompare = "compare"
+	// KindRange is the closed interval [Lo, Hi].
+	KindRange = "range"
+	// KindAnd / KindOr combine Terms; KindNot negates Term.
+	KindAnd = "and"
+	KindOr  = "or"
+	KindNot = "not"
+	// KindPredicate is a metadata predicate "Field Op Value".
+	KindPredicate = "predicate"
+)
+
+// ValueExpr is one node of a row-level value-constraint tree (the ck
+// production of the paper's Figure 1). Exactly the fields of its Kind are
+// set.
+type ValueExpr struct {
+	Kind string `json:"kind"`
+	// Word is the exact keyword of a KindKeyword node.
+	Word string `json:"word,omitempty"`
+	// Op ("=", "!=", "<", "<=", ">", ">=") and Value belong to KindCompare.
+	Op    string  `json:"op,omitempty"`
+	Value *Scalar `json:"value,omitempty"`
+	// Lo and Hi bound a KindRange node.
+	Lo *Scalar `json:"lo,omitempty"`
+	Hi *Scalar `json:"hi,omitempty"`
+	// Terms are the operands of KindAnd / KindOr.
+	Terms []*ValueExpr `json:"terms,omitempty"`
+	// Term is the operand of KindNot.
+	Term *ValueExpr `json:"term,omitempty"`
+}
+
+// MetaExpr is one node of a column-level metadata-constraint tree (the cm
+// production of Figure 1): a predicate over column statistics, or an
+// and/or combination.
+type MetaExpr struct {
+	Kind string `json:"kind"`
+	// Field ("DataType", "ColumnName", "TableName", "MinValue", "MaxValue",
+	// "MaxLength"), Op and Value belong to KindPredicate nodes.
+	Field string `json:"field,omitempty"`
+	Op    string `json:"op,omitempty"`
+	Value string `json:"value,omitempty"`
+	// Terms are the operands of KindAnd / KindOr.
+	Terms []*MetaExpr `json:"terms,omitempty"`
+}
+
+// Scalar is a typed constant: Type is one of "int", "decimal", "text",
+// "date", "time" or "null", Text its canonical rendering (dates as
+// YYYY-MM-DD, times as HH:MM:SS, decimals in Go 'g' format).
+type Scalar struct {
+	Type string `json:"type"`
+	Text string `json:"text,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+// EncodeSpec converts a parsed constraint specification into its
+// structured wire form. It fails only on expression nodes outside the
+// constraint language's closed AST (caller-implemented ValueExpr types).
+func EncodeSpec(sp *constraint.Spec) (*Spec, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("api: cannot encode a nil specification")
+	}
+	out := &Spec{NumColumns: sp.NumColumns}
+	for _, s := range sp.Samples {
+		row := make([]*ValueExpr, len(s.Cells))
+		for i, cell := range s.Cells {
+			enc, err := encodeValueExpr(cell)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = enc
+		}
+		out.Samples = append(out.Samples, row)
+	}
+	for _, m := range sp.Metadata {
+		enc, err := encodeMetaExpr(m)
+		if err != nil {
+			return nil, err
+		}
+		out.Metadata = append(out.Metadata, enc)
+	}
+	return out, nil
+}
+
+func encodeScalar(v value.Value) *Scalar {
+	return &Scalar{Type: v.Kind().String(), Text: v.String()}
+}
+
+func encodeValueExpr(e lang.ValueExpr) (*ValueExpr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case lang.Keyword:
+		return &ValueExpr{Kind: KindKeyword, Word: n.Word}, nil
+	case lang.Compare:
+		return &ValueExpr{Kind: KindCompare, Op: n.Op.String(), Value: encodeScalar(n.Const)}, nil
+	case lang.Range:
+		return &ValueExpr{Kind: KindRange, Lo: encodeScalar(n.Lo), Hi: encodeScalar(n.Hi)}, nil
+	case lang.And:
+		terms, err := encodeValueTerms(n.Terms)
+		if err != nil {
+			return nil, err
+		}
+		return &ValueExpr{Kind: KindAnd, Terms: terms}, nil
+	case lang.Or:
+		terms, err := encodeValueTerms(n.Terms)
+		if err != nil {
+			return nil, err
+		}
+		return &ValueExpr{Kind: KindOr, Terms: terms}, nil
+	case lang.Not:
+		term, err := encodeValueExpr(n.Term)
+		if err != nil {
+			return nil, err
+		}
+		return &ValueExpr{Kind: KindNot, Term: term}, nil
+	default:
+		return nil, fmt.Errorf("api: cannot encode value constraint of type %T", e)
+	}
+}
+
+func encodeValueTerms(terms []lang.ValueExpr) ([]*ValueExpr, error) {
+	out := make([]*ValueExpr, 0, len(terms))
+	for _, t := range terms {
+		enc, err := encodeValueExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc)
+	}
+	return out, nil
+}
+
+func encodeMetaExpr(e lang.MetaExpr) (*MetaExpr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case lang.MetaPredicate:
+		return &MetaExpr{Kind: KindPredicate, Field: n.Field.String(), Op: n.Op.String(), Value: n.Const}, nil
+	case lang.MetaAnd:
+		terms, err := encodeMetaTerms(n.Terms)
+		if err != nil {
+			return nil, err
+		}
+		return &MetaExpr{Kind: KindAnd, Terms: terms}, nil
+	case lang.MetaOr:
+		terms, err := encodeMetaTerms(n.Terms)
+		if err != nil {
+			return nil, err
+		}
+		return &MetaExpr{Kind: KindOr, Terms: terms}, nil
+	default:
+		return nil, fmt.Errorf("api: cannot encode metadata constraint of type %T", e)
+	}
+}
+
+func encodeMetaTerms(terms []lang.MetaExpr) ([]*MetaExpr, error) {
+	out := make([]*MetaExpr, 0, len(terms))
+	for _, t := range terms {
+		enc, err := encodeMetaExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+// Decode converts the wire form back into a validated constraint
+// specification (the inverse of EncodeSpec).
+func (s *Spec) Decode() (*constraint.Spec, error) {
+	if s == nil {
+		return nil, fmt.Errorf("api: cannot decode a nil specification")
+	}
+	samples := make([]constraint.SampleConstraint, 0, len(s.Samples))
+	for ri, row := range s.Samples {
+		cells := make([]lang.ValueExpr, len(row))
+		for ci, cell := range row {
+			dec, err := decodeValueExpr(cell)
+			if err != nil {
+				return nil, fmt.Errorf("api: sample %d cell %d: %w", ri, ci, err)
+			}
+			cells[ci] = dec
+		}
+		samples = append(samples, constraint.SampleConstraint{Cells: cells})
+	}
+	var metadata []lang.MetaExpr
+	if s.Metadata != nil {
+		metadata = make([]lang.MetaExpr, len(s.Metadata))
+		for ci, cell := range s.Metadata {
+			dec, err := decodeMetaExpr(cell)
+			if err != nil {
+				return nil, fmt.Errorf("api: metadata cell %d: %w", ci, err)
+			}
+			metadata[ci] = dec
+		}
+	}
+	return constraint.NewSpec(s.NumColumns, samples, metadata)
+}
+
+func decodeScalar(sc *Scalar) (value.Value, error) {
+	if sc == nil {
+		return value.NullValue, fmt.Errorf("missing constant")
+	}
+	kind, err := value.ParseKind(sc.Type)
+	if err != nil {
+		return value.NullValue, err
+	}
+	if kind == value.Text {
+		// ParseAs would turn "" and "null" into NULL; text constants are
+		// taken verbatim so every encoded value round-trips exactly.
+		return value.NewText(sc.Text), nil
+	}
+	return value.ParseAs(sc.Text, kind)
+}
+
+func decodeValueExpr(n *ValueExpr) (lang.ValueExpr, error) {
+	if n == nil {
+		return nil, nil
+	}
+	switch n.Kind {
+	case KindKeyword:
+		// An empty word is accepted (a never-matching constraint): the
+		// grid parser cannot produce it, but prism.Exact("") can, and the
+		// codec must round-trip every in-process specification.
+		return lang.Keyword{Word: n.Word}, nil
+	case KindCompare:
+		op, err := lang.ParseBinOp(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		c, err := decodeScalar(n.Value)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Compare{Op: op, Const: c}, nil
+	case KindRange:
+		lo, err := decodeScalar(n.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := decodeScalar(n.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Range{Lo: lo, Hi: hi}, nil
+	case KindAnd, KindOr:
+		if len(n.Terms) == 0 {
+			return nil, fmt.Errorf("%s node without terms", n.Kind)
+		}
+		terms := make([]lang.ValueExpr, 0, len(n.Terms))
+		for _, t := range n.Terms {
+			dec, err := decodeValueExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if dec == nil {
+				return nil, fmt.Errorf("%s node with a null term", n.Kind)
+			}
+			terms = append(terms, dec)
+		}
+		if n.Kind == KindAnd {
+			return lang.And{Terms: terms}, nil
+		}
+		return lang.Or{Terms: terms}, nil
+	case KindNot:
+		term, err := decodeValueExpr(n.Term)
+		if err != nil {
+			return nil, err
+		}
+		if term == nil {
+			return nil, fmt.Errorf("not node without a term")
+		}
+		return lang.Not{Term: term}, nil
+	default:
+		return nil, fmt.Errorf("unknown value-constraint kind %q", n.Kind)
+	}
+}
+
+func decodeMetaExpr(n *MetaExpr) (lang.MetaExpr, error) {
+	if n == nil {
+		return nil, nil
+	}
+	switch n.Kind {
+	case KindPredicate:
+		field, err := lang.ParseMetaField(n.Field)
+		if err != nil {
+			return nil, err
+		}
+		op, err := lang.ParseBinOp(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		return lang.MetaPredicate{Field: field, Op: op, Const: n.Value}, nil
+	case KindAnd, KindOr:
+		if len(n.Terms) == 0 {
+			return nil, fmt.Errorf("%s node without terms", n.Kind)
+		}
+		terms := make([]lang.MetaExpr, 0, len(n.Terms))
+		for _, t := range n.Terms {
+			dec, err := decodeMetaExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if dec == nil {
+				return nil, fmt.Errorf("%s node with a null term", n.Kind)
+			}
+			terms = append(terms, dec)
+		}
+		if n.Kind == KindAnd {
+			return lang.MetaAnd{Terms: terms}, nil
+		}
+		return lang.MetaOr{Terms: terms}, nil
+	default:
+		return nil, fmt.Errorf("unknown metadata-constraint kind %q", n.Kind)
+	}
+}

@@ -44,7 +44,7 @@ func benchMondialConfig() MondialConfig {
 
 func benchEngine(b testing.TB) *Engine {
 	b.Helper()
-	eng, err := OpenMondial(benchMondialConfig())
+	eng, err := Open("mondial", WithMondialConfig(benchMondialConfig()))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,316 @@
+package prism
+
+// The typed Spec builder: a fluent, programmatic way to assemble a
+// multiresolution constraint specification without round-tripping through
+// the demo's string grids. Where the grid parser serves the interactive
+// UI ("California || Nevada | Lake Tahoe | "), NewSpec serves programs:
+//
+//	spec, err := prism.NewSpec(3).
+//		Sample(prism.OneOf("California", "Nevada"), prism.Exact("Lake Tahoe"), prism.Any()).
+//		Metadata(2, prism.DataTypeIs("decimal"), prism.MinValueAtLeast(0)).
+//		Build()
+//
+// The constructors produce the same constraint AST the parser does, so a
+// built Spec is indistinguishable from a parsed one everywhere in the
+// pipeline — including the structured wire encoding (prism/api.EncodeSpec).
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"prism/internal/constraint"
+	"prism/internal/lang"
+	"prism/internal/value"
+)
+
+// Constraint-expression types, re-exported for the builder's surface.
+type (
+	// ValueConstraint is a row-level value constraint on one target column
+	// (what one sample-grid cell parses to). A nil ValueConstraint is an
+	// unconstrained cell.
+	ValueConstraint = lang.ValueExpr
+	// MetaConstraint is a column-level metadata constraint (what one
+	// metadata-grid cell parses to).
+	MetaConstraint = lang.MetaExpr
+)
+
+// toValue converts a builder argument into a typed constant. Strings go
+// through the language's literal rules (numbers, ISO dates and HH:MM:SS
+// times become typed values); numeric Go types map directly; Value is
+// passed through for full control (e.g. prism.DateValue).
+func toValue(v any) value.Value {
+	switch x := v.(type) {
+	case value.Value:
+		return x
+	case string:
+		return value.Parse(x)
+	case int:
+		return value.NewInt(int64(x))
+	case int8:
+		return value.NewInt(int64(x))
+	case int16:
+		return value.NewInt(int64(x))
+	case int32:
+		return value.NewInt(int64(x))
+	case int64:
+		return value.NewInt(x)
+	case uint:
+		return value.NewInt(int64(x))
+	case uint8:
+		return value.NewInt(int64(x))
+	case uint16:
+		return value.NewInt(int64(x))
+	case uint32:
+		return value.NewInt(int64(x))
+	case float32:
+		return value.NewDecimal(float64(x))
+	case float64:
+		return value.NewDecimal(x)
+	case time.Time:
+		return value.NewDate(x)
+	default:
+		return value.Parse(fmt.Sprint(v))
+	}
+}
+
+// DateValue builds a typed date constant for range and comparison
+// constraints (TimeValue is its time-of-day counterpart).
+func DateValue(year int, month time.Month, day int) Value {
+	return value.NewDateYMD(year, month, day)
+}
+
+// TimeValue builds a typed time-of-day constant (second precision).
+func TimeValue(hour, minute, sec int) Value {
+	return value.NewTimeHMS(hour, minute, sec)
+}
+
+// Any is the unconstrained cell: a "missing value" in the paper's
+// terminology. It exists for readable Sample calls; nil works identically.
+func Any() ValueConstraint { return nil }
+
+// Exact constrains a cell to one exact value (high resolution). Numeric
+// arguments match numerically, strings match as case-insensitive keywords.
+func Exact(v any) ValueConstraint {
+	if s, ok := v.(string); ok {
+		return lang.Keyword{Word: s}
+	}
+	return lang.Keyword{Word: toValue(v).String()}
+}
+
+// OneOf constrains a cell to a disjunction of exact values — the
+// "California || Nevada" of the paper's Figure 1 (medium resolution).
+func OneOf(vs ...any) ValueConstraint {
+	if len(vs) == 0 {
+		return nil
+	}
+	if len(vs) == 1 {
+		return Exact(vs[0])
+	}
+	terms := make([]lang.ValueExpr, len(vs))
+	for i, v := range vs {
+		terms[i] = Exact(v)
+	}
+	return lang.Or{Terms: terms}
+}
+
+// Between constrains a cell to the closed interval [lo, hi] — the
+// "[100, 600]" range shorthand.
+func Between(lo, hi any) ValueConstraint {
+	return lang.Range{Lo: toValue(lo), Hi: toValue(hi)}
+}
+
+// AtLeast / AtMost / GreaterThan / LessThan / NotEqualTo are the
+// comparison constraints (">= 100", "<= 600", ...).
+func AtLeast(v any) ValueConstraint     { return lang.Compare{Op: lang.OpGe, Const: toValue(v)} }
+func AtMost(v any) ValueConstraint      { return lang.Compare{Op: lang.OpLe, Const: toValue(v)} }
+func GreaterThan(v any) ValueConstraint { return lang.Compare{Op: lang.OpGt, Const: toValue(v)} }
+func LessThan(v any) ValueConstraint    { return lang.Compare{Op: lang.OpLt, Const: toValue(v)} }
+func NotEqualTo(v any) ValueConstraint  { return lang.Compare{Op: lang.OpNe, Const: toValue(v)} }
+
+// AllOf conjoins value constraints (">= 100 && <= 600"); nil terms are
+// dropped. AnyOf is the general disjunction; Not negates.
+func AllOf(terms ...ValueConstraint) ValueConstraint {
+	kept := compactValueTerms(terms)
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return lang.And{Terms: kept}
+	}
+}
+
+// AnyOf disjoins arbitrary value constraints (OneOf covers the common
+// exact-value case); nil terms are dropped.
+func AnyOf(terms ...ValueConstraint) ValueConstraint {
+	kept := compactValueTerms(terms)
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return lang.Or{Terms: kept}
+	}
+}
+
+// Not negates a value constraint; Not(nil) is nil.
+func Not(term ValueConstraint) ValueConstraint {
+	if term == nil {
+		return nil
+	}
+	return lang.Not{Term: term}
+}
+
+func compactValueTerms(terms []ValueConstraint) []lang.ValueExpr {
+	kept := make([]lang.ValueExpr, 0, len(terms))
+	for _, t := range terms {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}
+
+// DataTypeIs requires the column's declared type ("int", "decimal",
+// "text", "date", "time"; int columns satisfy "decimal").
+func DataTypeIs(name string) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldDataType, Op: lang.OpEq, Const: name}
+}
+
+// ColumnNamed requires the column name to match (case-insensitive; '%' and
+// '*' wildcards allowed). TableNamed is its table counterpart.
+func ColumnNamed(pattern string) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldColumnName, Op: lang.OpEq, Const: pattern}
+}
+
+// TableNamed requires the table name to match (case-insensitive; '%' and
+// '*' wildcards allowed).
+func TableNamed(pattern string) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldTableName, Op: lang.OpEq, Const: pattern}
+}
+
+// MinValueAtLeast requires the column's minimum stored value to be >= v
+// (the "MinValue>='0'" of the paper's walkthrough).
+func MinValueAtLeast(v any) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldMinValue, Op: lang.OpGe, Const: toValue(v).String()}
+}
+
+// MaxValueAtMost requires the column's maximum stored value to be <= v.
+func MaxValueAtMost(v any) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldMaxValue, Op: lang.OpLe, Const: toValue(v).String()}
+}
+
+// MaxLengthAtMost requires the column's longest rendered value to be at
+// most n characters.
+func MaxLengthAtMost(n int) MetaConstraint {
+	return lang.MetaPredicate{Field: lang.FieldMaxLength, Op: lang.OpLe, Const: toValue(n).String()}
+}
+
+// MetaAllOf conjoins metadata constraints ("DataType=='decimal' AND
+// MinValue>='0'"); nil terms are dropped. MetaAnyOf is the "ambiguous
+// metadata" disjunction.
+func MetaAllOf(terms ...MetaConstraint) MetaConstraint {
+	kept := compactMetaTerms(terms)
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return lang.MetaAnd{Terms: kept}
+	}
+}
+
+// MetaAnyOf disjoins metadata constraints; nil terms are dropped.
+func MetaAnyOf(terms ...MetaConstraint) MetaConstraint {
+	kept := compactMetaTerms(terms)
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return lang.MetaOr{Terms: kept}
+	}
+}
+
+func compactMetaTerms(terms []MetaConstraint) []lang.MetaExpr {
+	kept := make([]lang.MetaExpr, 0, len(terms))
+	for _, t := range terms {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}
+
+// SpecBuilder assembles a Spec fluently; create one with NewSpec. Methods
+// record errors instead of failing fast, so call chains stay linear and
+// Build reports everything at once.
+type SpecBuilder struct {
+	numColumns int
+	samples    []constraint.SampleConstraint
+	metadata   []lang.MetaExpr
+	errs       []error
+}
+
+// NewSpec starts a specification for a target schema of numColumns
+// columns. Add rows with Sample, column constraints with Metadata, then
+// call Build.
+func NewSpec(numColumns int) *SpecBuilder {
+	b := &SpecBuilder{numColumns: numColumns}
+	if numColumns > 0 {
+		b.metadata = make([]lang.MetaExpr, numColumns)
+	}
+	return b
+}
+
+// Sample appends one sample-constraint row. Fewer cells than target
+// columns are padded with unconstrained cells; more is an error.
+func (b *SpecBuilder) Sample(cells ...ValueConstraint) *SpecBuilder {
+	if len(cells) > b.numColumns {
+		b.errs = append(b.errs, fmt.Errorf("prism: sample %d has %d cells, target schema has %d columns",
+			len(b.samples), len(cells), b.numColumns))
+		return b
+	}
+	row := make([]lang.ValueExpr, b.numColumns)
+	copy(row, cells)
+	b.samples = append(b.samples, constraint.SampleConstraint{Cells: row})
+	return b
+}
+
+// Metadata sets target column col's (zero-based) metadata constraint to
+// the conjunction of terms, replacing any earlier constraint on that
+// column. A single term is used as-is; no terms clears the column.
+func (b *SpecBuilder) Metadata(col int, terms ...MetaConstraint) *SpecBuilder {
+	if col < 0 || col >= b.numColumns {
+		b.errs = append(b.errs, fmt.Errorf("prism: metadata column %d out of range (target schema has %d columns)",
+			col, b.numColumns))
+		return b
+	}
+	b.metadata[col] = MetaAllOf(terms...)
+	return b
+}
+
+// Build validates and returns the specification (every builder error plus
+// the structural checks shared with the grid parser: at least one
+// constrained column, consistent arity).
+func (b *SpecBuilder) Build() (*Spec, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	return constraint.NewSpec(b.numColumns, b.samples, b.metadata)
+}
+
+// MustBuild is Build that panics on error, for tests and static
+// specifications.
+func (b *SpecBuilder) MustBuild() *Spec {
+	sp, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}

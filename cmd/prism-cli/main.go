@@ -11,6 +11,16 @@
 // refinement session: edit constraint cells between rounds and re-run; the
 // session's filter-outcome cache makes refined rounds validate only what
 // changed. Type "help" at the prompt for the commands.
+//
+// With -remote URL every mode — one-shot, -stream and -session — drives a
+// prism-demo server through the client SDK (prism/client) over the
+// versioned /api/v1 JSON API instead of running the engine in-process:
+//
+//	prism-cli -remote http://localhost:8080 -db mondial -columns 3 \
+//	    -sample "California || Nevada | Lake Tahoe | " -results
+//
+// Local and remote execution return identical mapping sets and SQL order;
+// only -explain requires the local engine.
 package main
 
 import (
@@ -28,6 +38,8 @@ import (
 	"time"
 
 	"prism"
+	"prism/api"
+	"prism/client"
 )
 
 // sampleFlags collects repeated -sample flags.
@@ -66,6 +78,7 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	showResults := fs.Bool("results", false, "execute each mapping and print a result preview")
 	stream := fs.Bool("stream", false, "stream mappings and progress as they are found instead of waiting for the round to finish")
 	session := fs.Bool("session", false, "interactive refinement session: edit constraints between rounds at a REPL prompt; refined rounds reuse cached filter outcomes")
+	remote := fs.String("remote", "", "base URL of a prism-demo server; rounds then run remotely through the /api/v1 client instead of in-process")
 	explainMode := fs.String("explain", "", "render the first mapping's query graph: ascii, dot or svg")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,10 +88,8 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	default:
 		return fmt.Errorf("unknown -explain mode %q (want ascii, dot or svg)", *explainMode)
 	}
-
-	eng, err := prism.Open(*dbName)
-	if err != nil {
-		return err
+	if *remote != "" && *explainMode != "" {
+		return fmt.Errorf("-explain needs the in-process engine; it is not available with -remote")
 	}
 
 	sampleRows := make([][]string, 0, len(samples))
@@ -93,10 +104,68 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	// prompt; every other mode needs constraints up front.
 	var spec *prism.Spec
 	if !*session || len(sampleRows) > 0 || metadataRow != nil {
+		var err error
 		spec, err = prism.ParseConstraints(*columns, sampleRows, metadataRow)
 		if err != nil {
 			return err
 		}
+	}
+
+	opts := prism.Options{
+		Policy:         prism.Policy(*policy),
+		TimeLimit:      *timeLimit,
+		Parallelism:    *parallelism,
+		Executor:       *executor,
+		MaxResults:     *maxResults,
+		IncludeResults: *showResults,
+		ResultLimit:    10,
+	}
+
+	if *remote != "" {
+		c, err := client.New(*remote)
+		if err != nil {
+			return err
+		}
+		if *session {
+			sess, err := c.CreateSession(ctx, *dbName)
+			if err != nil {
+				return err
+			}
+			rr := &remoteRunner{
+				sess: sess,
+				base: api.RefineRequest{
+					Policy:      *policy,
+					MaxResults:  *maxResults,
+					TimeoutMs:   timeoutMs(*timeLimit),
+					Parallelism: *parallelism,
+					Executor:    *executor,
+				},
+			}
+			label := fmt.Sprintf("%s at %s", *dbName, *remote)
+			return sessionLoop(ctx, in, out, rr, label, *columns, sampleRows, metadataRow, *timeLimit)
+		}
+		wireSpec, err := api.EncodeSpec(spec)
+		if err != nil {
+			return err
+		}
+		req := api.DiscoverRequest{
+			Database:    *dbName,
+			Spec:        wireSpec,
+			Policy:      *policy,
+			MaxResults:  *maxResults,
+			TimeoutMs:   timeoutMs(*timeLimit),
+			Parallelism: *parallelism,
+			Executor:    *executor,
+		}
+		if *stream {
+			return remoteStreamRound(ctx, out, c, req, *showResults)
+		}
+		return remoteRound(ctx, out, c, req, *showResults)
+	}
+
+	eng, err := prism.Open(*dbName)
+	if err != nil {
+		return err
 	}
 
 	// The timeout is enforced as a context deadline so the whole round is
@@ -111,18 +180,10 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 		ctx, cancel = context.WithTimeout(ctx, *timeLimit+2*time.Second)
 		defer cancel()
 	}
-	opts := prism.Options{
-		Policy:         prism.Policy(*policy),
-		TimeLimit:      *timeLimit,
-		Parallelism:    *parallelism,
-		Executor:       *executor,
-		MaxResults:     *maxResults,
-		IncludeResults: *showResults,
-		ResultLimit:    10,
-	}
 
 	if *session {
-		return sessionLoop(ctx, in, out, eng, *columns, sampleRows, metadataRow, opts)
+		rr := &localRunner{sess: eng.NewSession(ctx), opts: opts}
+		return sessionLoop(ctx, in, out, rr, eng.Database().Name, *columns, sampleRows, metadataRow, *timeLimit)
 	}
 
 	var report *prism.Report
@@ -162,6 +223,297 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	return nil
 }
 
+// timeoutMs converts the -timeout flag for the wire (0 keeps the server's
+// own budget).
+func timeoutMs(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(d.Milliseconds())
+}
+
+// ---------------------------------------------------------------------------
+// Remote one-shot and streaming rounds
+// ---------------------------------------------------------------------------
+
+// remoteSummary renders a response's statistics in the shape of
+// Report.Summary, so local and remote output read alike.
+func remoteSummary(resp *api.DiscoverResponse) string {
+	var b strings.Builder
+	if resp.Executor != "" {
+		fmt.Fprintf(&b, "executor=%s ", resp.Executor)
+	}
+	fmt.Fprintf(&b, "candidates=%d filters=%d validations=%d mappings=%d elapsed=%s",
+		resp.Candidates, resp.Filters, resp.Validations, len(resp.Mappings),
+		(time.Duration(resp.ElapsedMS) * time.Millisecond).String())
+	if resp.Cache != nil {
+		fmt.Fprintf(&b, " cache=%d/%d hits (validations saved)", resp.Cache.Hits, resp.Cache.Hits+resp.Cache.Misses)
+	}
+	if resp.TimedOut {
+		b.WriteString(" TIMED OUT")
+	}
+	return b.String()
+}
+
+// printRemoteMappings lists the discovered queries (with previews when
+// requested; the server attaches up to 10 rows per mapping).
+func printRemoteMappings(out io.Writer, resp *api.DiscoverResponse, showResults bool) {
+	for i, m := range resp.Mappings {
+		fmt.Fprintf(out, "\n-- query %d --\n%s\n", i+1, m.SQL)
+		if showResults {
+			for _, row := range m.ResultRows {
+				fmt.Fprintf(out, "  (%s)\n", strings.Join(row, ", "))
+			}
+		}
+	}
+}
+
+// remoteRound runs one blocking discovery round through the client.
+func remoteRound(ctx context.Context, out io.Writer, c *client.Client, req api.DiscoverRequest, showResults bool) error {
+	resp, err := c.Discover(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, remoteSummary(resp))
+	if resp.Failure != "" {
+		fmt.Fprintln(out, "FAILURE:", resp.Failure)
+	}
+	printRemoteMappings(out, resp, showResults)
+	return nil
+}
+
+// remoteStreamRound consumes a remote DiscoverStream, printing mappings
+// the moment the server pushes them.
+func remoteStreamRound(ctx context.Context, out io.Writer, c *client.Client, req api.DiscoverRequest, showResults bool) error {
+	events, err := c.DiscoverStream(ctx, req)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for ev := range events {
+		switch ev.Kind {
+		case prism.EventCandidates:
+			fmt.Fprintf(out, "candidates: %d\n", ev.Progress.CandidatesEnumerated)
+		case prism.EventFilters:
+			fmt.Fprintf(out, "filters: %d\n", ev.Progress.FiltersGenerated)
+		case prism.EventMapping:
+			n++
+			fmt.Fprintf(out, "<- mapping %d (after %d validations): %s\n", n, ev.Progress.Validations, ev.Mapping.SQL)
+		case prism.EventDone:
+			if ev.Result != nil {
+				fmt.Fprintln(out, remoteSummary(ev.Result))
+				if ev.Result.Failure != "" {
+					fmt.Fprintln(out, "FAILURE:", ev.Result.Failure)
+				}
+				printRemoteMappings(out, ev.Result, showResults)
+			}
+			// A failed round exits nonzero like the local path; client-side
+			// cancellation still prints whatever arrived and exits clean.
+			if ev.Err != nil && !errors.Is(ev.Err, context.Canceled) && !errors.Is(ev.Err, context.DeadlineExceeded) {
+				return ev.Err
+			}
+			return nil
+		}
+	}
+	return ctx.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Session REPL (local and remote)
+// ---------------------------------------------------------------------------
+
+// queryView is one discovered query of a round, transport-neutral.
+type queryView struct {
+	sql    string
+	result string
+}
+
+// roundView is the printable outcome of one session round.
+type roundView struct {
+	summary string
+	failure string
+	queries []queryView
+}
+
+// roundRunner abstracts where a session round executes: in-process
+// (localRunner) or on a prism-demo server through the client SDK
+// (remoteRunner). The REPL is identical either way.
+type roundRunner interface {
+	// discover seeds the session with a full specification and runs the
+	// first round.
+	discover(ctx context.Context, columns int, rows [][]string, meta []string) (*roundView, error)
+	// refine applies the queued delta and runs one more round.
+	refine(ctx context.Context, delta prism.Delta) (*roundView, error)
+	// rounds reports how many rounds have actually completed.
+	rounds() int
+	// specText renders the session's current constraints ("" when the
+	// runner cannot reproduce them, e.g. remotely).
+	specText() string
+	// statsText renders the session's cache statistics.
+	statsText(ctx context.Context) string
+	close()
+}
+
+// localRunner runs rounds on an in-process engine session.
+type localRunner struct {
+	sess *prism.Session
+	opts prism.Options
+}
+
+func viewFromReport(r *prism.Report) *roundView {
+	if r == nil {
+		return nil
+	}
+	v := &roundView{summary: r.Summary(), failure: r.Failure()}
+	for _, m := range r.Mappings {
+		q := queryView{sql: m.SQL}
+		if m.Result != nil {
+			q.result = m.Result.String()
+		}
+		v.queries = append(v.queries, q)
+	}
+	return v
+}
+
+func (l *localRunner) discover(ctx context.Context, columns int, rows [][]string, meta []string) (*roundView, error) {
+	spec, err := prism.ParseConstraints(columns, rows, meta)
+	if err != nil {
+		return nil, err
+	}
+	report, err := l.sess.Discover(ctx, spec, l.opts)
+	return viewFromReport(report), err
+}
+
+func (l *localRunner) refine(ctx context.Context, delta prism.Delta) (*roundView, error) {
+	report, err := l.sess.Refine(ctx, delta, l.opts)
+	return viewFromReport(report), err
+}
+
+func (l *localRunner) rounds() int { return l.sess.Rounds() }
+
+func (l *localRunner) specText() string {
+	if spec := l.sess.Spec(); spec != nil {
+		return spec.String()
+	}
+	return ""
+}
+
+func (l *localRunner) statsText(context.Context) string {
+	st := l.sess.CacheStats()
+	return fmt.Sprintf("cache: %d/%d entries, %d hits, %d misses, %d stores, %d evictions over %d rounds",
+		st.Size, st.Capacity, st.Hits, st.Misses, st.Stores, st.Evictions, l.sess.Rounds())
+}
+
+func (l *localRunner) close() { l.sess.Close() }
+
+// remoteRunner runs rounds on a server-side session through the client.
+type remoteRunner struct {
+	sess       *client.Session
+	base       api.RefineRequest // round options; the spec/delta is set per call
+	lastRounds int
+}
+
+// viewFromResponse resyncs the round counter from the response and keeps
+// every round the server actually committed — including failed ones,
+// which still applied the delta server-side (mirroring the local runner,
+// where a partial report clears the queued edits). Responses that did not
+// consume a round (rejected deltas, envelope errors) yield nil so the
+// REPL keeps the pending edits.
+func (r *remoteRunner) viewFromResponse(resp *api.DiscoverResponse) *roundView {
+	if resp == nil {
+		return nil
+	}
+	committed := resp.Round > r.lastRounds
+	if resp.Round > r.lastRounds {
+		r.lastRounds = resp.Round
+	}
+	if resp.Error != "" && !committed {
+		return nil
+	}
+	v := &roundView{summary: remoteSummary(resp), failure: resp.Failure}
+	for _, m := range resp.Mappings {
+		q := queryView{sql: m.SQL}
+		if len(m.ResultRows) > 0 {
+			var b strings.Builder
+			for _, row := range m.ResultRows {
+				fmt.Fprintf(&b, "  (%s)\n", strings.Join(row, ", "))
+			}
+			q.result = b.String()
+		}
+		v.queries = append(v.queries, q)
+	}
+	return v
+}
+
+func (r *remoteRunner) discover(ctx context.Context, columns int, rows [][]string, meta []string) (*roundView, error) {
+	req := r.base
+	req.NumColumns = columns
+	req.Samples = rows
+	req.Metadata = meta
+	return r.runRound(ctx, req)
+}
+
+func (r *remoteRunner) refine(ctx context.Context, delta prism.Delta) (*roundView, error) {
+	req := r.base
+	req.Delta = wireDelta(delta)
+	return r.runRound(ctx, req)
+}
+
+func (r *remoteRunner) runRound(ctx context.Context, req api.RefineRequest) (*roundView, error) {
+	resp, err := r.sess.Refine(ctx, req)
+	view := r.viewFromResponse(resp)
+	if err != nil && resp == nil {
+		// Transport-level failure (deadline, dropped connection): the
+		// server may still have committed the round — its session applies
+		// the delta even when the round errors. Resync so the REPL does
+		// not re-apply (and thereby double-apply) the queued edits.
+		ictx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if info, ierr := r.sess.Info(ictx); ierr == nil && info.Rounds > r.lastRounds {
+			r.lastRounds = info.Rounds
+			view = &roundView{summary: fmt.Sprintf(
+				"round committed on the server (%d rounds) but its results were lost: %v", info.Rounds, err)}
+		}
+	}
+	return view, err
+}
+
+func (r *remoteRunner) rounds() int { return r.lastRounds }
+
+// specText is empty remotely: the authoritative refined spec lives on the
+// server, and the REPL falls back to its local mirror of the initial grid.
+func (r *remoteRunner) specText() string { return "" }
+
+func (r *remoteRunner) statsText(ctx context.Context) string {
+	info, err := r.sess.Info(ctx)
+	if err != nil {
+		return "stats unavailable: " + err.Error()
+	}
+	return fmt.Sprintf("cache: %d hits, %d misses, %d stores over %d rounds (server session %s)",
+		info.Cache.Hits, info.Cache.Misses, info.Cache.Stores, info.Rounds, info.SessionID)
+}
+
+func (r *remoteRunner) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = r.sess.Close(ctx)
+}
+
+// wireDelta converts the engine delta into its wire form.
+func wireDelta(d prism.Delta) *api.Delta {
+	out := &api.Delta{
+		RemoveSamples: d.RemoveSamples,
+		AddSamples:    d.AddSamples,
+	}
+	for _, u := range d.UpdateCells {
+		out.UpdateCells = append(out.UpdateCells, api.CellUpdate{Row: u.Row, Col: u.Col, Cell: u.Cell})
+	}
+	for _, m := range d.SetMetadata {
+		out.SetMetadata = append(out.SetMetadata, api.MetadataUpdate{Col: m.Col, Cell: m.Cell})
+	}
+	return out
+}
+
 const sessionHelp = `commands:
   sample CELLS        add a sample row, cells separated by '|'
   set ROW COL CELL    rewrite one sample cell (1-based; empty CELL clears)
@@ -175,24 +527,24 @@ const sessionHelp = `commands:
   quit                end the session
 `
 
-// sessionLoop is the -session REPL: it owns one refinement session and
-// turns edit commands into deltas, so every round after the first reuses
-// the cached filter outcomes of the rounds before it.
-func sessionLoop(ctx context.Context, in io.Reader, out io.Writer, eng *prism.Engine, columns int, rows [][]string, meta []string, opts prism.Options) error {
-	sess := eng.NewSession(ctx)
-	defer sess.Close()
+// sessionLoop is the -session REPL: it owns one refinement session (local
+// or remote behind roundRunner) and turns edit commands into deltas, so
+// every round after the first reuses the cached filter outcomes of the
+// rounds before it.
+func sessionLoop(ctx context.Context, in io.Reader, out io.Writer, rr roundRunner, label string, columns int, rows [][]string, meta []string, timeLimit time.Duration) error {
+	defer rr.close()
 	var pending prism.Delta
 	round := 0
 
-	printReport := func(report *prism.Report) {
-		fmt.Fprintf(out, "round %d: %s\n", round, report.Summary())
-		if msg := report.Failure(); msg != "" {
-			fmt.Fprintln(out, "FAILURE:", msg)
+	printView := func(v *roundView) {
+		fmt.Fprintf(out, "round %d: %s\n", round, v.summary)
+		if v.failure != "" {
+			fmt.Fprintln(out, "FAILURE:", v.failure)
 		}
-		for i, m := range report.Mappings {
-			fmt.Fprintf(out, "-- query %d --\n%s\n", i+1, m.SQL)
-			if m.Result != nil {
-				fmt.Fprint(out, m.Result.String())
+		for i, q := range v.queries {
+			fmt.Fprintf(out, "-- query %d --\n%s\n", i+1, q.sql)
+			if q.result != "" {
+				fmt.Fprint(out, q.result)
 			}
 		}
 	}
@@ -201,38 +553,33 @@ func sessionLoop(ctx context.Context, in io.Reader, out io.Writer, eng *prism.En
 		// user may think between rounds for as long as they like), each
 		// round is bounded like a one-shot invocation.
 		roundCtx, cancel := ctx, context.CancelFunc(func() {})
-		if opts.TimeLimit > 0 {
-			roundCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit+2*time.Second)
+		if timeLimit > 0 {
+			roundCtx, cancel = context.WithTimeout(ctx, timeLimit+2*time.Second)
 		}
 		defer cancel()
-		var report *prism.Report
+		var view *roundView
 		var err error
 		if round == 0 {
-			var spec *prism.Spec
-			spec, err = prism.ParseConstraints(columns, rows, meta)
-			if err == nil {
-				round++
-				report, err = sess.Discover(roundCtx, spec, opts)
-			}
+			round++
+			view, err = rr.discover(roundCtx, columns, rows, meta)
 		} else {
 			round++
-			report, err = sess.Refine(roundCtx, pending, opts)
+			view, err = rr.refine(roundCtx, pending)
 		}
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
-			if report == nil {
-				if round > 0 && sess.Rounds() < round {
+			if view == nil {
+				if round > 0 && rr.rounds() < round {
 					round-- // the round never ran; keep the pending edits
 				}
 				return
 			}
 		}
 		pending = prism.Delta{}
-		printReport(report)
+		printView(view)
 	}
 
-	fmt.Fprintf(out, "session over %s (%d target columns) — type 'help' for commands\n",
-		eng.Database().Name, columns)
+	fmt.Fprintf(out, "session over %s (%d target columns) — type 'help' for commands\n", label, columns)
 	scanner := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "prism> ")
@@ -254,12 +601,10 @@ func sessionLoop(ctx context.Context, in io.Reader, out io.Writer, eng *prism.En
 		case "run":
 			runRound()
 		case "stats":
-			st := sess.CacheStats()
-			fmt.Fprintf(out, "cache: %d/%d entries, %d hits, %d misses, %d stores, %d evictions over %d rounds\n",
-				st.Size, st.Capacity, st.Hits, st.Misses, st.Stores, st.Evictions, sess.Rounds())
+			fmt.Fprintln(out, rr.statsText(ctx))
 		case "show":
-			if spec := sess.Spec(); spec != nil {
-				fmt.Fprint(out, spec.String())
+			if text := rr.specText(); text != "" {
+				fmt.Fprint(out, text)
 			} else {
 				for i, row := range rows {
 					fmt.Fprintf(out, "sample %d: %s\n", i+1, strings.Join(row, " | "))

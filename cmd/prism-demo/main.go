@@ -4,13 +4,24 @@
 // constraint grids, and a Result section listing every discovered schema
 // mapping query with its SQL, result preview and query-graph explanation.
 //
+// Alongside the HTML demo it serves the versioned JSON API (/api/v1/*,
+// see docs/api.md) that the prism/client SDK and prism-cli -remote drive.
+//
 //	prism-demo -addr :8080
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes
+// immediately and in-flight discovery rounds drain before the process
+// exits (a second signal kills it the hard way).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"prism/internal/server"
@@ -19,10 +30,20 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-round discovery time limit")
+	grace := flag.Duration("shutdown-grace", 0, "drain budget for in-flight rounds on shutdown (0 = timeout plus slack)")
 	flag.Parse()
+
+	// The first SIGINT/SIGTERM starts the graceful drain; signal.NotifyContext
+	// then unregisters, so a second signal terminates the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s := server.New()
 	s.TimeLimit = *timeout
+	s.ShutdownGrace = *grace
 	fmt.Printf("prism-demo: listening on %s (databases: mondial, imdb, nba)\n", *addr)
-	log.Fatal(s.ListenAndServe(*addr))
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prism-demo: drained in-flight rounds, bye")
 }

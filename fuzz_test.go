@@ -13,10 +13,13 @@ package prism
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+
+	"prism/api"
 )
 
 // fuzzVocab is what the generator can put into constraint cells, per data
@@ -191,6 +194,31 @@ func FuzzEquivalence(f *testing.F) {
 		if err != nil {
 			t.Skip("generated an unparsable grid")
 		}
+
+		// Wire-codec property: every parsable specification must survive
+		// the structured JSON encoding (prism/api) byte-identically — the
+		// v1 API's structured-spec requests hinge on this.
+		encoded, err := api.EncodeSpec(spec)
+		if err != nil {
+			t.Fatalf("EncodeSpec failed on a parsed spec: %v\nspec:\n%s", err, spec)
+		}
+		payload, err := json.Marshal(encoded)
+		if err != nil {
+			t.Fatalf("marshalling encoded spec: %v", err)
+		}
+		var wire api.Spec
+		if err := json.Unmarshal(payload, &wire); err != nil {
+			t.Fatalf("unmarshalling encoded spec: %v", err)
+		}
+		decoded, err := wire.Decode()
+		if err != nil {
+			t.Fatalf("decoding round-tripped spec: %v\nwire: %s", err, payload)
+		}
+		if decoded.String() != spec.String() {
+			t.Fatalf("spec JSON round trip diverges:\noriginal:\n%s\ndecoded:\n%s\nwire: %s",
+				spec, decoded, payload)
+		}
+
 		eng := fuzzEngines()[v.name]
 		opts := Options{
 			Parallelism:    1,

@@ -5,19 +5,21 @@
 // schema mapping query with its SQL text, result preview and query-graph
 // explanation.
 //
-// It exposes server-rendered HTML (GET /, POST /discover) and a JSON API
-// (GET /api/datasets, POST /api/discover, POST /api/discover/stream) used
-// by tests and scripting. Engines are served from a prism.Registry, so
-// concurrent requests share preprocessed engines, every round runs under
-// the request's context (an abandoned connection cancels its round
-// mid-validation), and /api/discover/stream pushes mappings and progress
-// incrementally as NDJSON or SSE.
+// It exposes server-rendered HTML (GET /, POST /discover) and the
+// versioned JSON API of the prism/api package, mounted canonically under
+// /api/v1/* with the historical unversioned /api/* routes kept as
+// deprecated aliases of the same handlers (marked with a Deprecation
+// header). Engines are served from a prism.Registry, so concurrent
+// requests share preprocessed engines, every round runs under the
+// request's context (an abandoned connection cancels its round
+// mid-validation), and POST /api/v1/discover/stream pushes mappings and
+// progress incrementally as NDJSON or SSE. The official Go client for
+// this surface is the prism/client package.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"prism"
+	"prism/api"
 	"prism/internal/discovery"
 	"prism/internal/exec"
 	"prism/internal/explain"
@@ -47,6 +50,10 @@ type Server struct {
 	// recently used beyond it (default 64).
 	SessionTTL  time.Duration
 	MaxSessions int
+	// ShutdownGrace bounds how long ListenAndServe waits for in-flight
+	// requests to drain after its context is cancelled (0 = TimeLimit plus
+	// slack, so a round that started before the signal can finish).
+	ShutdownGrace time.Duration
 
 	sessions *sessionStore
 	tmpl     *template.Template
@@ -75,7 +82,10 @@ func (s *Server) engine(name string) (*prism.Engine, error) {
 	return s.Registry.Get(name)
 }
 
-// Handler returns the HTTP handler of the demo.
+// Handler returns the HTTP handler of the demo. The JSON API is mounted
+// canonically under api.PathPrefix (/api/v1) and aliased — handler for
+// handler — under the deprecated unversioned /api prefix, whose responses
+// carry a Deprecation header pointing at the successor.
 func (s *Server) Handler() http.Handler {
 	if s.sessions == nil {
 		s.sessions = newSessionStore(s.SessionTTL, s.MaxSessions)
@@ -83,127 +93,109 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/discover", s.handleDiscoverForm)
-	mux.HandleFunc("/api/datasets", s.handleDatasets)
-	mux.HandleFunc("/api/sample", s.handleSample)
-	mux.HandleFunc("/api/discover", s.handleDiscoverAPI)
-	mux.HandleFunc("/api/discover/stream", s.handleDiscoverStream)
-	mux.HandleFunc("POST /api/session", s.handleSessionCreate)
-	mux.HandleFunc("GET /api/session/{id}", s.handleSessionInfo)
-	mux.HandleFunc("DELETE /api/session/{id}", s.handleSessionDelete)
-	mux.HandleFunc("POST /api/session/{id}/refine", s.handleSessionRefine)
 	// Method-less fallbacks so wrong-method requests get the structured
 	// JSON 405 like every other API endpoint, not net/http's text page.
 	methodNotAllowed := func(allowed string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use "+allowed)
+			writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use "+allowed)
 		}
 	}
-	mux.HandleFunc("/api/session", methodNotAllowed("POST"))
-	mux.HandleFunc("/api/session/{id}", methodNotAllowed("GET or DELETE"))
-	mux.HandleFunc("/api/session/{id}/refine", methodNotAllowed("POST"))
+	mount := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
+		mux.HandleFunc(prefix+"/datasets", wrap(s.handleDatasets))
+		mux.HandleFunc(prefix+"/sample", wrap(s.handleSample))
+		mux.HandleFunc(prefix+"/discover", wrap(s.handleDiscoverAPI))
+		mux.HandleFunc(prefix+"/discover/stream", wrap(s.handleDiscoverStream))
+		mux.HandleFunc("POST "+prefix+"/session", wrap(s.handleSessionCreate))
+		mux.HandleFunc("GET "+prefix+"/session/{id}", wrap(s.handleSessionInfo))
+		mux.HandleFunc("DELETE "+prefix+"/session/{id}", wrap(s.handleSessionDelete))
+		mux.HandleFunc("POST "+prefix+"/session/{id}/refine", wrap(s.handleSessionRefine))
+		mux.HandleFunc(prefix+"/session", wrap(methodNotAllowed("POST")))
+		mux.HandleFunc(prefix+"/session/{id}", wrap(methodNotAllowed("GET or DELETE")))
+		mux.HandleFunc(prefix+"/session/{id}/refine", wrap(methodNotAllowed("POST")))
+	}
+	mount(api.PathPrefix, func(h http.HandlerFunc) http.HandlerFunc { return h })
+	mount(api.LegacyPathPrefix, deprecatedRoute)
 	return mux
 }
 
-// ListenAndServe starts the demo on the given address.
-func (s *Server) ListenAndServe(addr string) error {
+// deprecatedRoute marks a legacy unversioned /api/* response as deprecated
+// (RFC 8594-style headers); the payloads are byte-identical to /api/v1/*.
+func deprecatedRoute(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+api.PathPrefix+">; rel=\"successor-version\"")
+		h(w, r)
+	}
+}
+
+// ListenAndServe starts the demo on the given address and blocks until the
+// listener fails or ctx is cancelled. On cancellation it shuts down
+// gracefully: the listener closes immediately, in-flight discovery rounds
+// keep their request contexts and drain for up to ShutdownGrace (default:
+// the per-round TimeLimit plus scheduling slack, so a round that started
+// before the signal can finish), then the remaining connections are
+// closed. A clean drain returns nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	grace := s.ShutdownGrace
+	if grace <= 0 {
+		grace = s.TimeLimit + 10*time.Second
+		if s.TimeLimit <= 0 {
+			grace = 30 * time.Second
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
 // Request/response types of the JSON API
 // ---------------------------------------------------------------------------
 
-// DiscoverRequest is the JSON body of POST /api/discover and
-// POST /api/discover/stream. It mirrors the Configuration and Description
-// sections.
-type DiscoverRequest struct {
-	Database   string     `json:"database"`
-	NumColumns int        `json:"numColumns"`
-	Samples    [][]string `json:"samples"`
-	Metadata   []string   `json:"metadata,omitempty"`
-	Policy     string     `json:"policy,omitempty"`
-	MaxResults int        `json:"maxResults,omitempty"`
-	// TimeoutMs shortens the round's time budget below the server's
-	// TimeLimit (values above it are clamped).
-	TimeoutMs int `json:"timeoutMs,omitempty"`
-	// Parallelism overrides the validation worker-pool size (0 = server
-	// default, i.e. GOMAXPROCS).
-	Parallelism int `json:"parallelism,omitempty"`
-	// Executor selects the execution backend for the round ("columnar",
-	// "mem"; empty = the engine default, columnar).
-	Executor string `json:"executor,omitempty"`
-}
+// The wire types are defined once, in the prism/api package (the versioned
+// v1 wire format shared with the prism/client SDK); the aliases below keep
+// this package's historical names working.
+type (
+	// DiscoverRequest is the JSON body of POST /api/v1/discover and
+	// POST /api/v1/discover/stream.
+	DiscoverRequest = api.DiscoverRequest
+	// MappingResponse describes one discovered schema mapping query.
+	MappingResponse = api.Mapping
+	// CacheResponse reports a session round's filter-outcome cache counters.
+	CacheResponse = api.CacheStats
+	// DiscoverResponse is the JSON answer of POST /api/v1/discover and of
+	// session refine rounds.
+	DiscoverResponse = api.DiscoverResponse
+	// StreamEventResponse is one NDJSON line (or SSE data payload) of
+	// POST /api/v1/discover/stream.
+	StreamEventResponse = api.StreamEvent
+	// apiError is the uniform structured error body of the JSON API: every
+	// failure is {"error": ..., "code": ...}, never a bare non-JSON status.
+	apiError = api.Error
+)
 
-// MappingResponse describes one discovered schema mapping query.
-type MappingResponse struct {
-	SQL        string     `json:"sql"`
-	Tables     []string   `json:"tables"`
-	Columns    []string   `json:"columns"`
-	ResultRows [][]string `json:"resultRows,omitempty"`
-	GraphSVG   string     `json:"graphSvg,omitempty"`
-}
-
-// CacheResponse reports a session round's filter-outcome cache counters;
-// hits count validations skipped entirely (the saved-validation metric).
-type CacheResponse struct {
-	Hits   int `json:"hits"`
-	Misses int `json:"misses"`
-	Stores int `json:"stores"`
-}
-
-// DiscoverResponse is the JSON answer of POST /api/discover and of session
-// refine rounds (which additionally carry the session fields).
-type DiscoverResponse struct {
-	Database    string            `json:"database"`
-	Executor    string            `json:"executor,omitempty"`
-	Mappings    []MappingResponse `json:"mappings"`
-	Candidates  int               `json:"candidates"`
-	Filters     int               `json:"filters"`
-	Validations int               `json:"validations"`
-	ElapsedMS   int64             `json:"elapsedMs"`
-	TimedOut    bool              `json:"timedOut"`
-	Failure     string            `json:"failure,omitempty"`
-	Error       string            `json:"error,omitempty"`
-	// Code classifies Error for programmatic clients ("unknown_database",
-	// "unknown_executor", "bad_request", ...).
-	Code string `json:"code,omitempty"`
-	// SessionID, Round and Cache are set on session refine rounds.
-	SessionID string         `json:"sessionId,omitempty"`
-	Round     int            `json:"round,omitempty"`
-	Cache     *CacheResponse `json:"cache,omitempty"`
-}
-
-// errorCode classifies an error for the structured JSON error responses:
-// unknown names are told apart from malformed requests so clients can react
-// (retry with a listed dataset, drop a stale session id, ...) instead of
-// parsing error prose.
-func errorCode(err error) string {
-	switch {
-	case errors.Is(err, prism.ErrUnknownDatabase):
-		return "unknown_database"
-	case errors.Is(err, exec.ErrUnknownTable):
-		return "unknown_table"
-	case errors.Is(err, exec.ErrUnknownExecutor):
-		return "unknown_executor"
-	default:
-		return "bad_request"
-	}
-}
-
-// apiError is the uniform structured error body of the JSON API: every
-// failure is {"error": ..., "code": ...}, never a bare non-JSON status.
-type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
+// errorCode classifies an error for the structured JSON error responses;
+// the table lives in prism/api so clients can map codes back to sentinels.
+func errorCode(err error) string { return api.CodeForError(err) }
 
 func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, apiError{Error: msg, Code: code})
+	writeJSON(w, status, apiError{Message: msg, Code: code})
 }
 
 // checkExecutor validates an executor name before a round starts, so the
@@ -221,28 +213,12 @@ func checkExecutor(name string) error {
 	return fmt.Errorf("%w %q (registered: %v)", exec.ErrUnknownExecutor, name, exec.Names())
 }
 
-// StreamEventResponse is one NDJSON line (or SSE data payload) of
-// POST /api/discover/stream.
-type StreamEventResponse struct {
-	Event       string            `json:"event"`
-	Candidates  int               `json:"candidates,omitempty"`
-	Filters     int               `json:"filters,omitempty"`
-	Validations int               `json:"validations,omitempty"`
-	Confirmed   int               `json:"confirmed,omitempty"`
-	Pruned      int               `json:"pruned,omitempty"`
-	Unresolved  int               `json:"unresolved,omitempty"`
-	ElapsedMS   int64             `json:"elapsedMs,omitempty"`
-	RemainingMS int64             `json:"remainingMs,omitempty"`
-	Mapping     *MappingResponse  `json:"mapping,omitempty"`
-	Result      *DiscoverResponse `json:"result,omitempty"`
-}
-
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Registry.Names()})
+	writeJSON(w, http.StatusOK, api.DatasetsResponse{Datasets: s.Registry.Names()})
 }
 
 // handleSample serves GET /api/sample?db=NAME&table=NAME&limit=N: a
@@ -252,7 +228,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 // statuses.
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
 		return
 	}
 	eng, err := s.engine(r.URL.Query().Get("db"))
@@ -280,17 +256,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = cells
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"table": table, "rows": out})
+	writeJSON(w, http.StatusOK, api.SampleResponse{Table: table, Rows: out})
 }
 
 func (s *Server) handleDiscoverAPI(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	var req DiscoverRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: "bad_request"})
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: api.CodeBadRequest})
 		return
 	}
 	resp, status := s.discover(r.Context(), req, false)
@@ -304,18 +280,29 @@ type round struct {
 	opts discovery.Options
 }
 
-// prepare resolves the engine, parses the constraint grids and assembles
-// the discovery options for a request.
+// specFromRequest assembles the constraint specification of a request:
+// either the structured Spec tree or the demo's string grids, never both.
+func specFromRequest(structured *api.Spec, numColumns int, samples [][]string, metadata []string) (*prism.Spec, error) {
+	if structured != nil {
+		if numColumns != 0 || len(samples) > 0 || len(metadata) > 0 {
+			return nil, fmt.Errorf("send either a structured spec or the numColumns/samples grids, not both")
+		}
+		return structured.Decode()
+	}
+	if len(metadata) == 0 {
+		metadata = nil
+	}
+	return prism.ParseConstraints(numColumns, samples, metadata)
+}
+
+// prepare resolves the engine, decodes the constraint specification and
+// assembles the discovery options for a request.
 func (s *Server) prepare(req DiscoverRequest) (*round, error) {
 	eng, err := s.engine(req.Database)
 	if err != nil {
 		return nil, err
 	}
-	var metadata []string
-	if len(req.Metadata) > 0 {
-		metadata = req.Metadata
-	}
-	spec, err := prism.ParseConstraints(req.NumColumns, req.Samples, metadata)
+	spec, err := specFromRequest(req.Spec, req.NumColumns, req.Samples, req.Metadata)
 	if err != nil {
 		return nil, err
 	}
@@ -441,12 +428,12 @@ func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs b
 // confirms them; the final event carries the full report.
 func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	var req DiscoverRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: "bad_request"})
+		writeJSON(w, http.StatusBadRequest, DiscoverResponse{Error: "invalid JSON: " + err.Error(), Code: api.CodeBadRequest})
 		return
 	}
 	// Bad inputs (unknown dataset or executor, malformed constraints) fail

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"prism"
+	"prism/api"
 )
 
 // sessionStore keeps the server's live refinement sessions, evicting by
@@ -134,47 +135,25 @@ func newSessionID() string {
 // Session JSON API
 // ---------------------------------------------------------------------------
 
-// SessionCreateRequest is the body of POST /api/session.
-type SessionCreateRequest struct {
-	Database string `json:"database"`
-}
+// The session wire types are defined in prism/api (shared with the Go
+// client); the aliases keep this package's historical names working.
+type (
+	// SessionCreateRequest is the body of POST /api/v1/session.
+	SessionCreateRequest = api.SessionCreateRequest
+	// SessionResponse describes one refinement session.
+	SessionResponse = api.SessionResponse
+	// CellUpdateRequest rewrites one sample cell.
+	CellUpdateRequest = api.CellUpdate
+	// MetadataUpdateRequest rewrites one metadata cell.
+	MetadataUpdateRequest = api.MetadataUpdate
+	// DeltaRequest names the constraint cells a refine round changes.
+	DeltaRequest = api.Delta
+	// SessionRefineRequest is the body of POST /api/v1/session/{id}/refine.
+	SessionRefineRequest = api.RefineRequest
+)
 
-// SessionResponse describes one refinement session.
-type SessionResponse struct {
-	SessionID string `json:"sessionId"`
-	Database  string `json:"database"`
-	Rounds    int    `json:"rounds"`
-	// TTLMs is the idle eviction deadline of the session: each round or
-	// info request restarts the countdown.
-	TTLMs int64 `json:"ttlMs"`
-	// Cache snapshots the session cache's lifetime counters.
-	Cache CacheResponse `json:"cache"`
-}
-
-// CellUpdateRequest rewrites one sample cell (zero-based row/column; an
-// empty cell clears the constraint).
-type CellUpdateRequest struct {
-	Row  int    `json:"row"`
-	Col  int    `json:"col"`
-	Cell string `json:"cell"`
-}
-
-// MetadataUpdateRequest rewrites one metadata cell (zero-based column).
-type MetadataUpdateRequest struct {
-	Col  int    `json:"col"`
-	Cell string `json:"cell"`
-}
-
-// DeltaRequest names the constraint cells a refine round changes.
-type DeltaRequest struct {
-	UpdateCells   []CellUpdateRequest     `json:"updateCells,omitempty"`
-	SetMetadata   []MetadataUpdateRequest `json:"setMetadata,omitempty"`
-	RemoveSamples []int                   `json:"removeSamples,omitempty"`
-	AddSamples    [][]string              `json:"addSamples,omitempty"`
-}
-
-// delta converts the transport form into the engine's delta type.
-func (d *DeltaRequest) delta() prism.Delta {
+// requestDelta converts the transport form into the engine's delta type.
+func requestDelta(d *DeltaRequest) prism.Delta {
 	out := prism.Delta{
 		RemoveSamples: d.RemoveSamples,
 		AddSamples:    d.AddSamples,
@@ -186,24 +165,6 @@ func (d *DeltaRequest) delta() prism.Delta {
 		out.SetMetadata = append(out.SetMetadata, prism.MetadataUpdate{Col: m.Col, Cell: m.Cell})
 	}
 	return out
-}
-
-// SessionRefineRequest is the body of POST /api/session/{id}/refine. The
-// first round seeds the session with a full specification (numColumns +
-// samples, like POST /api/discover); later rounds usually send only a
-// delta. Sending a full specification again resets the constraint state
-// while keeping the session's outcome cache warm.
-type SessionRefineRequest struct {
-	NumColumns int           `json:"numColumns,omitempty"`
-	Samples    [][]string    `json:"samples,omitempty"`
-	Metadata   []string      `json:"metadata,omitempty"`
-	Delta      *DeltaRequest `json:"delta,omitempty"`
-
-	Policy      string `json:"policy,omitempty"`
-	MaxResults  int    `json:"maxResults,omitempty"`
-	TimeoutMs   int    `json:"timeoutMs,omitempty"`
-	Parallelism int    `json:"parallelism,omitempty"`
-	Executor    string `json:"executor,omitempty"`
 }
 
 func (s *Server) sessionResponse(ss *serverSession) SessionResponse {
@@ -224,7 +185,7 @@ func (s *Server) sessionResponse(ss *serverSession) SessionResponse {
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionCreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	eng, err := s.engine(req.Database)
@@ -242,7 +203,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
-		writeAPIError(w, http.StatusNotFound, "unknown_session", "unknown or expired session "+r.PathValue("id"))
+		writeAPIError(w, http.StatusNotFound, api.CodeUnknownSession, "unknown or expired session "+r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.sessionResponse(ss))
@@ -251,10 +212,10 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 // handleSessionDelete serves DELETE /api/session/{id}.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.remove(r.PathValue("id")) {
-		writeAPIError(w, http.StatusNotFound, "unknown_session", "unknown or expired session "+r.PathValue("id"))
+		writeAPIError(w, http.StatusNotFound, api.CodeUnknownSession, "unknown or expired session "+r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+	writeJSON(w, http.StatusOK, api.SessionCloseResponse{Closed: true})
 }
 
 // handleSessionRefine serves POST /api/session/{id}/refine: one discovery
@@ -265,12 +226,12 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
-		writeAPIError(w, http.StatusNotFound, "unknown_session", "unknown or expired session "+r.PathValue("id"))
+		writeAPIError(w, http.StatusNotFound, api.CodeUnknownSession, "unknown or expired session "+r.PathValue("id"))
 		return
 	}
 	var req SessionRefineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	base := DiscoverRequest{
@@ -290,43 +251,51 @@ func (s *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rd.requestContext(r.Context())
 	defer cancel()
 
+	// Failed rounds still commit the session's refined specification (the
+	// engine session applies the delta before the round runs), so error
+	// responses carry the session identity and committed round count too —
+	// remote clients resync on them instead of re-applying their delta.
+	writeRoundError := func(status int, report *prism.Report, err error, spec *prism.Spec) {
+		resp := s.discoverResponse(base, report, err, spec, false)
+		resp.SessionID = ss.id
+		resp.Round = ss.sess.Rounds()
+		writeJSON(w, status, resp)
+	}
+
 	var report *prism.Report
+	hasFullSpec := req.Spec != nil || len(req.Samples) > 0 || req.NumColumns > 0
 	switch {
-	case (len(req.Samples) > 0 || req.NumColumns > 0) && req.Delta != nil:
+	case hasFullSpec && req.Delta != nil:
 		// Ambiguous: applying one and silently dropping the other would
 		// make the client's edit vanish behind a 200.
-		writeAPIError(w, http.StatusBadRequest, "bad_request",
-			"send either a full specification (numColumns + samples) or a delta, not both")
+		writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"send either a full specification (numColumns + samples, or a structured spec) or a delta, not both")
 		return
-	case len(req.Samples) > 0 || req.NumColumns > 0:
-		var metadata []string
-		if len(req.Metadata) > 0 {
-			metadata = req.Metadata
-		}
-		spec, err := prism.ParseConstraints(req.NumColumns, req.Samples, metadata)
+	case hasFullSpec:
+		spec, err := specFromRequest(req.Spec, req.NumColumns, req.Samples, req.Metadata)
 		if err != nil {
-			writeAPIError(w, http.StatusBadRequest, "bad_request", err.Error())
+			writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 			return
 		}
 		report, err = ss.sess.Discover(ctx, spec, opts)
 		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, s.discoverResponse(base, report, err, spec, false))
+			writeRoundError(http.StatusUnprocessableEntity, report, err, spec)
 			return
 		}
 	case req.Delta != nil:
-		report, err = ss.sess.Refine(ctx, req.Delta.delta(), opts)
+		report, err = ss.sess.Refine(ctx, requestDelta(req.Delta), opts)
 		if err != nil {
 			status := http.StatusUnprocessableEntity
 			if report == nil {
 				// The delta itself was rejected; no round ran.
 				status = http.StatusBadRequest
 			}
-			writeJSON(w, status, s.discoverResponse(base, report, err, ss.sess.Spec(), false))
+			writeRoundError(status, report, err, ss.sess.Spec())
 			return
 		}
 	default:
-		writeAPIError(w, http.StatusBadRequest, "bad_request",
-			"a refine round needs either a full specification (numColumns + samples) or a delta")
+		writeAPIError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"a refine round needs either a full specification (numColumns + samples, or a structured spec) or a delta")
 		return
 	}
 

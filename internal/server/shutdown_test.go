@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestListenAndServeGracefulShutdown: cancelling the context drains the
+// server and returns nil; a clean exit, not a listener error.
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	// Reserve a free port, release it, and hand the address to the server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	s := testServer(t)
+	s.ShutdownGrace = 5 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, addr) }()
+
+	// Wait until the server answers, proving the listener is up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/api/v1/datasets")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ListenAndServe did not return after cancellation")
+	}
+
+	// The port is released.
+	if _, err := http.Get("http://" + addr + "/api/v1/datasets"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}
+
+// TestListenAndServeListenerError: a dead listener reports its error
+// without waiting for the context.
+func TestListenAndServeListenerError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	s := testServer(t)
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(context.Background(), l.Addr().String()) }()
+	select {
+	case err := <-done:
+		if err == nil || errors.Is(err, context.Canceled) {
+			t.Fatalf("want a bind error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ListenAndServe did not fail on an occupied port")
+	}
+}

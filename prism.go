@@ -38,6 +38,7 @@ package prism
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"prism/internal/bayes"
 	"prism/internal/constraint"
@@ -219,8 +220,9 @@ func WithSessionCacheCapacity(entries int) OpenOption {
 // bundled synthetic data sets are "mondial", "imdb" and "nba" (see
 // DatasetNames); their scale is tunable with WithMondialConfig /
 // WithIMDBConfig / WithNBAConfig, and WithDatabase substitutes a custom
-// database entirely. Open replaces the earlier OpenDataset / OpenMondial /
-// OpenIMDB / OpenNBA constructors.
+// database entirely. Open replaced the pre-registry OpenDataset /
+// OpenMondial / OpenIMDB / OpenNBA constructors, which have been removed
+// (migration was mechanical: Open(name) / Open(name, With*Config(cfg))).
 func Open(name string, options ...OpenOption) (*Engine, error) {
 	var cfg openConfig
 	for _, o := range options {
@@ -263,52 +265,6 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 		return nil, err
 	}
 	return newEngine(db, cfg.executor, cfg.sessionCache), nil
-}
-
-// OpenDataset builds one of the bundled synthetic demo databases
-// ("mondial", "imdb", "nba") at its default size and returns an engine over
-// it.
-//
-// Deprecated: use Open. The wrappers below are thin shims over Open kept
-// for source compatibility with pre-registry callers; they accept no
-// OpenOption, so executor selection (WithExecutor) and custom databases
-// (WithDatabase) are only reachable through Open. Migration is mechanical:
-//
-//	OpenDataset(name)  ->  Open(name)
-//	OpenMondial(cfg)   ->  Open("mondial", WithMondialConfig(cfg))
-//	OpenIMDB(cfg)      ->  Open("imdb", WithIMDBConfig(cfg))
-//	OpenNBA(cfg)       ->  Open("nba", WithNBAConfig(cfg))
-//
-// See the README's "Migrating from the Open* constructors" section. The
-// wrappers will be removed once nothing in-tree calls them.
-func OpenDataset(name string) (*Engine, error) { return Open(name) }
-
-// OpenMondial builds a synthetic Mondial database with the given
-// configuration (zero value = defaults) and returns an engine over it.
-//
-// Deprecated: use Open("mondial", WithMondialConfig(cfg)), which also
-// accepts further options such as WithExecutor. See OpenDataset for the
-// full migration table.
-func OpenMondial(cfg MondialConfig) (*Engine, error) {
-	return Open("mondial", WithMondialConfig(cfg))
-}
-
-// OpenIMDB builds the synthetic IMDB database and returns an engine.
-//
-// Deprecated: use Open("imdb", WithIMDBConfig(cfg)), which also accepts
-// further options such as WithExecutor. See OpenDataset for the full
-// migration table.
-func OpenIMDB(cfg IMDBConfig) (*Engine, error) {
-	return Open("imdb", WithIMDBConfig(cfg))
-}
-
-// OpenNBA builds the synthetic NBA database and returns an engine.
-//
-// Deprecated: use Open("nba", WithNBAConfig(cfg)), which also accepts
-// further options such as WithExecutor. See OpenDataset for the full
-// migration table.
-func OpenNBA(cfg NBAConfig) (*Engine, error) {
-	return Open("nba", WithNBAConfig(cfg))
 }
 
 // DatasetNames lists the bundled demo databases.
@@ -417,8 +373,8 @@ func NewSchema() *Schema { return schema.New() }
 func NewTable(name string, columns ...string) (*schema.Table, error) {
 	cols := make([]schema.Column, 0, len(columns))
 	for _, def := range columns {
-		cname, ctype, ok := cutColon(def)
-		if !ok {
+		cname, ctype, ok := strings.Cut(def, ":")
+		if !ok || cname == "" || ctype == "" {
 			return nil, fmt.Errorf("prism: column definition %q is not of the form Name:type", def)
 		}
 		kind, err := value.ParseKind(ctype)
@@ -428,15 +384,6 @@ func NewTable(name string, columns ...string) (*schema.Table, error) {
 		cols = append(cols, schema.Column{Name: cname, Type: kind})
 	}
 	return schema.NewTable(name, cols...)
-}
-
-func cutColon(s string) (before, after string, ok bool) {
-	for i := 0; i < len(s); i++ {
-		if s[i] == ':' {
-			return s[:i], s[i+1:], i > 0 && i < len(s)-1
-		}
-	}
-	return s, "", false
 }
 
 // AddForeignKey declares a join edge between two columns given as
@@ -454,15 +401,11 @@ func AddForeignKey(sch *Schema, from, to string) error {
 }
 
 func splitRef(s string) (schema.ColumnRef, error) {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '.' {
-			if i == 0 || i == len(s)-1 {
-				break
-			}
-			return schema.ColumnRef{Table: s[:i], Column: s[i+1:]}, nil
-		}
+	table, column, ok := strings.Cut(s, ".")
+	if !ok || table == "" || column == "" {
+		return schema.ColumnRef{}, fmt.Errorf("prism: %q is not of the form Table.Column", s)
 	}
-	return schema.ColumnRef{}, fmt.Errorf("prism: %q is not of the form Table.Column", s)
+	return schema.ColumnRef{Table: table, Column: column}, nil
 }
 
 // Candidate re-exports the candidate type for users who build explanation

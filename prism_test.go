@@ -9,10 +9,10 @@ import (
 
 func mondialEngine(t testing.TB) *Engine {
 	t.Helper()
-	eng, err := OpenMondial(MondialConfig{
+	eng, err := Open("mondial", WithMondialConfig(MondialConfig{
 		Seed: 4, Countries: 3, ProvincesPerCountry: 2, CitiesPerProvince: 2,
 		Lakes: 20, Rivers: 10, Mountains: 8,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,28 +31,28 @@ func paperSpec(t testing.TB) *Spec {
 	return spec
 }
 
-func TestOpenDataset(t *testing.T) {
+func TestOpenBundledDatasets(t *testing.T) {
 	for _, name := range DatasetNames() {
-		eng, err := OpenDataset(name)
+		eng, err := Open(name)
 		if err != nil {
-			t.Errorf("OpenDataset(%q): %v", name, err)
+			t.Errorf("Open(%q): %v", name, err)
 			continue
 		}
 		if eng.Database().TotalRows() == 0 {
 			t.Errorf("%s: empty database", name)
 		}
 	}
-	if _, err := OpenDataset("nope"); err == nil {
+	if _, err := Open("nope"); err == nil {
 		t.Error("unknown dataset should fail")
 	}
 }
 
-func TestOpenIMDBAndNBA(t *testing.T) {
-	if eng, err := OpenIMDB(IMDBConfig{Movies: 10, People: 10, CastPerMovie: 2, GenresPerMovie: 1}); err != nil || eng.Database().NumRows("Movie") != 10 {
-		t.Errorf("OpenIMDB: %v", err)
+func TestOpenSizedIMDBAndNBA(t *testing.T) {
+	if eng, err := Open("imdb", WithIMDBConfig(IMDBConfig{Movies: 10, People: 10, CastPerMovie: 2, GenresPerMovie: 1})); err != nil || eng.Database().NumRows("Movie") != 10 {
+		t.Errorf("Open(imdb): %v", err)
 	}
-	if eng, err := OpenNBA(NBAConfig{Teams: 6, PlayersPerTeam: 3, Games: 10}); err != nil || eng.Database().NumRows("Team") != 6 {
-		t.Errorf("OpenNBA: %v", err)
+	if eng, err := Open("nba", WithNBAConfig(NBAConfig{Teams: 6, PlayersPerTeam: 3, Games: 10})); err != nil || eng.Database().NumRows("Team") != 6 {
+		t.Errorf("Open(nba): %v", err)
 	}
 }
 

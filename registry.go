@@ -1,17 +1,34 @@
 package prism
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+
+	"prism/api"
+	"prism/internal/exec"
 )
 
-// ErrUnknownDatabase is wrapped by Registry.Get when no engine is
-// registered under the requested name; servers use it to classify the
-// failure for clients.
-var ErrUnknownDatabase = errors.New("prism: unknown database")
+// Sentinel errors of the serving surface. They are shared with the wire
+// layer: the canonical definitions live in prism/api (and internal/exec),
+// the server maps them to structured JSON error codes, and the client maps
+// the codes back — so errors.Is against these names works identically for
+// in-process and remote callers.
+var (
+	// ErrUnknownDatabase is wrapped by Registry.Get when no engine is
+	// registered under the requested name.
+	ErrUnknownDatabase = api.ErrUnknownDatabase
+	// ErrUnknownTable is wrapped by SampleRows and plan execution when a
+	// table name does not exist in the source schema.
+	ErrUnknownTable = exec.ErrUnknownTable
+	// ErrUnknownExecutor is wrapped when an execution-backend name is not
+	// registered (see ExecutorNames).
+	ErrUnknownExecutor = exec.ErrUnknownExecutor
+	// ErrUnknownSession is returned by the client when a refinement-session
+	// id is unknown or expired on the server.
+	ErrUnknownSession = api.ErrUnknownSession
+)
 
 // normalizeName canonicalises a registry / Open database name.
 func normalizeName(name string) string {

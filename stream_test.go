@@ -345,15 +345,15 @@ func TestRegistryLazySharedEngines(t *testing.T) {
 	}
 }
 
-func TestDeprecatedConstructorsStillWork(t *testing.T) {
-	eng, err := OpenMondial(MondialConfig{
+func TestOpenWithSizedMondial(t *testing.T) {
+	eng, err := Open("mondial", WithMondialConfig(MondialConfig{
 		Seed: 4, Countries: 2, ProvincesPerCountry: 1, CitiesPerProvince: 1,
 		Lakes: 6, Rivers: 3, Mountains: 2,
-	})
+	}))
 	if err != nil || eng.Database().NumRows("Lake") != 6 {
-		t.Errorf("OpenMondial wrapper: %v", err)
+		t.Errorf("Open with sized Mondial: %v", err)
 	}
-	if _, err := OpenDataset("nba"); err != nil {
-		t.Errorf("OpenDataset wrapper: %v", err)
+	if _, err := Open("nba"); err != nil {
+		t.Errorf("Open(nba): %v", err)
 	}
 }
