@@ -1,0 +1,194 @@
+package prism
+
+// Executor benchmark trajectory artefact. BenchmarkExecutors (bench_test.go)
+// measures full discovery rounds per dataset × backend × parallelism; after
+// the timed runs it emits BENCH_executors.json — a machine-readable record
+// of cold (first round on a fresh engine, including the one-time executor
+// build) vs warm (steady-state) round timings plus the deterministic
+// validation counts and mapping counts — mirroring the BENCH_sessions.json
+// trajectory the session subsystem maintains. TestExecutorTrajectoryGuard
+// keeps the checked-in file honest: the grid must match the bundled
+// datasets and registered backends, and the deterministic counters must
+// match what the current code produces, so a stale artefact fails tests
+// even when no benchmark runs. The CI bench-smoke leg additionally
+// regenerates the file and fails on a >20% regression of the columnar
+// engine's speedup over the reference engine.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// executorRound is one record of BENCH_executors.json.
+type executorRound struct {
+	Dataset     string `json:"dataset"`
+	Executor    string `json:"executor"`
+	Parallelism int    `json:"parallelism"`
+	Phase       string `json:"phase"` // cold | warm
+	ElapsedUS   int64  `json:"elapsedUs"`
+	Validations int    `json:"validations"`
+	Mappings    int    `json:"mappings"`
+}
+
+// executorTrajectory is the BENCH_executors.json document.
+type executorTrajectory struct {
+	Benchmark string          `json:"benchmark"`
+	Rounds    []executorRound `json:"rounds"`
+	// Speedups is, per dataset, the warm sequential (p1) round time of the
+	// reference engine divided by the columnar engine's — the artefact's
+	// headline, and the machine-portable ratio the CI regression check
+	// compares against the checked-in baseline.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+var trajectoryExecutors = []string{"mem", "columnar"}
+var trajectoryParallelism = []int{1, 4}
+
+// buildExecutorTrajectory measures every dataset × backend × parallelism
+// combination: the cold round runs on a freshly preprocessed engine (so it
+// pays the executor build), the warm figure is the best of three
+// steady-state rounds (best-of damps scheduler-goroutine jitter; the
+// artefact tracks capability, not noise).
+func buildExecutorTrajectory(tb testing.TB) *executorTrajectory {
+	tb.Helper()
+	traj := &executorTrajectory{Benchmark: "BenchmarkExecutors", Speedups: map[string]float64{}}
+	warmP1 := map[string]map[string]int64{} // dataset -> executor -> warm µs
+	ctx := context.Background()
+	for _, tc := range benchExecutorCases(tb) {
+		warmP1[tc.name] = map[string]int64{}
+		for _, executor := range trajectoryExecutors {
+			for _, p := range trajectoryParallelism {
+				opts := Options{Executor: executor, Parallelism: p}
+				eng := NewEngine(tc.eng.Database()) // fresh engine: empty executor cache
+				start := time.Now()
+				cold, err := eng.Discover(ctx, tc.spec, opts)
+				coldUS := time.Since(start).Microseconds()
+				if err != nil {
+					tb.Fatalf("%s/%s/p%d cold: %v", tc.name, executor, p, err)
+				}
+				warmUS := int64(0)
+				var warm *Report
+				for i := 0; i < 3; i++ {
+					start = time.Now()
+					w, err := eng.Discover(ctx, tc.spec, opts)
+					us := time.Since(start).Microseconds()
+					if err != nil {
+						tb.Fatalf("%s/%s/p%d warm: %v", tc.name, executor, p, err)
+					}
+					if warm == nil || us < warmUS {
+						warm, warmUS = w, us
+					}
+				}
+				traj.Rounds = append(traj.Rounds,
+					executorRound{tc.name, executor, p, "cold", coldUS, cold.Validations, len(cold.Mappings)},
+					executorRound{tc.name, executor, p, "warm", warmUS, warm.Validations, len(warm.Mappings)},
+				)
+				if p == 1 {
+					warmP1[tc.name][executor] = warmUS
+				}
+			}
+		}
+		if c := warmP1[tc.name]["columnar"]; c > 0 {
+			traj.Speedups[tc.name] = float64(warmP1[tc.name]["mem"]) / float64(c)
+		}
+	}
+	return traj
+}
+
+// writeExecutorTrajectory is called by BenchmarkExecutors after its timed
+// runs:
+//
+//	go test -run xxx -bench 'BenchmarkExecutors/' .
+func writeExecutorTrajectory(b *testing.B) {
+	traj := buildExecutorTrajectory(b)
+	payload, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_executors.json", append(payload, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestExecutorTrajectoryGuard pins the checked-in BENCH_executors.json to
+// the current code: the grid must cover exactly the bundled datasets ×
+// registered comparison backends × parallelism levels × {cold, warm}, and
+// the deterministic counters (sequential validation counts, mapping
+// counts) must equal what a live round produces. Timings are asserted only
+// for sanity (positive); machines differ, so regressions on the timing
+// ratio are the CI bench-smoke leg's job.
+func TestExecutorTrajectoryGuard(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_executors.json")
+	if err != nil {
+		t.Fatalf("BENCH_executors.json missing (regenerate with: go test -run xxx -bench 'BenchmarkExecutors/' .): %v", err)
+	}
+	var traj executorTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("BENCH_executors.json does not parse: %v", err)
+	}
+	if traj.Benchmark != "BenchmarkExecutors" {
+		t.Errorf("benchmark = %q", traj.Benchmark)
+	}
+
+	index := map[string]executorRound{}
+	for _, r := range traj.Rounds {
+		key := fmt.Sprintf("%s/%s/p%d/%s", r.Dataset, r.Executor, r.Parallelism, r.Phase)
+		if _, dup := index[key]; dup {
+			t.Errorf("duplicate round %s", key)
+		}
+		index[key] = r
+		if r.ElapsedUS <= 0 {
+			t.Errorf("%s: non-positive elapsed time", key)
+		}
+		if r.Mappings == 0 || r.Validations == 0 {
+			t.Errorf("%s: empty round (%d mappings, %d validations)", key, r.Mappings, r.Validations)
+		}
+	}
+
+	cases := benchExecutorCases(t)
+	wantRounds := 0
+	ctx := context.Background()
+	for _, tc := range cases {
+		// One live sequential round per dataset pins the deterministic
+		// counters the artefact recorded.
+		live, err := tc.eng.Discover(ctx, tc.spec, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s live round: %v", tc.name, err)
+		}
+		for _, executor := range trajectoryExecutors {
+			for _, p := range trajectoryParallelism {
+				for _, phase := range []string{"cold", "warm"} {
+					wantRounds++
+					key := fmt.Sprintf("%s/%s/p%d/%s", tc.name, executor, p, phase)
+					r, ok := index[key]
+					if !ok {
+						t.Errorf("round %s missing — regenerate BENCH_executors.json", key)
+						continue
+					}
+					if r.Mappings != len(live.Mappings) {
+						t.Errorf("%s: %d mappings recorded, current code discovers %d — artefact out of sync",
+							key, r.Mappings, len(live.Mappings))
+					}
+					// Sequential scheduling is deterministic, and the mapping
+					// set (hence the validation count) is backend- and
+					// cache-independent by construction.
+					if p == 1 && r.Validations != live.Validations {
+						t.Errorf("%s: %d validations recorded, current code executes %d — artefact out of sync",
+							key, r.Validations, live.Validations)
+					}
+				}
+			}
+		}
+		sp, ok := traj.Speedups[tc.name]
+		if !ok || sp <= 0 {
+			t.Errorf("speedup for %s missing or non-positive: %v", tc.name, sp)
+		}
+	}
+	if len(index) != wantRounds {
+		t.Errorf("artefact has %d rounds, want %d — stale grid", len(index), wantRounds)
+	}
+}

@@ -367,8 +367,9 @@ func BenchmarkDiscoverParallelism(b *testing.B) {
 }
 
 // benchExecutorCases pairs each bundled data set with its walkthrough
-// constraints; the executor-comparison benchmarks sweep them.
-func benchExecutorCases(b *testing.B) []struct {
+// constraints; the executor-comparison benchmarks and the executor
+// trajectory artefact sweep them.
+func benchExecutorCases(b testing.TB) []struct {
 	name string
 	eng  *Engine
 	spec *Spec
@@ -413,7 +414,9 @@ func benchExecutorCases(b *testing.B) []struct {
 // BenchmarkExecutors compares the execution backends end to end: one full
 // discovery round per iteration, for every bundled data set at several
 // validation parallelism levels. The README's benchmark table is read
-// straight off this benchmark's output:
+// straight off this benchmark's output, and after the timed runs the
+// cold/warm trajectory is written to BENCH_executors.json (see
+// bench_executors_test.go) for the CI bench-smoke regression check:
 //
 //	go test -bench 'BenchmarkExecutors/' -benchmem .
 func BenchmarkExecutors(b *testing.B) {
@@ -446,6 +449,9 @@ func BenchmarkExecutors(b *testing.B) {
 			}
 		}
 	}
+	// Emit the cold/warm trajectory artefact for the CI smoke-run and the
+	// docs.
+	writeExecutorTrajectory(b)
 }
 
 // BenchmarkExecutorValidationPhase isolates the validation phase — the hot

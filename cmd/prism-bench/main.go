@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -56,8 +58,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "concurrent filter validations per round (0 = sequential, the reproducible default)")
 	executor := fs.String("executor", "", "execution backend: columnar (default) or mem")
 	remote := fs.String("remote", "", "base URL of a prism-demo server; the Table 1 walkthrough then runs remotely through the /api/v1 client (-exp t1 only)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling hooks: docs/performance.md walks through reading these.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prism-bench: creating -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prism-bench: writing -memprofile:", err)
+			}
+		}()
 	}
 
 	if *remote != "" {

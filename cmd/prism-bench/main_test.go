@@ -3,9 +3,36 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestRunWritesProfiles checks the -cpuprofile/-memprofile flags produce
+// non-empty pprof files.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-exp", "t1", "-scale", "0.2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
 
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"t1", "e1", "e2", "e3"} {

@@ -266,8 +266,14 @@ type joinStats struct {
 // Model is the trained database-wide model: one relation model per table and
 // the join-indicator statistics of every foreign key.
 type Model struct {
-	relations map[string]*relationModel // lower(table)
+	relations map[string]*relationModel // keyed by table name, original case AND lower-cased
 	joins     map[string]*joinStats     // canonical FK key
+	// joinByFK indexes the same joinStats by the foreign-key struct (both
+	// orientations), so the estimator's per-edge lookup — run once per
+	// filter edge per scheduling pick — skips the lower-case/concat key
+	// build. fkKey remains the fallback for edges spelled with a casing the
+	// schema does not use.
+	joinByFK map[schema.ForeignKey]*joinStats
 }
 
 // ColumnConstraint binds a value constraint to a source column; the
@@ -286,6 +292,7 @@ func Train(db *mem.Database) *Model {
 	m := &Model{
 		relations: make(map[string]*relationModel),
 		joins:     make(map[string]*joinStats),
+		joinByFK:  make(map[schema.ForeignKey]*joinStats),
 	}
 	sch := db.Schema()
 	for _, t := range sch.Tables() {
@@ -300,17 +307,32 @@ func Train(db *mem.Database) *Model {
 			}
 			cm.finalize(vals)
 			rm.columns[strings.ToLower(col.Name)] = cm
+			rm.columns[col.Name] = cm
 		}
 		m.relations[strings.ToLower(t.Name)] = rm
+		m.relations[t.Name] = rm
 	}
 	// Join indicators: for FK edge R.a -> S.b, the indicator J_RS is 1 for a
 	// (r, s) pair when r.a = s.b. We record P(J=1) and a sample of the
 	// joined pairs, which is the sufficient statistic the per-relation
 	// models are conditioned on when estimating across relations.
 	for _, fk := range sch.ForeignKeys() {
-		m.joins[fkKey(fk)] = m.trainJoin(db, fk)
+		js := m.trainJoin(db, fk)
+		m.joins[fkKey(fk)] = js
+		m.joinByFK[fk] = js
+		m.joinByFK[schema.ForeignKey{From: fk.To, To: fk.From}] = js
 	}
 	return m
+}
+
+// joinFor resolves the join-indicator statistics of an edge: the exact
+// struct lookup first (schema-cased edges, the common case), the canonical
+// string key as fallback.
+func (m *Model) joinFor(fk schema.ForeignKey) *joinStats {
+	if js, ok := m.joinByFK[fk]; ok {
+		return js
+	}
+	return m.joins[fkKey(fk)]
 }
 
 // trainJoin computes the join-indicator statistics of one foreign key.
@@ -363,7 +385,19 @@ func fkKey(fk schema.ForeignKey) string {
 }
 
 func (m *Model) relation(table string) *relationModel {
+	// Exact-case hit first: schema-cased names (the common case on the
+	// estimator's hot path) then skip the allocating lower-case fold.
+	if rm, ok := m.relations[table]; ok {
+		return rm
+	}
 	return m.relations[strings.ToLower(table)]
+}
+
+func (rm *relationModel) column(name string) *columnModel {
+	if cm, ok := rm.columns[name]; ok {
+		return cm
+	}
+	return rm.columns[strings.ToLower(name)]
 }
 
 func (m *Model) column(ref schema.ColumnRef) *columnModel {
@@ -371,7 +405,7 @@ func (m *Model) column(ref schema.ColumnRef) *columnModel {
 	if rm == nil {
 		return nil
 	}
-	return rm.columns[strings.ToLower(ref.Column)]
+	return rm.column(ref.Column)
 }
 
 // RelationSize returns the trained row count of a table (0 when unknown).
@@ -473,7 +507,7 @@ func (m *Model) ExpectedMatches(tables []string, edges []schema.ForeignKey, cons
 	// replaces the product of the two endpoint probabilities (hence the
 	// division — equivalently, multiply by the correlation lift).
 	for _, fk := range edges {
-		js := m.joins[fkKey(fk)]
+		js := m.joinFor(fk)
 		if js == nil || js.totalPairs == 0 {
 			return 0
 		}
@@ -531,7 +565,7 @@ func (m *Model) relationMatchRows(table string, cons []ColumnConstraint) (map[in
 	}
 	var acc map[int]struct{}
 	for _, c := range cons {
-		cm := rm.columns[strings.ToLower(c.Ref.Column)]
+		cm := rm.column(c.Ref.Column)
 		if cm == nil {
 			return nil, false
 		}
@@ -687,8 +721,20 @@ type ColumnSummary struct {
 // column reference.
 func (m *Model) Summaries() []ColumnSummary {
 	var out []ColumnSummary
+	// The lookup maps alias every model under both its original-cased and
+	// lower-cased name; deduplicate by identity when enumerating.
+	seenRel := make(map[*relationModel]struct{}, len(m.relations))
+	seenCol := make(map[*columnModel]struct{})
 	for _, rm := range m.relations {
+		if _, dup := seenRel[rm]; dup {
+			continue
+		}
+		seenRel[rm] = struct{}{}
 		for _, cm := range rm.columns {
+			if _, dup := seenCol[cm]; dup {
+				continue
+			}
+			seenCol[cm] = struct{}{}
 			s := ColumnSummary{
 				Ref:      cm.ref,
 				Rows:     cm.total,

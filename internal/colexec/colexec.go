@@ -4,31 +4,45 @@
 // read-only database per discovery round.
 //
 // At build time it converts the source into column-oriented storage and
-// precomputes, per column, two hash indexes:
+// precomputes, per column:
 //
 //   - a join index (canonical value key -> ascending row ids), so hash
 //     joins probe a prebuilt table instead of re-hashing the inner relation
-//     on every execution;
-//   - a keyword index (keyword-equality key -> ascending row ids), so
-//     equality-shaped pushed-down predicates (sample cells and disjunctions
-//     of sample cells) select matching rows by point lookup instead of
-//     scanning the column.
+//     on every execution, plus the per-row canonical keys themselves, so
+//     probing never re-renders a key;
+//   - a keyword index (split into a text map and a numeric map), so
+//     equality-shaped pushed-down predicates select matching rows by point
+//     lookup instead of scanning the column;
+//   - a zone map (numeric min/max view plus null/row counts), so
+//     range-shaped predicates whose interval cover
+//     (exec.ColumnPredicate.Bounds) falls outside the column's value range
+//     skip the scan without touching a row;
+//   - a dictionary for low-cardinality columns (distinct stored values and
+//     one code per row), so scan-shaped predicates are evaluated once per
+//     distinct value instead of once per row.
 //
-// Execution is late-materialising: intermediate join results are tuples of
-// int32 row ids, one slot per joined table; values are only gathered at
-// projection time. Result rows and their order are identical to the mem
-// reference executor (both start from exec.StartTable, extend the join by
-// scanning plan edges in declaration order, and probe in base-row order),
-// which the cross-executor equivalence tests rely on.
+// Execution is late-materialising and column-at-a-time: the intermediate
+// join state is one int32 row-id vector per joined table (not one slice
+// per intermediate row), selections are rowset bitmaps with ascending id
+// vectors, and all per-execution scratch (slot vectors, bitmaps, id
+// buffers, the projection tuple) comes from a sync.Pool of execution
+// states, so a warm existence-style validation probe runs without
+// allocating (guarded by an AllocsPerRun test). Result rows and their
+// order are identical to the mem reference executor (both start from the
+// smallest filtered table, extend the join by scanning plan edges in
+// declaration order, and probe in base-row order), which the
+// cross-executor equivalence tests rely on.
 package colexec
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"prism/internal/exec"
+	"prism/internal/rowset"
 	"prism/internal/schema"
 	"prism/internal/value"
 )
@@ -37,64 +51,210 @@ func init() {
 	exec.Register("columnar", New)
 }
 
+// dictMaxCardinality bounds the distinct-value count (including NULL) up
+// to which a column gets a dictionary. Beyond it, per-distinct predicate
+// evaluation stops paying for itself.
+const dictMaxCardinality = 256
+
+// zone is the per-column zone map consulted before any row is touched.
+type zone struct {
+	// minF/maxF are the extrema of the numeric views; valid only when
+	// numeric is set.
+	minF, maxF float64
+	// numeric reports that every non-null value has a numeric view
+	// (Value.Float) and none is NaN — the precondition for pruning against
+	// a predicate's numeric interval cover (see the soundness argument on
+	// exec.ColumnPredicate.Bounds: for such columns and Int/Decimal bound
+	// constants, Value.Compare coincides with float comparison).
+	numeric bool
+	rows    int
+	nulls   int
+}
+
+// dictionary is the low-cardinality encoding of one column: the distinct
+// stored values (by strict identity, so predicate evaluation per code is
+// exactly predicate evaluation per row) and one code per row. NULL is a
+// dictionary entry like any other, so Pred(NULL) semantics are preserved.
+type dictionary struct {
+	vals  []value.Value
+	codes []int32
+}
+
 // column is the columnar storage of one table column plus its indexes.
 type column struct {
 	vals []value.Value
+	// keys holds Value.Key() per row ("" for NULL), precomputed so join
+	// probes never render a key on the hot path.
+	keys []string
 	// join maps Value.Key() -> ascending row ids of non-null rows; probed
 	// by hash joins.
 	join map[string][]int32
-	// keyword maps keyword-equality keys (see keywordKeys) -> ascending row
-	// ids; probed by equality-shaped predicate push-down.
-	keyword map[string][]int32
+	// kwText / kwNum are the keyword-equality index, split by comparison
+	// path exactly mirroring Value.MatchesKeyword: the normalised text
+	// rendering, and the numeric view for values that have one. Hits are
+	// re-checked with the predicate, so false positives are harmless; a
+	// false negative would wrongly prune a mapping and is excluded by
+	// construction (see keywordKeys / keywordLookupKeys and their
+	// consistency test).
+	kwText map[string][]int32
+	kwNum  map[float64][]int32
+	zone   zone
+	dict   *dictionary
 }
 
 // table is the columnar image of one relation.
 type table struct {
+	name    string
 	sch     *schema.Table
 	numRows int
 	cols    []*column
 }
 
-// Executor is the columnar engine. It is read-only and safe for concurrent
-// use once built.
-type Executor struct {
-	src    exec.Source
-	tables map[string]*table // key: lower(table name)
+// columnIndex resolves a column name without allocating (the schema's map
+// lookup lower-cases the name first, which allocates on the hot path).
+func (t *table) columnIndex(name string) int {
+	for i := range t.sch.Columns {
+		if strings.EqualFold(t.sch.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
 }
 
-// New builds the columnar executor over a source: column stores and hash
-// indexes for every column. Catalog queries (statistics, keyword
-// membership) are delegated to the source, so they agree exactly with the
-// reference engine's preprocessing.
+// Executor is the columnar engine. It is read-only and safe for concurrent
+// use once built; all mutable per-execution state lives in pooled
+// execState values.
+type Executor struct {
+	src    exec.Source
+	tables []*table          // plan binding scans this (EqualFold, no alloc)
+	byName map[string]*table // catalog lookups (SampleRows, NumRows)
+	// identity is the shared 0..maxRows-1 row-id vector used as the
+	// starting slot vector of unfiltered tables. It is read-only; residual
+	// filters write into fresh vectors instead of compacting in place.
+	identity []int32
+	states   sync.Pool // *execState
+}
+
+// New builds the columnar executor over a source: column stores, hash and
+// keyword indexes, zone maps and dictionaries for every column. Catalog
+// queries (statistics, keyword membership) are delegated to the source, so
+// they agree exactly with the reference engine's preprocessing.
 func New(src exec.Source) (exec.Executor, error) {
-	e := &Executor{src: src, tables: make(map[string]*table)}
+	e := &Executor{src: src, byName: make(map[string]*table)}
+	maxRows := 0
 	for _, ts := range src.Schema().Tables() {
-		t := &table{sch: ts}
+		t := &table{name: ts.Name, sch: ts}
 		for _, col := range ts.Columns {
 			vals, err := src.ColumnValues(schema.ColumnRef{Table: ts.Name, Column: col.Name})
 			if err != nil {
 				return nil, fmt.Errorf("colexec: loading %s.%s: %w", ts.Name, col.Name, err)
 			}
-			c := &column{
-				vals:    vals,
-				join:    make(map[string][]int32),
-				keyword: make(map[string][]int32),
-			}
-			for ri, v := range vals {
-				if v.IsNull() {
-					continue
-				}
-				c.join[v.Key()] = append(c.join[v.Key()], int32(ri))
-				for _, k := range keywordKeys(v) {
-					c.keyword[k] = append(c.keyword[k], int32(ri))
-				}
-			}
-			t.cols = append(t.cols, c)
+			t.cols = append(t.cols, buildColumn(vals))
 			t.numRows = len(vals)
 		}
-		e.tables[strings.ToLower(ts.Name)] = t
+		e.tables = append(e.tables, t)
+		e.byName[strings.ToLower(ts.Name)] = t
+		if t.numRows > maxRows {
+			maxRows = t.numRows
+		}
+	}
+	e.identity = make([]int32, maxRows)
+	for i := range e.identity {
+		e.identity[i] = int32(i)
 	}
 	return e, nil
+}
+
+// buildColumn computes the storage, indexes, zone map and (when the column
+// is low-cardinality) dictionary of one column.
+func buildColumn(vals []value.Value) *column {
+	c := &column{
+		vals:   vals,
+		keys:   make([]string, len(vals)),
+		join:   make(map[string][]int32),
+		kwText: make(map[string][]int32),
+		kwNum:  make(map[float64][]int32),
+	}
+	z := &c.zone
+	z.rows = len(vals)
+	z.numeric = true
+	zSeeded := false
+
+	strict := make(map[string]int32, 64) // strict identity -> dict code
+	dict := &dictionary{}
+	for ri, v := range vals {
+		if !v.IsNull() {
+			key := v.Key()
+			c.keys[ri] = key
+			c.join[key] = append(c.join[key], int32(ri))
+			norm := value.Normalize(v.String())
+			c.kwText[norm] = append(c.kwText[norm], int32(ri))
+
+			f, fok := v.Float()
+			if fok && !math.IsNaN(f) {
+				if f == 0 {
+					f = 0 // fold -0 into +0; MatchesKeyword compares them equal
+				}
+				c.kwNum[f] = append(c.kwNum[f], int32(ri))
+				if !zSeeded {
+					z.minF, z.maxF, zSeeded = f, f, true
+				} else {
+					if f < z.minF {
+						z.minF = f
+					}
+					if f > z.maxF {
+						z.maxF = f
+					}
+				}
+			} else {
+				z.numeric = false
+			}
+		} else {
+			z.nulls++
+		}
+
+		if dict != nil {
+			sk := strictKey(v)
+			code, ok := strict[sk]
+			if !ok {
+				if len(dict.vals) >= dictMaxCardinality {
+					dict, strict = nil, nil
+					continue
+				}
+				code = int32(len(dict.vals))
+				strict[sk] = code
+				dict.vals = append(dict.vals, v)
+			}
+			dict.codes = append(dict.codes, code)
+		}
+	}
+	if dict != nil && len(vals) > 0 {
+		c.dict = dict
+	}
+	return c
+}
+
+// strictKey identifies a stored value by exact kind and payload —
+// case-sensitive for text, no cross-kind folding — so that predicate
+// evaluation on a dictionary entry is exactly predicate evaluation on
+// every row carrying that code.
+func strictKey(v value.Value) string {
+	switch v.Kind() {
+	case value.Null:
+		return "\x00"
+	case value.Int:
+		return "i" + strconv.FormatInt(v.Int(), 10)
+	case value.Decimal:
+		return "f" + strconv.FormatFloat(v.Decimal(), 'x', -1, 64)
+	case value.Text:
+		return "t" + v.Text()
+	case value.Date:
+		return "d" + strconv.FormatInt(v.TimeValue().Unix(), 10)
+	case value.Time:
+		return "c" + strconv.FormatInt(v.TimeValue().Unix(), 10)
+	default:
+		return "?"
+	}
 }
 
 // ExecutorName implements exec.Executor.
@@ -103,10 +263,14 @@ func (e *Executor) ExecutorName() string { return "columnar" }
 // Schema implements exec.Metadata.
 func (e *Executor) Schema() *schema.Schema { return e.src.Schema() }
 
-// NumRows implements exec.Metadata.
+// NumRows implements exec.Metadata. The scheduler's default cost model
+// calls this once per filter table per pick, so the lookup is an
+// allocation-free fold-insensitive scan instead of a lower-cased map key.
 func (e *Executor) NumRows(tbl string) int {
-	if t, ok := e.tables[strings.ToLower(tbl)]; ok {
-		return t.numRows
+	for _, t := range e.tables {
+		if strings.EqualFold(t.name, tbl) {
+			return t.numRows
+		}
 	}
 	return 0
 }
@@ -128,7 +292,7 @@ func (e *Executor) ColumnHasKeyword(ref schema.ColumnRef, keyword string) bool {
 // SampleRows implements exec.Executor by gathering the first limit rows
 // from the column stores.
 func (e *Executor) SampleRows(tbl string, limit int) ([]value.Tuple, error) {
-	t, ok := e.tables[strings.ToLower(tbl)]
+	t, ok := e.byName[strings.ToLower(tbl)]
 	if !ok {
 		return nil, fmt.Errorf("%w %q (columnar)", exec.ErrUnknownTable, tbl)
 	}
@@ -147,28 +311,6 @@ func (e *Executor) SampleRows(tbl string, limit int) ([]value.Tuple, error) {
 	return out, nil
 }
 
-// selection is the post-push-down row set of one base table: the surviving
-// row ids in ascending order, plus a bitmap for O(1) membership tests
-// during index probes. A nil selection means "all rows".
-type selection struct {
-	ids  []int32
-	mask []bool
-}
-
-func (s *selection) count(all int) int {
-	if s == nil {
-		return all
-	}
-	return len(s.ids)
-}
-
-func (s *selection) contains(id int32) bool {
-	return s == nil || s.mask[id]
-}
-
-// idTuple layout: one intermediate row is a slice of row ids, indexed by
-// the slot assigned to each joined table.
-
 // Execute runs the plan and returns all matching projected tuples.
 func (e *Executor) Execute(p exec.Plan) (*exec.Result, error) {
 	return e.ExecuteWith(p, exec.ExecOptions{})
@@ -176,336 +318,759 @@ func (e *Executor) Execute(p exec.Plan) (*exec.Result, error) {
 
 // ExecuteWith implements exec.Executor.
 func (e *Executor) ExecuteWith(p exec.Plan, opts exec.ExecOptions) (*exec.Result, error) {
-	if err := p.Validate(e.src.Schema()); err != nil {
+	st := e.getState()
+	defer e.putState(st)
+	res := &exec.Result{}
+	var dedup *exec.TupleDeduper
+	if p.Distinct && opts.Limit != 1 {
+		// With Limit == 1 the first emitted tuple can never be a duplicate,
+		// so the deduper is skipped (Exists runs through this fast path).
+		dedup = exec.NewTupleDeduper()
+	}
+	stats, err := e.run(st, p, opts, func(proj value.Tuple) bool {
+		if dedup != nil && dedup.Seen(proj) {
+			return true
+		}
+		res.Rows = append(res.Rows, proj.Clone())
+		return opts.Limit <= 0 || len(res.Rows) < opts.Limit
+	})
+	if err != nil {
+		if stats.hasPartial {
+			// Interrupt / runaway-join abort: report the partial stats the
+			// way the reference engine does.
+			return &exec.Result{Columns: p.Project, Stats: stats.ExecStats}, err
+		}
 		return nil, err
 	}
-	var stats exec.ExecStats
-	interrupt := exec.NewInterruptChecker(opts.Interrupt)
-
-	// Group pushed-down predicates by table.
-	predsByTable := make(map[string][]exec.ColumnPredicate)
-	for _, cp := range opts.ColumnPredicates {
-		key := strings.ToLower(cp.Ref.Table)
-		predsByTable[key] = append(predsByTable[key], cp)
+	res.Columns = append([]schema.ColumnRef(nil), p.Project...)
+	stats.ResultRows = len(res.Rows)
+	if opts.Limit > 0 && len(res.Rows) >= opts.Limit {
+		stats.TerminatedEarly = true
 	}
+	res.Stats = stats.ExecStats
+	return res, nil
+}
 
-	// Push predicates down onto base tables: equality-shaped predicates
-	// select rows by keyword-index lookup, everything else scans the
-	// column.
-	sels := make(map[string]*selection, len(p.Tables))
-	for _, tname := range p.Tables {
-		key := strings.ToLower(tname)
-		t := e.tables[key]
-		preds := predsByTable[key]
-		if len(preds) == 0 {
-			sels[key] = nil
+// Exists implements exec.Executor. Unlike ExecuteWith it materialises
+// nothing: the projection tuple is pooled scratch and no Result is built,
+// which keeps the warm validation probe allocation-free.
+func (e *Executor) Exists(p exec.Plan, opts exec.ExecOptions) (bool, exec.ExecStats, error) {
+	st := e.getState()
+	defer e.putState(st)
+	opts.Limit = 1
+	found := false
+	stats, err := e.run(st, p, opts, func(value.Tuple) bool {
+		found = true
+		return false
+	})
+	if found {
+		stats.ResultRows = 1
+		stats.TerminatedEarly = true
+	}
+	return found, stats.ExecStats, err
+}
+
+// runStats carries execution statistics plus whether an error left
+// meaningful partial stats behind (interrupts and intermediate-size
+// aborts do; binding errors do not).
+type runStats struct {
+	exec.ExecStats
+	hasPartial bool
+}
+
+// boundPred is a pushed-down predicate bound to its table and column.
+type boundPred struct {
+	cp  exec.ColumnPredicate
+	tab int // index into execState.tabs
+	ci  int
+}
+
+// selection is the post-push-down row set of one base table: the surviving
+// row ids in ascending order plus a bitmap for O(1) membership tests
+// during index probes. A nil *selection means "all rows".
+type selection struct {
+	ids []int32
+	bm  *rowset.Bitmap
+}
+
+type gather struct {
+	slot int
+	col  *column
+}
+
+// predCheck is the per-predicate verification state of one selectRows
+// call; when verdict is non-nil the predicate was pre-evaluated per
+// dictionary code.
+type predCheck struct {
+	pred    func(value.Value) bool
+	vals    []value.Value
+	codes   []int32
+	verdict []bool
+}
+
+// execState is the pooled per-execution scratch: bound plan state, slot
+// vectors, bitmaps, id buffers and the projection tuple. Nothing in it
+// survives an execution; pooling exists so the warm path never allocates.
+type execState struct {
+	interrupt exec.InterruptChecker
+
+	tabs   []*table
+	sels   []*selection
+	preds  []boundPred
+	joins  []exec.JoinEdge
+	slotOf []int
+	checks []predCheck
+
+	selArena []selection
+	selUsed  int
+	bitmaps  []*rowset.Bitmap
+	bmUsed   int
+	idBufs   [][]int32
+	idUsed   int
+	vecBufs  [][]int32
+	vecUsed  int
+	verdicts [][]bool
+	vdUsed   int
+
+	cur     [][]int32 // current slot vectors
+	next    [][]int32
+	gathers []gather
+	scratch value.Tuple
+}
+
+func (e *Executor) getState() *execState {
+	if st, ok := e.states.Get().(*execState); ok {
+		return st
+	}
+	return &execState{}
+}
+
+func (e *Executor) putState(st *execState) {
+	// Drop every reference into request-lifetime data (predicate closures
+	// over the spec, the context-capturing interrupt function, projected
+	// values) so an idle pool pins nothing; the int32/bitmap arenas are
+	// kept for reuse.
+	st.interrupt.Reset(nil)
+	st.tabs = truncate(st.tabs)
+	st.sels = truncate(st.sels)
+	st.preds = truncate(st.preds)
+	st.joins = truncate(st.joins)
+	st.checks = truncate(st.checks)
+	st.gathers = truncate(st.gathers)
+	st.cur = truncate(st.cur)
+	st.next = truncate(st.next)
+	clear(st.scratch)
+	st.slotOf = st.slotOf[:0]
+	st.selUsed, st.bmUsed, st.idUsed, st.vecUsed, st.vdUsed = 0, 0, 0, 0, 0
+	e.states.Put(st)
+}
+
+// truncate zeroes a slice through its capacity and returns it empty, so
+// pooled backing arrays keep their storage but not their references.
+func truncate[T any](s []T) []T {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
+}
+
+func (st *execState) getSelection() *selection {
+	if st.selUsed == len(st.selArena) {
+		st.selArena = append(st.selArena, selection{})
+	}
+	s := &st.selArena[st.selUsed]
+	st.selUsed++
+	s.ids = nil
+	s.bm = nil
+	return s
+}
+
+func (st *execState) getBitmap(n int) *rowset.Bitmap {
+	if st.bmUsed == len(st.bitmaps) {
+		st.bitmaps = append(st.bitmaps, rowset.New(n))
+	}
+	b := st.bitmaps[st.bmUsed]
+	st.bmUsed++
+	b.Reset(n)
+	return b
+}
+
+// getIDs hands out a reusable id buffer and its arena slot; callers store
+// the (possibly append-grown) final slice back with keepIDs so the
+// capacity is retained for later executions.
+func (st *execState) getIDs() (int, []int32) {
+	if st.idUsed == len(st.idBufs) {
+		st.idBufs = append(st.idBufs, nil)
+	}
+	slot := st.idUsed
+	st.idUsed++
+	return slot, st.idBufs[slot][:0]
+}
+
+func (st *execState) keepIDs(slot int, buf []int32) { st.idBufs[slot] = buf }
+
+func (st *execState) getVec() (int, []int32) {
+	if st.vecUsed == len(st.vecBufs) {
+		st.vecBufs = append(st.vecBufs, nil)
+	}
+	slot := st.vecUsed
+	st.vecUsed++
+	return slot, st.vecBufs[slot][:0]
+}
+
+func (st *execState) keepVec(slot int, buf []int32) { st.vecBufs[slot] = buf }
+
+func (st *execState) getVerdict(n int) []bool {
+	if st.vdUsed == len(st.verdicts) {
+		st.verdicts = append(st.verdicts, nil)
+	}
+	v := st.verdicts[st.vdUsed]
+	if cap(v) < n {
+		v = make([]bool, n)
+		st.verdicts[st.vdUsed] = v
+	}
+	st.vdUsed++
+	return v[:n]
+}
+
+// bind resolves the plan against the column stores: tables, pushed-down
+// predicates, joins and the projection. It performs the structural
+// validation the reference engine delegates to Plan.Validate, but without
+// per-call maps or lower-cased name copies.
+func (e *Executor) bind(st *execState, p exec.Plan, opts exec.ExecOptions) error {
+	if len(p.Tables) == 0 {
+		return fmt.Errorf("colexec: plan has no tables")
+	}
+	if len(p.Tables) > 64 {
+		// Join bookkeeping uses table-index bitmasks; Prism's candidate
+		// plans join at most a handful of tables (Options.MaxTables).
+		return fmt.Errorf("colexec: plan joins %d tables, more than the supported 64", len(p.Tables))
+	}
+	for i, name := range p.Tables {
+		var t *table
+		for _, cand := range e.tables {
+			if strings.EqualFold(cand.name, name) {
+				t = cand
+				break
+			}
+		}
+		if t == nil {
+			return fmt.Errorf("colexec: plan references unknown table %q", name)
+		}
+		for j := 0; j < i; j++ {
+			if strings.EqualFold(p.Tables[j], name) {
+				return fmt.Errorf("colexec: plan lists table %q twice", name)
+			}
+		}
+		st.tabs = append(st.tabs, t)
+		st.sels = append(st.sels, nil)
+		st.slotOf = append(st.slotOf, -1)
+	}
+	for _, cp := range opts.ColumnPredicates {
+		ti := st.tabIndex(cp.Ref.Table)
+		if ti < 0 {
+			// Predicates on tables outside the plan are ignored, matching
+			// the reference engine's per-plan-table grouping.
 			continue
 		}
-		sel, aborted, err := e.selectRows(t, tname, preds, &stats, interrupt)
-		if err != nil {
-			return nil, err
+		ci := st.tabs[ti].columnIndex(cp.Ref.Column)
+		if ci < 0 {
+			return fmt.Errorf("colexec: predicate column %s not in table %s", cp.Ref, st.tabs[ti].name)
 		}
-		if aborted {
-			return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+		st.preds = append(st.preds, boundPred{cp: cp, tab: ti, ci: ci})
+	}
+	reach := uint64(1) // join-graph reachability from table 0, as a tab-index bitmask
+	for _, j := range p.Joins {
+		for _, ref := range []schema.ColumnRef{j.Left, j.Right} {
+			ti := st.tabIndex(ref.Table)
+			if ti < 0 {
+				return fmt.Errorf("colexec: plan join %s references table %q not in plan", j, ref.Table)
+			}
+			if st.tabs[ti].columnIndex(ref.Column) < 0 {
+				return fmt.Errorf("colexec: unknown column %q in table %q", ref.Column, ref.Table)
+			}
 		}
-		sels[key] = sel
+	}
+	// Reject disconnected join graphs up front (the reference engine does so
+	// in Plan.Validate): a fixpoint over the edge list, O(tables × joins) on
+	// a bitmask.
+	for changed := true; changed; {
+		changed = false
+		for _, j := range p.Joins {
+			l := uint64(1) << uint(st.tabIndex(j.Left.Table))
+			r := uint64(1) << uint(st.tabIndex(j.Right.Table))
+			if reach&(l|r) != 0 && reach&(l|r) != l|r {
+				reach |= l | r
+				changed = true
+			}
+		}
+	}
+	if reach != (uint64(1)<<uint(len(st.tabs)))-1 {
+		return fmt.Errorf("colexec: plan join graph is not connected")
+	}
+	st.joins = append(st.joins, p.Joins...)
+	for _, ref := range p.Project {
+		ti := st.tabIndex(ref.Table)
+		if ti < 0 {
+			return fmt.Errorf("colexec: plan projects %s from table not in plan", ref)
+		}
+		if st.tabs[ti].columnIndex(ref.Column) < 0 {
+			return fmt.Errorf("colexec: unknown column %q in table %q", ref.Column, ref.Table)
+		}
+	}
+	return nil
+}
+
+func (st *execState) tabIndex(name string) int {
+	for i, t := range st.tabs {
+		if strings.EqualFold(t.name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (st *execState) columnOf(ref schema.ColumnRef) (tab int, col *column, err error) {
+	ti := st.tabIndex(ref.Table)
+	if ti < 0 {
+		return 0, nil, fmt.Errorf("colexec: unknown table %q", ref.Table)
+	}
+	ci := st.tabs[ti].columnIndex(ref.Column)
+	if ci < 0 {
+		return 0, nil, fmt.Errorf("colexec: unknown column %q in table %q", ref.Column, ref.Table)
+	}
+	return ti, st.tabs[ti].cols[ci], nil
+}
+
+func (st *execState) selCount(ti int) int {
+	if st.sels[ti] == nil {
+		return st.tabs[ti].numRows
+	}
+	return len(st.sels[ti].ids)
+}
+
+// run executes the plan, calling yield with a shared scratch tuple for
+// every surviving projected row (in the reference engine's row order)
+// until yield returns false. The caller owns result assembly and
+// Distinct/Limit bookkeeping around yield.
+func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield func(value.Tuple) bool) (runStats, error) {
+	var stats runStats
+	if err := e.bind(st, p, opts); err != nil {
+		return stats, err
+	}
+	st.interrupt.Reset(opts.Interrupt)
+
+	// Push predicates down onto base tables.
+	for ti := range st.tabs {
+		hasPred := false
+		for i := range st.preds {
+			if st.preds[i].tab == ti {
+				hasPred = true
+				break
+			}
+		}
+		if !hasPred {
+			continue
+		}
+		if aborted := e.selectRows(st, ti, &stats.ExecStats); aborted {
+			stats.hasPartial = true
+			return stats, exec.ErrInterrupted
+		}
 	}
 
-	// Same starting table and edge-scan discipline as the reference engine,
-	// over the filtered cardinalities, so both executors emit rows in the
-	// same order.
-	startTable := exec.StartTable(p, func(tbl string) int {
-		key := strings.ToLower(tbl)
-		return sels[key].count(e.tables[key].numRows)
-	})
-
-	firstKey := strings.ToLower(startTable)
-	slots := map[string]int{firstKey: 0}
-	var rows [][]int32
-	if sel := sels[firstKey]; sel != nil {
-		rows = make([][]int32, len(sel.ids))
-		for i, id := range sel.ids {
-			rows[i] = []int32{id}
-		}
+	// Same starting table and edge-scan discipline as the reference
+	// engine, over the filtered cardinalities, so both executors emit rows
+	// in the same order. Both call exec.StartTable so the tie-break can
+	// never silently diverge between backends.
+	start := st.tabIndex(exec.StartTable(p, func(tbl string) int {
+		return st.selCount(st.tabIndex(tbl))
+	}))
+	st.slotOf[start] = 0
+	st.cur = st.cur[:0]
+	if sel := st.sels[start]; sel != nil {
+		st.cur = append(st.cur, sel.ids)
 	} else {
-		n := e.tables[firstKey].numRows
-		rows = make([][]int32, n)
-		for i := 0; i < n; i++ {
-			rows[i] = []int32{int32(i)}
-		}
+		st.cur = append(st.cur, e.identity[:st.tabs[start].numRows])
 	}
+	nRows := len(st.cur[0])
 
-	joined := map[string]bool{firstKey: true}
-	remainingJoins := append([]exec.JoinEdge(nil), p.Joins...)
+	var joined uint64 = 1 << uint(start)
+	joinedCount := 1
+	remaining := st.joins
 
-	for len(joined) < len(p.Tables) {
-		// Find a join edge connecting the joined set to a new table.
+	for joinedCount < len(st.tabs) {
 		edgeIdx := -1
-		for i, edge := range remainingJoins {
-			l, r := strings.ToLower(edge.Left.Table), strings.ToLower(edge.Right.Table)
-			if joined[l] != joined[r] {
+		for i, edge := range remaining {
+			li := st.tabIndex(edge.Left.Table)
+			ri := st.tabIndex(edge.Right.Table)
+			if (joined>>uint(li))&1 != (joined>>uint(ri))&1 {
 				edgeIdx = i
 				break
 			}
 		}
 		if edgeIdx < 0 {
-			return nil, fmt.Errorf("colexec: plan join graph is not connected")
+			return stats, fmt.Errorf("colexec: plan join graph is not connected")
 		}
-		edge := remainingJoins[edgeIdx]
-		remainingJoins = append(remainingJoins[:edgeIdx], remainingJoins[edgeIdx+1:]...)
+		edge := remaining[edgeIdx]
+		remaining = append(remaining[:edgeIdx], remaining[edgeIdx+1:]...)
 
-		// Determine which side is new.
 		joinedRef, newRef := edge.Left, edge.Right
-		if !joined[strings.ToLower(edge.Left.Table)] {
-			joinedRef, newRef = edge.Right, edge.Left
+		joinedTab, newTab := st.tabIndex(joinedRef.Table), st.tabIndex(newRef.Table)
+		if (joined>>uint(joinedTab))&1 == 0 {
+			joinedRef, newRef = newRef, joinedRef
+			joinedTab, newTab = newTab, joinedTab
 		}
-		newKey := strings.ToLower(newRef.Table)
-		newSel := sels[newKey]
+		probeCol := st.tabs[joinedTab].cols[st.tabs[joinedTab].columnIndex(joinedRef.Column)]
+		buildCol := st.tabs[newTab].cols[st.tabs[newTab].columnIndex(newRef.Column)]
+		newSel := st.sels[newTab]
 
-		probeCol, err := e.columnOf(joinedRef)
-		if err != nil {
-			return nil, err
-		}
-		probeSlot := slots[strings.ToLower(joinedRef.Table)]
-		buildCol, err := e.columnOf(newRef)
-		if err != nil {
-			return nil, err
-		}
+		probeVec := st.cur[st.slotOf[joinedTab]]
+		width := len(st.cur)
 
-		// Probe the prebuilt join index of the new table's column; no hash
-		// table is built per execution.
-		var out [][]int32
-		for _, left := range rows {
-			if interrupt.Hit() {
-				return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+		// Probe the prebuilt join index of the new table's column into
+		// fresh slot vectors; no hash table is built per execution and no
+		// per-row tuple is allocated.
+		st.next = st.next[:0]
+		vecBase := st.vecUsed
+		for s := 0; s <= width; s++ {
+			_, v := st.getVec()
+			st.next = append(st.next, v)
+		}
+		outRows := 0
+		keys := probeCol.keys
+		for r := 0; r < nRows; r++ {
+			if st.interrupt.Hit() {
+				stats.hasPartial = true
+				return stats, exec.ErrInterrupted
 			}
-			v := probeCol.vals[left[probeSlot]]
-			if v.IsNull() {
-				continue
+			k := keys[probeVec[r]]
+			if k == "" {
+				continue // NULL never joins
 			}
-			for _, rid := range buildCol.join[v.Key()] {
-				if !newSel.contains(rid) {
+			for _, rid := range buildCol.join[k] {
+				if newSel != nil && !newSel.bm.Contains(rid) {
 					continue
 				}
-				combined := make([]int32, len(left)+1)
-				copy(combined, left)
-				combined[len(left)] = rid
-				out = append(out, combined)
-				if opts.MaxIntermediate > 0 && len(out) > opts.MaxIntermediate {
+				for s := 0; s < width; s++ {
+					st.next[s] = append(st.next[s], st.cur[s][r])
+				}
+				st.next[width] = append(st.next[width], rid)
+				outRows++
+				if opts.MaxIntermediate > 0 && outRows > opts.MaxIntermediate {
 					stats.AbortedTooLarge = true
-					return &exec.Result{Columns: p.Project, Stats: stats},
-						fmt.Errorf("colexec: intermediate result exceeded %d tuples", opts.MaxIntermediate)
+					stats.hasPartial = true
+					return stats, fmt.Errorf("colexec: intermediate result exceeded %d tuples", opts.MaxIntermediate)
 				}
 			}
 		}
-		slots[newKey] = len(slots)
-		rows = out
-		joined[newKey] = true
+		for s := 0; s <= width; s++ {
+			st.keepVec(vecBase+s, st.next[s])
+		}
+		st.cur = append(st.cur[:0], st.next...)
+		nRows = outRows
+		st.slotOf[newTab] = width
+		joined |= 1 << uint(newTab)
+		joinedCount++
 		stats.JoinsExecuted++
-		stats.IntermediateRows += len(out)
+		stats.IntermediateRows += outRows
 
 		// Residual edges with both endpoints joined become filters.
-		kept := remainingJoins[:0]
-		for _, re := range remainingJoins {
-			l, r := strings.ToLower(re.Left.Table), strings.ToLower(re.Right.Table)
-			if joined[l] && joined[r] {
-				rows, err = e.filterResidual(rows, re, slots)
+		kept := remaining[:0]
+		for _, re := range remaining {
+			l, r := st.tabIndex(re.Left.Table), st.tabIndex(re.Right.Table)
+			if (joined>>uint(l))&1 == 1 && (joined>>uint(r))&1 == 1 {
+				var err error
+				nRows, err = st.filterResidual(nRows, re)
 				if err != nil {
-					return nil, err
+					return stats, err
 				}
 			} else {
 				kept = append(kept, re)
 			}
 		}
-		remainingJoins = kept
+		remaining = kept
 	}
 
-	// Apply any leftover internal join edges.
-	for _, re := range remainingJoins {
+	// Apply any leftover internal join edges (single-table plans with
+	// self-conditions).
+	for _, re := range remaining {
 		var err error
-		rows, err = e.filterResidual(rows, re, slots)
+		nRows, err = st.filterResidual(nRows, re)
 		if err != nil {
-			return nil, err
+			return stats, err
 		}
 	}
 
 	// Project: gather values from the column stores only now.
-	type gather struct {
-		slot int
-		col  *column
-	}
-	gathers := make([]gather, len(p.Project))
-	for i, ref := range p.Project {
-		c, err := e.columnOf(ref)
+	st.gathers = st.gathers[:0]
+	for _, ref := range p.Project {
+		ti, col, err := st.columnOf(ref)
 		if err != nil {
-			return nil, err
+			return stats, err
 		}
-		gathers[i] = gather{slot: slots[strings.ToLower(ref.Table)], col: c}
+		st.gathers = append(st.gathers, gather{slot: st.slotOf[ti], col: col})
 	}
-	res := &exec.Result{Columns: append([]schema.ColumnRef(nil), p.Project...)}
-	var dedup map[string]struct{}
-	if p.Distinct {
-		dedup = make(map[string]struct{})
+	if cap(st.scratch) < len(st.gathers) {
+		st.scratch = make(value.Tuple, len(st.gathers))
 	}
-	for _, row := range rows {
-		if interrupt.Hit() {
-			return &exec.Result{Columns: p.Project, Stats: stats}, exec.ErrInterrupted
+	proj := st.scratch[:len(st.gathers)]
+	for r := 0; r < nRows; r++ {
+		if st.interrupt.Hit() {
+			stats.hasPartial = true
+			return stats, exec.ErrInterrupted
 		}
-		proj := make(value.Tuple, len(gathers))
-		for i, g := range gathers {
-			proj[i] = g.col.vals[row[g.slot]]
+		for gi := range st.gathers {
+			g := &st.gathers[gi]
+			proj[gi] = g.col.vals[st.cur[g.slot][r]]
 		}
 		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
 			continue
 		}
-		if p.Distinct {
-			k := proj.Key()
-			if _, dup := dedup[k]; dup {
-				continue
-			}
-			dedup[k] = struct{}{}
-		}
-		res.Rows = append(res.Rows, proj)
-		if opts.Limit > 0 && len(res.Rows) >= opts.Limit {
-			stats.TerminatedEarly = true
+		if !yield(proj) {
 			break
 		}
 	}
-	stats.ResultRows = len(res.Rows)
-	res.Stats = stats
-	return res, nil
-}
-
-// Exists implements exec.Executor.
-func (e *Executor) Exists(p exec.Plan, opts exec.ExecOptions) (bool, exec.ExecStats, error) {
-	opts.Limit = 1
-	res, err := e.ExecuteWith(p, opts)
-	if err != nil {
-		if res != nil {
-			return false, res.Stats, err
-		}
-		return false, exec.ExecStats{}, err
-	}
-	return res.NumRows() > 0, res.Stats, nil
-}
-
-// boundPred is a pushed-down predicate with its column index resolved.
-type boundPred struct {
-	cp exec.ColumnPredicate
-	ci int
-}
-
-// selectRows applies a table's pushed-down predicates and returns the
-// surviving rows. When at least one predicate carries a complete keyword
-// list, the candidate set is seeded by keyword-index point lookups and only
-// those candidates are examined; otherwise the column is scanned once. In
-// both cases every predicate's Pred is (re-)applied, so near-miss index
-// hits are filtered out.
-func (e *Executor) selectRows(t *table, tname string, preds []exec.ColumnPredicate, stats *exec.ExecStats, interrupt *exec.InterruptChecker) (*selection, bool, error) {
-	var indexable *boundPred
-	var check []boundPred
-	for _, cp := range preds {
-		ci := t.sch.ColumnIndex(cp.Ref.Column)
-		if ci < 0 {
-			return nil, false, fmt.Errorf("colexec: predicate column %s not in table %s", cp.Ref, tname)
-		}
-		bp := boundPred{cp: cp, ci: ci}
-		// The predicate with the fewest keywords seeds the candidate set;
-		// all predicates (including the seed) are verified below.
-		if len(cp.Keywords) > 0 && (indexable == nil || len(cp.Keywords) < len(indexable.cp.Keywords)) {
-			indexable = &bp
-		}
-		check = append(check, bp)
-	}
-
-	var candidates []int32
-	if indexable != nil {
-		seen := make(map[int32]struct{})
-		col := t.cols[indexable.ci]
-		for _, kw := range indexable.cp.Keywords {
-			for _, key := range keywordLookupKeys(kw) {
-				for _, id := range col.keyword[key] {
-					if _, dup := seen[id]; dup {
-						continue
-					}
-					seen[id] = struct{}{}
-					candidates = append(candidates, id)
-				}
-			}
-		}
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	} else {
-		candidates = make([]int32, t.numRows)
-		for ri := range candidates {
-			candidates[ri] = int32(ri)
-		}
-	}
-
-	ids := candidates[:0]
-	for _, id := range candidates {
-		if interrupt.Hit() {
-			return nil, true, nil
-		}
-		stats.RowsScanned++
-		keep := true
-		for _, bp := range check {
-			if !bp.cp.Pred(t.cols[bp.ci].vals[id]) {
-				keep = false
-				stats.PredicateFiltered++
-				break
-			}
-		}
-		if keep {
-			ids = append(ids, id)
-		}
-	}
-	mask := make([]bool, t.numRows)
-	for _, id := range ids {
-		mask[id] = true
-	}
-	return &selection{ids: ids, mask: mask}, false, nil
-}
-
-func (e *Executor) columnOf(ref schema.ColumnRef) (*column, error) {
-	t, ok := e.tables[strings.ToLower(ref.Table)]
-	if !ok {
-		return nil, fmt.Errorf("colexec: unknown table %q", ref.Table)
-	}
-	ci := t.sch.ColumnIndex(ref.Column)
-	if ci < 0 {
-		return nil, fmt.Errorf("colexec: unknown column %q in table %q", ref.Column, ref.Table)
-	}
-	return t.cols[ci], nil
+	return stats, nil
 }
 
 // filterResidual keeps intermediate rows whose two referenced columns hold
-// equal, non-null values.
-func (e *Executor) filterResidual(rows [][]int32, edge exec.JoinEdge, slots map[string]int) ([][]int32, error) {
-	lc, err := e.columnOf(edge.Left)
+// equal, non-null values, writing the surviving rows into fresh slot
+// vectors (the current ones may alias read-only selections or the shared
+// identity vector).
+func (st *execState) filterResidual(nRows int, edge exec.JoinEdge) (int, error) {
+	lt, lc, err := st.columnOf(edge.Left)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	rc, err := e.columnOf(edge.Right)
+	rt, rc, err := st.columnOf(edge.Right)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	ls, lok := slots[strings.ToLower(edge.Left.Table)]
-	rs, rok := slots[strings.ToLower(edge.Right.Table)]
-	if !lok || !rok {
-		return nil, fmt.Errorf("colexec: residual join %s references unjoined table", edge)
+	ls, rs := st.slotOf[lt], st.slotOf[rt]
+	if ls < 0 || rs < 0 {
+		return 0, fmt.Errorf("colexec: residual join %s references unjoined table", edge)
 	}
-	filtered := rows[:0]
-	for _, row := range rows {
-		lv := lc.vals[row[ls]]
-		if !lv.IsNull() && lv.Equal(rc.vals[row[rs]]) {
-			filtered = append(filtered, row)
+	width := len(st.cur)
+	st.next = st.next[:0]
+	vecBase := st.vecUsed
+	for s := 0; s < width; s++ {
+		_, v := st.getVec()
+		st.next = append(st.next, v)
+	}
+	out := 0
+	for r := 0; r < nRows; r++ {
+		lv := lc.vals[st.cur[ls][r]]
+		if lv.IsNull() || !lv.Equal(rc.vals[st.cur[rs][r]]) {
+			continue
+		}
+		for s := 0; s < width; s++ {
+			st.next[s] = append(st.next[s], st.cur[s][r])
+		}
+		out++
+	}
+	for s := 0; s < width; s++ {
+		st.keepVec(vecBase+s, st.next[s])
+	}
+	st.cur = append(st.cur[:0], st.next...)
+	return out, nil
+}
+
+// selectRows applies table ti's pushed-down predicates and installs the
+// surviving row set. It reports whether execution was interrupted.
+//
+//  1. Zone maps veto whole scans: a predicate whose numeric interval cover
+//     lies outside the column's value range — or any indexed/bounded
+//     predicate over an all-NULL column — proves the selection empty
+//     before any row is touched.
+//  2. Keyword-equality predicates seed the candidate set by index point
+//     lookups; with several such predicates the candidate set is the
+//     intersection of their sorted hit lists.
+//  3. Every candidate is verified against every predicate — near-miss
+//     index hits are filtered out. On dictionary-encoded columns the
+//     predicate is evaluated once per distinct value and candidates are
+//     checked against the verdict table by code.
+func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (aborted bool) {
+	t := st.tabs[ti]
+	sel := st.getSelection()
+	st.sels[ti] = sel
+	sel.bm = st.getBitmap(t.numRows)
+	idSlot, ids := st.getIDs()
+
+	// Phase 1: zone-map pruning.
+	for i := range st.preds {
+		bp := &st.preds[i]
+		if bp.tab != ti {
+			continue
+		}
+		z := &t.cols[bp.ci].zone
+		// Keyword and bounded predicates reject NULL by contract, so an
+		// all-NULL column cannot satisfy them.
+		rejectsNull := bp.cp.Bounds != nil || len(bp.cp.Keywords) > 0
+		if rejectsNull && z.rows == z.nulls {
+			return false
+		}
+		if b := bp.cp.Bounds; b != nil && z.numeric && z.rows > z.nulls {
+			if (b.HasLo && z.maxF < b.Lo) || (b.HasHi && z.minF > b.Hi) {
+				return false
+			}
 		}
 	}
-	return filtered, nil
+
+	// Phase 2: seed candidates from the keyword index.
+	var candidates []int32
+	seeded := false
+	scratchSlot := -1
+	var scratch []int32
+	for i := range st.preds {
+		bp := &st.preds[i]
+		if bp.tab != ti || len(bp.cp.Keywords) == 0 {
+			continue
+		}
+		col := t.cols[bp.ci]
+		hitsBM := st.getBitmap(t.numRows)
+		for _, kw := range bp.cp.Keywords {
+			addKeywordHits(col, kw, hitsBM)
+		}
+		if !seeded {
+			candidates = hitsBM.AppendTo(ids)
+			seeded = true
+			continue
+		}
+		if scratchSlot < 0 {
+			scratchSlot, scratch = st.getIDs()
+		}
+		scratch = hitsBM.AppendTo(scratch[:0])
+		st.keepIDs(scratchSlot, scratch)
+		candidates = rowset.IntersectSorted(candidates[:0], candidates, scratch)
+		if len(candidates) == 0 {
+			break
+		}
+	}
+
+	// Phase 3: verify every candidate with every predicate.
+	toCheck := t.numRows
+	if seeded {
+		toCheck = len(candidates)
+	}
+	st.checks = st.checks[:0]
+	for i := range st.preds {
+		bp := &st.preds[i]
+		if bp.tab != ti {
+			continue
+		}
+		col := t.cols[bp.ci]
+		c := predCheck{pred: bp.cp.Pred, vals: col.vals}
+		if d := col.dict; d != nil && len(d.vals) < toCheck {
+			c.codes = d.codes
+			c.verdict = st.getVerdict(len(d.vals))
+			for code, dv := range d.vals {
+				c.verdict[code] = bp.cp.Pred(dv)
+			}
+		}
+		st.checks = append(st.checks, c)
+	}
+
+	if seeded {
+		// In-place filter: survivors are appended into the same buffer the
+		// candidates occupy; the write index never overtakes the read index.
+		ids = candidates[:0]
+		for _, id := range candidates {
+			if st.interrupt.Hit() {
+				st.keepIDs(idSlot, ids)
+				return true
+			}
+			if st.verifyRow(id, stats) {
+				ids = append(ids, id)
+				sel.bm.Add(id)
+			}
+		}
+	} else {
+		for id := int32(0); id < int32(t.numRows); id++ {
+			if st.interrupt.Hit() {
+				st.keepIDs(idSlot, ids)
+				return true
+			}
+			if st.verifyRow(id, stats) {
+				ids = append(ids, id)
+				sel.bm.Add(id)
+			}
+		}
+	}
+	sel.ids = ids
+	st.keepIDs(idSlot, ids)
+	return false
+}
+
+// verifyRow re-applies every pushed-down predicate of the current
+// selectRows call to one row.
+func (st *execState) verifyRow(id int32, stats *exec.ExecStats) bool {
+	stats.RowsScanned++
+	for i := range st.checks {
+		c := &st.checks[i]
+		var pass bool
+		if c.verdict != nil {
+			pass = c.verdict[c.codes[id]]
+		} else {
+			pass = c.pred(c.vals[id])
+		}
+		if !pass {
+			stats.PredicateFiltered++
+			return false
+		}
+	}
+	return true
+}
+
+// addKeywordHits unions the posting lists matching a keyword constant into
+// the bitmap: the normalised text rendering's list and, when the keyword
+// parses as a number, the numeric view's list — mirroring
+// Value.MatchesKeyword's two comparison paths.
+func addKeywordHits(c *column, kw string, bm *rowset.Bitmap) {
+	kw = strings.TrimSpace(kw)
+	if kw == "" {
+		return
+	}
+	if post := c.kwText[strings.ToLower(kw)]; len(post) > 0 {
+		bm.AddSorted(post)
+	}
+	if f, ok := parseNumericKeyword(kw); ok {
+		if post := c.kwNum[f]; len(post) > 0 {
+			bm.AddSorted(post)
+		}
+	}
+}
+
+// parseNumericKeyword parses a keyword as a float like MatchesKeyword
+// does, with a cheap shape pre-check so clearly non-numeric keywords skip
+// strconv.ParseFloat (whose error path allocates).
+func parseNumericKeyword(kw string) (float64, bool) {
+	if kw == "" {
+		return 0, false
+	}
+	switch c := kw[0]; {
+	case c >= '0' && c <= '9', c == '+', c == '-', c == '.':
+	default:
+		// ParseFloat also accepts the spelled-out specials.
+		if !strings.EqualFold(kw, "inf") && !strings.EqualFold(kw, "infinity") && !strings.EqualFold(kw, "nan") {
+			return 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(kw, 64)
+	if err != nil {
+		return 0, false
+	}
+	if math.IsNaN(f) {
+		// NaN never equals a stored numeric view (the text rendering path
+		// covers textual "NaN" matches), and NaN map keys are unreachable.
+		return 0, false
+	}
+	if f == 0 {
+		f = 0 // fold -0 into +0
+	}
+	return f, true
 }
 
 // ---------------------------------------------------------------------------
-// Keyword index keys
+// Keyword index keys (specification + consistency-test surface)
 // ---------------------------------------------------------------------------
 
 // keywordKeys returns the canonical keys a stored value is indexed under
@@ -516,9 +1081,14 @@ func (e *Executor) filterResidual(rows [][]int32, edge exec.JoinEdge, slots map[
 // because index hits are re-checked with the predicate. Values are indexed
 // under both their text form and, when numeric, their numeric form, exactly
 // mirroring MatchesKeyword's two comparison paths.
+//
+// The executor stores these keys in two typed maps (kwText holds the text
+// keys without the "t:" prefix, kwNum is keyed by the float itself so
+// numeric lookups never format a string); these functions remain the
+// specification the consistency test checks that construction against.
 func keywordKeys(v value.Value) []string {
 	keys := []string{"t:" + value.Normalize(v.String())}
-	if f, ok := v.Float(); ok {
+	if f, ok := v.Float(); ok && !math.IsNaN(f) {
 		keys = append(keys, floatKey(f))
 	}
 	return keys
@@ -530,7 +1100,7 @@ func keywordLookupKeys(kw string) []string {
 		return nil
 	}
 	keys := []string{"t:" + strings.ToLower(kw)}
-	if f, err := strconv.ParseFloat(kw, 64); err == nil {
+	if f, ok := parseNumericKeyword(kw); ok {
 		keys = append(keys, floatKey(f))
 	}
 	return keys

@@ -1,0 +1,191 @@
+package colexec
+
+// Performance-contract tests of the columnar executor: zone-map pruning,
+// dictionary verdicts, and the zero-allocation warm validation path.
+
+import (
+	"testing"
+
+	"prism/internal/exec"
+	"prism/internal/value"
+)
+
+// TestZoneMapPruning checks that a range predicate whose interval cover
+// falls outside the column's value range resolves to an empty result
+// without touching any row, and that pruning never changes the result set
+// relative to the reference engine.
+func TestZoneMapPruning(t *testing.T) {
+	db := mondial(t)
+	col := build(t, db)
+	outOfRange := exec.ExecOptions{ColumnPredicates: []exec.ColumnPredicate{{
+		Ref:    ref("Lake", "Area"),
+		Pred:   func(v value.Value) bool { f, ok := v.Float(); return ok && f >= 1e12 },
+		Bounds: &exec.NumericBounds{Lo: 1e12, HasLo: true},
+	}}}
+	memRes, err := db.ExecuteWith(lakePlan(), outOfRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRes, err := col.ExecuteWith(lakePlan(), outOfRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memRes.NumRows() != 0 || colRes.NumRows() != 0 {
+		t.Fatalf("out-of-range predicate matched rows: mem=%d columnar=%d", memRes.NumRows(), colRes.NumRows())
+	}
+	if colRes.Stats.RowsScanned != 0 {
+		t.Errorf("zone map should skip the scan entirely, scanned %d rows", colRes.Stats.RowsScanned)
+	}
+	if memRes.Stats.RowsScanned == 0 {
+		t.Error("reference engine unexpectedly scanned nothing (fixture broken?)")
+	}
+
+	// An in-range cover must not prune: results identical to mem.
+	inRange := exec.ExecOptions{ColumnPredicates: []exec.ColumnPredicate{{
+		Ref:    ref("Lake", "Area"),
+		Pred:   func(v value.Value) bool { f, ok := v.Float(); return ok && f >= 100 && f <= 600 },
+		Bounds: &exec.NumericBounds{Lo: 100, Hi: 600, HasLo: true, HasHi: true},
+	}}}
+	want, err := db.ExecuteWith(lakePlan(), inRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.ExecuteWith(lakePlan(), inRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("in-range rows differ: columnar %d, mem %d", got.NumRows(), want.NumRows())
+	}
+	for i := range got.Rows {
+		if got.Rows[i].Key() != want.Rows[i].Key() {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestAllNullColumnPruning: an indexed or bounded predicate over an
+// all-NULL column is provably empty from the zone map's null count.
+func TestAllNullColumnPruning(t *testing.T) {
+	c := buildColumn([]value.Value{value.NullValue, value.NullValue})
+	if c.zone.nulls != 2 || c.zone.rows != 2 {
+		t.Fatalf("zone counts: %+v", c.zone)
+	}
+}
+
+// TestDictionaryEncoding checks the dictionary construction invariants:
+// low-cardinality columns get exact codes (strict identity, NULL
+// included), high-cardinality columns skip the dictionary.
+func TestDictionaryEncoding(t *testing.T) {
+	vals := []value.Value{
+		value.NewText("CA"), value.NewText("NV"), value.NullValue,
+		value.NewText("CA"), value.NewText("ca"), // distinct from "CA": strict identity
+		value.NewInt(3), value.NewDecimal(3), // distinct codes despite equal Compare
+	}
+	c := buildColumn(vals)
+	if c.dict == nil {
+		t.Fatal("low-cardinality column should be dictionary-encoded")
+	}
+	if len(c.dict.codes) != len(vals) {
+		t.Fatalf("codes cover %d of %d rows", len(c.dict.codes), len(vals))
+	}
+	if len(c.dict.vals) != 6 {
+		t.Fatalf("expected 6 distinct strict values, got %d: %v", len(c.dict.vals), c.dict.vals)
+	}
+	for ri, v := range vals {
+		dv := c.dict.vals[c.dict.codes[ri]]
+		if !dv.EqualStrict(v) {
+			t.Errorf("row %d decodes to %v (kind %v), want %v (kind %v)", ri, dv, dv.Kind(), v, v.Kind())
+		}
+	}
+
+	var wide []value.Value
+	for i := 0; i < dictMaxCardinality+10; i++ {
+		wide = append(wide, value.NewInt(int64(i)))
+	}
+	if w := buildColumn(wide); w.dict != nil {
+		t.Error("high-cardinality column should not be dictionary-encoded")
+	}
+}
+
+// TestDictionaryScanMatchesReference runs a scan-shaped predicate (no
+// keyword cover) over a dictionary-encoded column and checks the verdict
+// table produces exactly the reference engine's rows.
+func TestDictionaryScanMatchesReference(t *testing.T) {
+	db := mondial(t)
+	col := build(t, db)
+	// geo_lake.Province is low-cardinality; a non-equality-shaped textual
+	// predicate forces the scan path with a per-code verdict table.
+	opts := exec.ExecOptions{ColumnPredicates: []exec.ColumnPredicate{{
+		Ref:  ref("geo_lake", "Province"),
+		Pred: func(v value.Value) bool { return !v.IsNull() && len(v.String()) >= 6 },
+	}}}
+	want, err := db.ExecuteWith(lakePlan(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.ExecuteWith(lakePlan(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows differ: columnar %d, mem %d", got.NumRows(), want.NumRows())
+	}
+	for i := range got.Rows {
+		if got.Rows[i].Key() != want.Rows[i].Key() {
+			t.Fatalf("row %d differs: %v vs %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// TestWarmValidationPathAllocations is the tentpole's executor-level
+// guarantee: once the executor and its pooled execution state are warm, an
+// existence-style validation probe — the unit of work the scheduler issues
+// thousands of times per round — performs zero heap allocations, for both
+// the keyword-index path and the zone-map/range scan path.
+func TestWarmValidationPathAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops pooled state on purpose; allocation counts are meaningless")
+	}
+	db := mondial(t)
+	col := build(t, db)
+	plan := lakePlan()
+
+	// Keyword-equality probe (the dominant validation shape). Keywords are
+	// pre-normalised (lower-case) exactly as filter.Validator hands them
+	// to the executor.
+	kwOpts := exec.ExecOptions{
+		ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:      ref("Lake", "Name"),
+			Pred:     func(v value.Value) bool { return v.MatchesKeyword("lake tahoe") },
+			Keywords: []string{"lake tahoe"},
+		}},
+		TuplePredicate: func(value.Tuple) bool { return true },
+	}
+	// Range scan probe with a numeric cover (zone-mapped, dictionary
+	// verdicts where available).
+	rangeOpts := exec.ExecOptions{
+		ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:    ref("Lake", "Area"),
+			Pred:   func(v value.Value) bool { f, ok := v.Float(); return ok && f >= 100 && f <= 600 },
+			Bounds: &exec.NumericBounds{Lo: 100, Hi: 600, HasLo: true, HasHi: true},
+		}},
+	}
+	probe := func(opts exec.ExecOptions) func() {
+		return func() {
+			if _, _, err := col.Exists(plan, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, fn := range map[string]func(){
+		"keyword-probe": probe(kwOpts),
+		"range-probe":   probe(rangeOpts),
+	} {
+		fn() // warm the pools
+		fn()
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("warm %s allocates %.2f times per run, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package colexec
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under it (race-mode sync.Pool deliberately drops
+// pooled objects to expose races, so AllocsPerRun measures the
+// instrumentation, not the executor).
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package colexec
+
+// raceEnabled: see race_off_test.go.
+const raceEnabled = true

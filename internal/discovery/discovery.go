@@ -10,7 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -586,12 +586,12 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	// Assemble final mappings, simplest (fewest tables) first — also after
 	// cancellation or timeout, so interrupted rounds report partial results.
 	confirmed := append([]int(nil), res.Confirmed...)
-	sort.Slice(confirmed, func(i, j int) bool {
-		a, b := set.Candidates[confirmed[i]], set.Candidates[confirmed[j]]
-		if a.Tree.Size() != b.Tree.Size() {
-			return a.Tree.Size() < b.Tree.Size()
+	slices.SortFunc(confirmed, func(i, j int) int {
+		a, b := set.Candidates[i], set.Candidates[j]
+		if c := a.Tree.Size() - b.Tree.Size(); c != 0 {
+			return c
 		}
-		return a.Canonical() < b.Canonical()
+		return strings.Compare(a.Canonical(), b.Canonical())
 	})
 	for _, ci := range confirmed {
 		if opts.MaxResults > 0 && len(report.Mappings) >= opts.MaxResults {

@@ -1,0 +1,53 @@
+package exec
+
+import "prism/internal/value"
+
+// TupleDeduper deduplicates projected tuples for DISTINCT plans. It is the
+// plan-level helper shared by every executor so that backends agree
+// byte-for-byte on which duplicate is dropped: membership is decided by
+// the canonical tuple key (value.Tuple.Key, under which 3, 3.0 and "3"
+// collide exactly like Value.Compare), but the table is keyed by a 64-bit
+// FNV-1a fingerprint of that key, so steady-state lookups hash one word
+// instead of a long composite string. Full keys are kept per fingerprint
+// bucket and compared on hit, so a fingerprint collision can never merge
+// two distinct tuples.
+//
+// The zero value is not usable; call NewTupleDeduper. A deduper is not
+// safe for concurrent use — each execution owns one.
+type TupleDeduper struct {
+	buckets map[uint64][]string
+}
+
+// NewTupleDeduper returns an empty deduper.
+func NewTupleDeduper() *TupleDeduper {
+	return &TupleDeduper{buckets: make(map[uint64][]string)}
+}
+
+// Seen reports whether a tuple with the same canonical key was recorded
+// before, recording it if not.
+func (d *TupleDeduper) Seen(t value.Tuple) bool {
+	key := t.Key()
+	h := fnv1a(key)
+	for _, k := range d.buckets[h] {
+		if k == key {
+			return true
+		}
+	}
+	d.buckets[h] = append(d.buckets[h], key)
+	return false
+}
+
+// fnv1a is the 64-bit FNV-1a hash over the key bytes; inlined here to keep
+// Seen free of hash.Hash64 interface allocations.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"testing"
+
+	"prism/internal/value"
+)
+
+// TestTupleDeduperMatchesKeyMap checks that the fingerprint-keyed deduper
+// is observably identical to the map[key]struct{} it replaced, including
+// the cross-kind key collisions (3 ≡ 3.0 ≡ "3") DISTINCT relies on.
+func TestTupleDeduperMatchesKeyMap(t *testing.T) {
+	tuples := []value.Tuple{
+		{value.NewInt(3), value.NewText("a")},
+		{value.NewDecimal(3.0), value.NewText("A")}, // key-equal to the first
+		{value.NewText("3"), value.NewText("a")},    // key-equal too
+		{value.NewInt(4), value.NewText("a")},
+		{value.NullValue, value.NewText("a")},
+		{value.NewInt(3), value.NewText("b")},
+		{value.NewInt(3), value.NewText("a")}, // exact repeat
+	}
+	d := NewTupleDeduper()
+	model := make(map[string]struct{})
+	for i, tup := range tuples {
+		_, dup := model[tup.Key()]
+		model[tup.Key()] = struct{}{}
+		if got := d.Seen(tup); got != dup {
+			t.Errorf("tuple %d (%v): Seen = %v, reference map says %v", i, tup, got, dup)
+		}
+	}
+}
+
+func TestTupleDeduperManyBuckets(t *testing.T) {
+	d := NewTupleDeduper()
+	for i := int64(0); i < 1000; i++ {
+		if d.Seen(value.Tuple{value.NewInt(i)}) {
+			t.Fatalf("fresh tuple %d reported as seen", i)
+		}
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !d.Seen(value.Tuple{value.NewInt(i)}) {
+			t.Fatalf("recorded tuple %d reported as fresh", i)
+		}
+	}
+}

@@ -195,6 +195,27 @@ type ColumnPredicate struct {
 	// re-checked with Pred, so an over-complete keyword list is safe while
 	// an incomplete one is not.
 	Keywords []string
+	// Bounds, when non-nil, is a numeric interval cover of the predicate:
+	// every value v with a non-NaN v.Float() view that satisfies Pred lies
+	// inside the interval, and Pred rejects NULL. NaN-viewed values (e.g.
+	// the text "nan") are OUTSIDE the contract — value.Compare orders NaN
+	// below every number, so they can satisfy ordering predicates while
+	// escaping any finite interval; consumers must not prune columns that
+	// may contain them (colexec's zone maps clear their `numeric` flag on
+	// NaN). Executors with per-column zone maps compare the interval
+	// against the column's min/max to skip whole scans; the cover may be
+	// loose (a scan is merely not skipped) but must never be tight in the
+	// wrong direction (a wrong skip would prune a valid mapping).
+	// lang.NumericBounds derives covers from constraint expressions.
+	Bounds *NumericBounds
+}
+
+// NumericBounds is a closed numeric interval cover [Lo, Hi] for a
+// predicate, with either side optionally unbounded. See
+// ColumnPredicate.Bounds for the contract.
+type NumericBounds struct {
+	Lo, Hi       float64
+	HasLo, HasHi bool
 }
 
 // ExecOptions tune plan execution. The zero value executes the plan fully.
@@ -236,6 +257,14 @@ type InterruptChecker struct {
 // function (which may be nil).
 func NewInterruptChecker(fn func() bool) *InterruptChecker {
 	return &InterruptChecker{fn: fn}
+}
+
+// Reset rearms the checker for a new execution. Executors that pool their
+// per-execution state embed an InterruptChecker by value and Reset it
+// instead of allocating a fresh checker per run.
+func (c *InterruptChecker) Reset(fn func() bool) {
+	c.fn = fn
+	c.steps = 0
 }
 
 // Hit reports whether execution should abort; it polls the underlying

@@ -23,13 +23,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"prism/internal/constraint"
 	"prism/internal/exec"
 	"prism/internal/graphx"
 	"prism/internal/lang"
+	"prism/internal/rowset"
 	"prism/internal/schema"
 	"prism/internal/value"
 )
@@ -74,6 +76,9 @@ type Filter struct {
 	// Sources lists, parallel to TargetCols, the source column each covered
 	// target column projects from.
 	Sources []schema.ColumnRef
+
+	planOnce sync.Once
+	plan     exec.Plan
 }
 
 // IsTopOf reports whether the filter covers the full candidate (same tree
@@ -82,17 +87,24 @@ func (f *Filter) IsTopOf(c graphx.Candidate) bool {
 	return f.Tree.Size() == c.Tree.Size() && len(f.TargetCols) == len(c.Projection)
 }
 
-// Plan returns the executable Project-Join plan of the filter.
+// Plan returns the executable Project-Join plan of the filter. The plan is
+// built once and memoised — a filter is validated once per sample per
+// round, and the hot validation path must not re-allocate the slices every
+// probe. The returned plan's slices are shared; callers (executors) treat
+// plans as read-only.
 func (f *Filter) Plan() exec.Plan {
-	joins := make([]exec.JoinEdge, len(f.Tree.Edges))
-	for i, e := range f.Tree.Edges {
-		joins[i] = exec.JoinEdge{Left: e.From, Right: e.To}
-	}
-	return exec.Plan{
-		Tables:  append([]string(nil), f.Tree.Tables...),
-		Joins:   joins,
-		Project: append([]schema.ColumnRef(nil), f.Sources...),
-	}
+	f.planOnce.Do(func() {
+		joins := make([]exec.JoinEdge, len(f.Tree.Edges))
+		for i, e := range f.Tree.Edges {
+			joins[i] = exec.JoinEdge{Left: e.From, Right: e.To}
+		}
+		f.plan = exec.Plan{
+			Tables:  f.Tree.Tables,
+			Joins:   joins,
+			Project: f.Sources,
+		}
+	})
+	return f.plan
 }
 
 // JoinPathLength returns the number of join edges; the Filter baseline's
@@ -170,12 +182,18 @@ func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set,
 	}
 	index := make(map[string]int)
 
+	// candFilterSet is a dense filter-index bitset reused across
+	// candidates; iterating it recovers each candidate's filter list in
+	// ascending order without a per-candidate map + sort.
+	candFilterSet := rowset.New(0)
 	for ci, cand := range candidates {
 		if ci%64 == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		subtrees := enumerateSubtrees(cand.Tree)
-		candFilterSet := make(map[int]struct{})
+		// Size the bitset for the worst case: every subtree mints a new
+		// filter.
+		candFilterSet.Reset(len(s.Filters) + len(subtrees))
 		for _, sub := range subtrees {
 			var targetCols []int
 			var sources []schema.ColumnRef
@@ -200,16 +218,16 @@ func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set,
 					Sources:    sources,
 				})
 			}
-			candFilterSet[fi] = struct{}{}
+			candFilterSet.Add(int32(fi))
 			if sub.Size() == cand.Tree.Size() && len(targetCols) == len(cand.Projection) {
 				s.Top[ci] = fi
 			}
 		}
-		filters := make([]int, 0, len(candFilterSet))
-		for fi := range candFilterSet {
-			filters = append(filters, fi)
-		}
-		sort.Ints(filters)
+		filters := make([]int, 0, candFilterSet.Popcount())
+		candFilterSet.ForEach(func(fi int32) bool {
+			filters = append(filters, int(fi))
+			return true
+		})
 		s.CandidateFilters[ci] = filters
 	}
 
@@ -222,7 +240,14 @@ func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set,
 	}
 
 	// Dependency relation: i ≺ j (i is a sub-filter of j) iff i's tables,
-	// edges and covered column mapping are all subsets of j's.
+	// edges and covered column mapping are all subsets of j's. The relation
+	// is quadratic in the number of filters, so the per-filter shape data
+	// (sorted edge keys, covered-column mapping) is precomputed once here
+	// instead of per pair inside isSubFilter.
+	shapes := make([]filterShape, len(s.Filters))
+	for i, f := range s.Filters {
+		shapes[i] = newFilterShape(f)
+	}
 	s.parents = make([][]int, len(s.Filters))
 	s.children = make([][]int, len(s.Filters))
 	for i := range s.Filters {
@@ -233,7 +258,7 @@ func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set,
 			if i == j {
 				continue
 			}
-			if isSubFilter(s.Filters[i], s.Filters[j]) {
+			if shapes[i].subsetOf(&shapes[j], s.Filters[i], s.Filters[j]) {
 				s.parents[i] = append(s.parents[i], j)
 				s.children[j] = append(s.children[j], i)
 			}
@@ -242,8 +267,40 @@ func DecomposeContext(ctx context.Context, candidates []graphx.Candidate) (*Set,
 	return s, nil
 }
 
-// isSubFilter reports whether a is contained in b.
+// isSubFilter reports whether a is contained in b. It is the one-shot form
+// of filterShape.subsetOf; Decompose precomputes shapes instead of calling
+// this in its quadratic loop.
 func isSubFilter(a, b *Filter) bool {
+	sa, sb := newFilterShape(a), newFilterShape(b)
+	return sa.subsetOf(&sb, a, b)
+}
+
+// filterShape is the precomputed containment-check data of one filter:
+// sorted canonical edge keys and the covered target-column → lower-cased
+// source mapping.
+type filterShape struct {
+	edgeKeys []string // sorted
+	colSrc   map[int]string
+}
+
+func newFilterShape(f *Filter) filterShape {
+	sh := filterShape{colSrc: make(map[int]string, len(f.TargetCols))}
+	if len(f.Tree.Edges) > 0 {
+		sh.edgeKeys = make([]string, len(f.Tree.Edges))
+		for i, e := range f.Tree.Edges {
+			sh.edgeKeys[i] = edgeKey(e)
+		}
+		slices.Sort(sh.edgeKeys)
+	}
+	for i, tc := range f.TargetCols {
+		sh.colSrc[tc] = strings.ToLower(f.Sources[i].String())
+	}
+	return sh
+}
+
+// subsetOf reports whether filter a (with shape sa) is contained in b: a's
+// tables, edges and covered column mapping are all subsets of b's.
+func (sa *filterShape) subsetOf(sb *filterShape, a, b *Filter) bool {
 	if a.Tree.Size() > b.Tree.Size() || len(a.TargetCols) > len(b.TargetCols) {
 		return false
 	}
@@ -252,22 +309,18 @@ func isSubFilter(a, b *Filter) bool {
 			return false
 		}
 	}
-	bEdges := make(map[string]struct{}, len(b.Tree.Edges))
-	for _, e := range b.Tree.Edges {
-		bEdges[edgeKey(e)] = struct{}{}
-	}
-	for _, e := range a.Tree.Edges {
-		if _, ok := bEdges[edgeKey(e)]; !ok {
+	// Sorted-merge subset test over the canonical edge keys.
+	j := 0
+	for _, ek := range sa.edgeKeys {
+		for j < len(sb.edgeKeys) && sb.edgeKeys[j] < ek {
+			j++
+		}
+		if j >= len(sb.edgeKeys) || sb.edgeKeys[j] != ek {
 			return false
 		}
 	}
-	bCols := make(map[int]string, len(b.TargetCols))
-	for i, tc := range b.TargetCols {
-		bCols[tc] = strings.ToLower(b.Sources[i].String())
-	}
-	for i, tc := range a.TargetCols {
-		src, ok := bCols[tc]
-		if !ok || src != strings.ToLower(a.Sources[i].String()) {
+	for tc, src := range sa.colSrc {
+		if sb.colSrc[tc] != src {
 			return false
 		}
 	}
@@ -348,6 +401,58 @@ type Validator struct {
 	Spec *constraint.Spec
 	// MaxIntermediate guards runaway joins during validation (0 = default).
 	MaxIntermediate int
+
+	// tmpls caches, per sample × target column, the pushed-down predicate
+	// derived from the cell (Eval closure, normalised keyword cover,
+	// numeric bounds). One scheduling run validates hundreds of filters
+	// against the same handful of cells; without the cache every
+	// validation re-derived the cover and re-normalised the keywords.
+	tmplOnce sync.Once
+	tmpls    [][]predTemplate
+}
+
+// predTemplate is the reusable pushed-down form of one constrained cell.
+type predTemplate struct {
+	pred     func(value.Value) bool
+	keywords []string
+	bounds   *exec.NumericBounds
+	ok       bool // cell present and non-nil
+}
+
+// templates builds the per-cell predicate templates once; safe for
+// concurrent use (validations run on a worker pool).
+func (v *Validator) templates() [][]predTemplate {
+	v.tmplOnce.Do(func() {
+		samples := v.Spec.Samples
+		v.tmpls = make([][]predTemplate, len(samples))
+		for si, sample := range samples {
+			row := make([]predTemplate, len(sample.Cells))
+			for ci, expr := range sample.Cells {
+				if expr == nil {
+					continue
+				}
+				t := predTemplate{pred: expr.Eval, ok: true}
+				if kws, ok := lang.EqualityKeywords(expr); ok {
+					// Normalise once: keyword-index lookups are
+					// case-insensitive anyway, and pre-lowered keywords keep
+					// the executor's per-probe path allocation-free.
+					for i, kw := range kws {
+						kws[i] = strings.ToLower(strings.TrimSpace(kw))
+					}
+					t.keywords = kws
+				}
+				// Range/ordering shapes additionally carry a numeric
+				// interval cover, which zone-mapped executors compare
+				// against column min/max to skip scans outright.
+				if b, ok := lang.NumericBounds(expr); ok {
+					t.bounds = &exec.NumericBounds{Lo: b.Lo, Hi: b.Hi, HasLo: b.HasLo, HasHi: b.HasHi}
+				}
+				row[ci] = t
+			}
+			v.tmpls[si] = row
+		}
+	})
+	return v.tmpls
 }
 
 // Validate executes the filter without cancellation; it is shorthand for
@@ -367,11 +472,12 @@ func (v *Validator) Validate(f *Filter) (ValidationResult, error) {
 func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationResult, error) {
 	plan := f.Plan()
 	var total exec.ExecStats
+	tmpls := v.templates()
 	samples := v.Spec.Samples
 	if len(samples) == 0 {
 		samples = []constraint.SampleConstraint{{Cells: make([]lang.ValueExpr, v.Spec.NumColumns)}}
 	}
-	for _, sample := range samples {
+	for si, sample := range samples {
 		if err := ctx.Err(); err != nil {
 			return ValidationResult{Cost: total}, err
 		}
@@ -379,22 +485,25 @@ func (v *Validator) ValidateContext(ctx context.Context, f *Filter) (ValidationR
 			MaxIntermediate: v.MaxIntermediate,
 			Interrupt:       func() bool { return ctx.Err() != nil },
 		}
-		// Push single-column predicates down to base scans. Equality-shaped
-		// cells additionally carry their keyword cover, which indexed
-		// executors resolve by point lookup instead of a column scan.
+		// Push single-column predicates down to base scans, from the
+		// per-cell templates: equality-shaped cells carry their keyword
+		// cover (point lookups on indexed executors), range shapes their
+		// numeric bounds (zone-map pruning).
+		var row []predTemplate
+		if si < len(tmpls) {
+			row = tmpls[si]
+		}
 		for i, tc := range f.TargetCols {
-			if tc >= len(sample.Cells) || sample.Cells[tc] == nil {
+			if tc >= len(row) || !row[tc].ok {
 				continue
 			}
-			expr := sample.Cells[tc]
-			cp := exec.ColumnPredicate{
-				Ref:  f.Sources[i],
-				Pred: expr.Eval,
-			}
-			if kws, ok := lang.EqualityKeywords(expr); ok {
-				cp.Keywords = kws
-			}
-			opts.ColumnPredicates = append(opts.ColumnPredicates, cp)
+			t := &row[tc]
+			opts.ColumnPredicates = append(opts.ColumnPredicates, exec.ColumnPredicate{
+				Ref:      f.Sources[i],
+				Pred:     t.pred,
+				Keywords: t.keywords,
+				Bounds:   t.bounds,
+			})
 		}
 		// The pushed-down predicates already enforce every covered cell, but
 		// keep a tuple predicate as a defence in depth for shared source

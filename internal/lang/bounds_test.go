@@ -1,0 +1,122 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+
+	"prism/internal/value"
+)
+
+// TestNumericBounds checks interval extraction per constraint shape.
+func TestNumericBounds(t *testing.T) {
+	parse := func(cell string) ValueExpr {
+		e, err := ParseValueConstraint(cell)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cell, err)
+		}
+		return e
+	}
+	cases := []struct {
+		cell string
+		ok   bool
+		want BoundsCover
+	}{
+		{">= 100", true, BoundsCover{Lo: 100, HasLo: true}},
+		{"> 100", true, BoundsCover{Lo: 100, HasLo: true}},
+		{"<= 600", true, BoundsCover{Hi: 600, HasHi: true}},
+		{"< 600", true, BoundsCover{Hi: 600, HasHi: true}},
+		// "== 497" parses to a Keyword, which the keyword index serves; a
+		// structural equality Compare still yields a point interval (below).
+		{"== 497", false, BoundsCover{}},
+		{"[100, 600]", true, BoundsCover{Lo: 100, Hi: 600, HasLo: true, HasHi: true}},
+		{">= 100 && <= 600", true, BoundsCover{Lo: 100, Hi: 600, HasLo: true, HasHi: true}},
+		{">= 100 && >= 200", true, BoundsCover{Lo: 200, HasLo: true}},
+		{"[0, 10] || [20, 30]", true, BoundsCover{Lo: 0, Hi: 30, HasLo: true, HasHi: true}},
+		{"[0, 10] || >= 20", true, BoundsCover{Lo: 0, HasLo: true}},
+		{"!= 5", false, BoundsCover{}},
+		{"Lake Tahoe", false, BoundsCover{}},
+		{"NOT ([100, 600])", false, BoundsCover{}},
+		{"[0, 10] || Nevada", false, BoundsCover{}},
+	}
+	for _, tc := range cases {
+		got, ok := NumericBounds(parse(tc.cell))
+		if ok != tc.ok {
+			t.Errorf("NumericBounds(%q) ok = %v, want %v", tc.cell, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("NumericBounds(%q) = %+v, want %+v", tc.cell, got, tc.want)
+		}
+	}
+	// Temporal constants must refuse a numeric cover: Compare orders
+	// non-numeric text against them by kind, not magnitude.
+	if _, ok := NumericBounds(Compare{Op: OpGe, Const: value.Parse("2020-01-31")}); ok {
+		t.Error("a Date ordering constant must not claim a numeric cover")
+	}
+	// A structural equality Compare (built programmatically) is a point
+	// interval.
+	got, ok := NumericBounds(Compare{Op: OpEq, Const: value.NewInt(497)})
+	if !ok || got != (BoundsCover{Lo: 497, Hi: 497, HasLo: true, HasHi: true}) {
+		t.Errorf("Compare OpEq 497 = %+v ok=%v", got, ok)
+	}
+}
+
+// TestNumericBoundsIsACover is the property pruning relies on: for random
+// expressions and random float-viewable values, Eval(v) implies v's float
+// lies inside the claimed interval, and Eval(NULL) is false whenever a
+// cover is claimed.
+func TestNumericBoundsIsACover(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	randLeaf := func() ValueExpr {
+		c := value.NewInt(int64(rng.Intn(200) - 100))
+		switch rng.Intn(4) {
+		case 0:
+			return Compare{Op: BinOp(rng.Intn(6)), Const: c}
+		case 1:
+			lo := int64(rng.Intn(200) - 100)
+			return Range{Lo: value.NewInt(lo), Hi: value.NewInt(lo + int64(rng.Intn(50)))}
+		case 2:
+			return Keyword{Word: "x"}
+		default:
+			return Not{Term: Compare{Op: OpEq, Const: c}}
+		}
+	}
+	var randExpr func(depth int) ValueExpr
+	randExpr = func(depth int) ValueExpr {
+		if depth == 0 || rng.Intn(2) == 0 {
+			return randLeaf()
+		}
+		n := 2 + rng.Intn(2)
+		terms := make([]ValueExpr, n)
+		for i := range terms {
+			terms[i] = randExpr(depth - 1)
+		}
+		if rng.Intn(2) == 0 {
+			return And{Terms: terms}
+		}
+		return Or{Terms: terms}
+	}
+	probes := []value.Value{value.NullValue}
+	for i := -110; i <= 110; i += 3 {
+		probes = append(probes, value.NewInt(int64(i)), value.NewDecimal(float64(i)+0.5))
+	}
+	for round := 0; round < 500; round++ {
+		e := randExpr(3)
+		b, ok := NumericBounds(e)
+		if !ok {
+			continue
+		}
+		if e.Eval(value.NullValue) {
+			t.Fatalf("round %d: %s claims a cover but accepts NULL", round, e)
+		}
+		for _, v := range probes {
+			f, fok := v.Float()
+			if !fok || !e.Eval(v) {
+				continue
+			}
+			if b.HasLo && f < b.Lo || b.HasHi && f > b.Hi {
+				t.Fatalf("round %d: %s accepts %v outside claimed cover %+v", round, e, v, b)
+			}
+		}
+	}
+}

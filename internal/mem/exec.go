@@ -305,9 +305,11 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		offsets[i] = off
 	}
 	res := &Result{Columns: append([]schema.ColumnRef(nil), p.Project...)}
-	var dedup map[string]struct{}
+	// DISTINCT dedup runs through the fingerprint-keyed deduper shared
+	// with the columnar engine, so both backends drop the same duplicates.
+	var dedup *exec.TupleDeduper
 	if p.Distinct {
-		dedup = make(map[string]struct{})
+		dedup = exec.NewTupleDeduper()
 	}
 	for _, row := range im.rows {
 		if interrupt.Hit() {
@@ -320,12 +322,8 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
 			continue
 		}
-		if p.Distinct {
-			k := proj.Key()
-			if _, dup := dedup[k]; dup {
-				continue
-			}
-			dedup[k] = struct{}{}
+		if p.Distinct && dedup.Seen(proj) {
+			continue
 		}
 		res.Rows = append(res.Rows, proj)
 		if opts.Limit > 0 && len(res.Rows) >= opts.Limit {

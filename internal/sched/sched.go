@@ -23,13 +23,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"prism/internal/bayes"
 	"prism/internal/constraint"
 	"prism/internal/exec"
 	"prism/internal/filter"
+	"prism/internal/rowset"
 )
 
 // Estimator predicts the probability that validating a filter fails.
@@ -455,16 +455,28 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		err error
 	}
 	// Workers never block sending: at most `parallelism` sends are
-	// outstanding and the channel buffers them all.
+	// outstanding and the channel buffers them all. The pool is persistent
+	// — `parallelism` goroutines spawned once per run, fed filter indexes
+	// through jobs — instead of one goroutine per validation.
 	results := make(chan outcome, parallelism)
-	inFlight := make(map[int]struct{}, parallelism)
-	launch := func(idx int) {
-		inFlight[idx] = struct{}{}
-		f := r.Set.Filters[idx]
+	jobs := make(chan int, parallelism)
+	defer close(jobs)
+	for w := 0; w < parallelism; w++ {
 		go func() {
-			vr, err := validator.ValidateContext(runCtx, f)
-			results <- outcome{idx: idx, vr: vr, err: err}
+			for idx := range jobs {
+				vr, err := validator.ValidateContext(runCtx, r.Set.Filters[idx])
+				results <- outcome{idx: idx, vr: vr, err: err}
+			}
 		}()
+	}
+	// inFlight is a dense filter-indexed bitset (filter indexes are small
+	// and contiguous; a map would pay a hash per pick-loop probe).
+	inFlight := rowset.New(r.Set.NumFilters())
+	inFlightCount := 0
+	launch := func(idx int) {
+		inFlight.Add(int32(idx))
+		inFlightCount++
+		jobs <- idx
 	}
 
 	stopping := false
@@ -491,7 +503,7 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 		if !stopping {
-			for len(inFlight) < parallelism {
+			for inFlightCount < parallelism {
 				next, ok := r.pick(sess, failProb, isTop, opts.CostModel, inFlight)
 				if !ok {
 					break
@@ -499,14 +511,15 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 				launch(next)
 			}
 		}
-		if len(inFlight) == 0 {
+		if inFlightCount == 0 {
 			// Either the run is stopping, or nothing undetermined can make
 			// progress (top filters always remain available for unresolved
 			// candidates, so the latter should not happen).
 			break
 		}
 		d := <-results
-		delete(inFlight, d.idx)
+		inFlight.Remove(int32(d.idx))
+		inFlightCount--
 		switch {
 		case d.err == nil:
 			applyOutcome(d.idx, d.vr)
@@ -542,22 +555,22 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 // index for determinism. Minimising validations is the paper's §2.4 metric;
 // the cost model only arbitrates ties, keeping validation time low at equal
 // pruning power. Filters already being validated (inFlight) are skipped.
-func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, costModel func(*filter.Filter) float64, inFlight map[int]struct{}) (int, bool) {
-	var entries []scoreEntry
+//
+// Only the maximum is needed, so the selection is a single allocation-free
+// argmax pass (this runs once per launched validation; the sort it
+// replaces was a visible slice of the validation-phase profile).
+func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, costModel func(*filter.Filter) float64, inFlight *rowset.Bitmap) (int, bool) {
+	best := scoreEntry{idx: -1}
 	for i := range r.Set.Filters {
 		if sess.Determined(i) {
 			continue
 		}
-		if _, busy := inFlight[i]; busy {
+		if inFlight.Contains(int32(i)) {
 			continue
 		}
 		reach := sess.PruningReach(i)
 		if reach == 0 {
 			continue
-		}
-		cost := costModel(r.Set.Filters[i])
-		if cost <= 0 {
-			cost = 1
 		}
 		topOfUnresolved := false
 		if isTop[i] {
@@ -572,34 +585,55 @@ func (r *Runner) pick(sess *filter.Session, failProb []float64, isTop []bool, co
 		if topOfUnresolved {
 			topResolve = 1
 		}
-		entries = append(entries, scoreEntry{
+		e := scoreEntry{
 			idx:   i,
 			score: failProb[i]*float64(reach) + (1-failProb[i])*topResolve,
 			isTop: topOfUnresolved,
 			reach: reach,
-			cost:  cost,
-		})
+		}
+		// Defer the cost model (a callback per filter) until a tie
+		// actually needs it; equal-score ties are common, equal
+		// score+top+reach ties rare.
+		if best.idx < 0 || e.better(&best, r, costModel) {
+			best = e
+		}
 	}
-	if len(entries) == 0 {
+	if best.idx < 0 {
 		return 0, false
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		ea, eb := entries[a], entries[b]
-		if ea.score != eb.score {
-			return ea.score > eb.score
-		}
-		if ea.isTop != eb.isTop {
-			return ea.isTop
-		}
-		if ea.reach != eb.reach {
-			return ea.reach > eb.reach
-		}
-		if ea.cost != eb.cost {
-			return ea.cost < eb.cost
-		}
-		return ea.idx < eb.idx
-	})
-	return entries[0].idx, true
+	return best.idx, true
+}
+
+// better reports whether e precedes best in the pick order. The cost
+// tiebreak is evaluated lazily: costs are computed (and memoised on the
+// entries) only when score, top-membership and reach are all equal.
+func (e *scoreEntry) better(best *scoreEntry, r *Runner, costModel func(*filter.Filter) float64) bool {
+	if e.score != best.score {
+		return e.score > best.score
+	}
+	if e.isTop != best.isTop {
+		return e.isTop
+	}
+	if e.reach != best.reach {
+		return e.reach > best.reach
+	}
+	if e.cost == 0 {
+		e.cost = clampCost(costModel(r.Set.Filters[e.idx]))
+	}
+	if best.cost == 0 {
+		best.cost = clampCost(costModel(r.Set.Filters[best.idx]))
+	}
+	if e.cost != best.cost {
+		return e.cost < best.cost
+	}
+	return e.idx < best.idx
+}
+
+func clampCost(c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	return c
 }
 
 func clamp01(f float64) float64 {
@@ -648,21 +682,24 @@ func GroundTruthContext(ctx context.Context, db exec.Executor, spec *constraint.
 //     set cover, approximated greedily.
 func OptimalValidationCount(set *filter.Set, truth []filter.Outcome) int {
 	count := 0
-	// Distinct top filters of passing candidates.
-	neededTops := make(map[int]struct{})
-	failingCandidates := make(map[int]struct{})
+	// Distinct top filters of passing candidates, and the failing
+	// candidates still to cover — both dense index sets, kept as bitsets.
+	neededTops := rowset.New(set.NumFilters())
+	failing := rowset.New(set.NumCandidates())
+	remaining := 0
 	for ci := range set.Candidates {
 		top := set.Top[ci]
 		if truth[top] == filter.Passed {
-			neededTops[top] = struct{}{}
+			neededTops.Add(int32(top))
 		} else {
-			failingCandidates[ci] = struct{}{}
+			failing.Add(int32(ci))
+			remaining++
 		}
 	}
-	count += len(neededTops)
+	count += neededTops.Popcount()
 
 	// Greedy set cover of failing candidates by failing filters.
-	for len(failingCandidates) > 0 {
+	for remaining > 0 {
 		bestFilter := -1
 		bestCover := 0
 		for fi := range set.Filters {
@@ -671,7 +708,7 @@ func OptimalValidationCount(set *filter.Set, truth []filter.Outcome) int {
 			}
 			cover := 0
 			for _, ci := range set.CandidatesOf(fi) {
-				if _, ok := failingCandidates[ci]; ok {
+				if failing.Contains(int32(ci)) {
 					cover++
 				}
 			}
@@ -684,12 +721,15 @@ func OptimalValidationCount(set *filter.Set, truth []filter.Outcome) int {
 			// Shouldn't happen: a failing candidate always has at least its
 			// failing top filter. Count one validation per remaining
 			// candidate to stay safe.
-			count += len(failingCandidates)
+			count += remaining
 			break
 		}
 		count++
 		for _, ci := range set.CandidatesOf(bestFilter) {
-			delete(failingCandidates, ci)
+			if failing.Contains(int32(ci)) {
+				failing.Remove(int32(ci))
+				remaining--
+			}
 		}
 	}
 	return count

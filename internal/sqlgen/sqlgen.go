@@ -6,7 +6,7 @@ package sqlgen
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"unicode"
 
@@ -326,11 +326,9 @@ func Normalize(sql string, sch *schema.Schema) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sort.Strings(plan.Tables)
-	sort.Slice(plan.Joins, func(i, j int) bool {
-		a := canonicalJoin(plan.Joins[i])
-		b := canonicalJoin(plan.Joins[j])
-		return a < b
+	slices.Sort(plan.Tables)
+	slices.SortFunc(plan.Joins, func(a, b exec.JoinEdge) int {
+		return strings.Compare(canonicalJoin(a), canonicalJoin(b))
 	})
 	for i, j := range plan.Joins {
 		if j.Right.String() < j.Left.String() {

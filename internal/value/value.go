@@ -181,7 +181,11 @@ func (v Value) Float() (f float64, ok bool) {
 	case Date, Time:
 		return float64(v.i), true
 	case Text:
-		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		t := strings.TrimSpace(v.s)
+		if !floatShaped(t) {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(t, 64)
 		if err != nil {
 			return 0, false
 		}
@@ -189,6 +193,91 @@ func (v Value) Float() (f float64, ok bool) {
 	default:
 		return 0, false
 	}
+}
+
+// floatShaped reports whether s could possibly parse as a float, using one
+// allocation-free scan. strconv.ParseFloat's error path allocates a
+// *NumError, which used to dominate allocation profiles — every text value
+// probed for a numeric view paid it. The check is conservative: it may
+// admit strings ParseFloat then rejects, but never rejects a string
+// ParseFloat would accept (decimal and hex literals incl. underscores, and
+// the spelled-out specials).
+func floatShaped(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i++
+		if i == len(s) {
+			return false
+		}
+	}
+	switch c := s[i]; {
+	case c >= '0' && c <= '9', c == '.':
+	default:
+		rest := s[i:]
+		return strings.EqualFold(rest, "inf") || strings.EqualFold(rest, "infinity") || strings.EqualFold(rest, "nan")
+	}
+	for ; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+			// hex digits cover e/E (exponent) and the 0x prefix's digits
+		case c == '.', c == '+', c == '-', c == '_', c == 'x', c == 'X', c == 'p', c == 'P':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// intShaped reports whether s could possibly parse as a base-10 integer
+// (an optional sign followed by digits), mirroring floatShaped's purpose
+// for strconv.ParseInt.
+func intShaped(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i++
+		if i == len(s) {
+			return false
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			// ParseInt also accepts underscores between digits.
+			if s[i] != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dateShaped / timeShaped pre-screen the fixed layouts Parse tries, so
+// time.Parse's allocating error path only runs on plausible inputs. Both
+// are conservative supersets of what time.Parse accepts (4-digit year with
+// 1-2 digit month/day; 1-2 digit hour with fixed-position colons).
+func dateShaped(s string) bool {
+	if len(s) < 8 || len(s) > 10 || s[4] != '-' {
+		return false
+	}
+	for i := 0; i < 4; i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func timeShaped(s string) bool {
+	if len(s) < 5 || len(s) > 8 {
+		return false
+	}
+	c := strings.IndexByte(s, ':')
+	return c == 1 || c == 2
 }
 
 // String renders v the way result tables and SQL literals display it.
@@ -357,11 +446,13 @@ func (v Value) Key() string {
 		}
 		return "f:" + strconv.FormatFloat(v.f, 'g', -1, 64)
 	case Text:
-		if f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64); err == nil {
-			if f == math.Trunc(f) && math.Abs(f) < 1e15 {
-				return "i:" + strconv.FormatInt(int64(f), 10)
+		if t := strings.TrimSpace(v.s); floatShaped(t) {
+			if f, err := strconv.ParseFloat(t, 64); err == nil {
+				if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+					return "i:" + strconv.FormatInt(int64(f), 10)
+				}
+				return "f:" + strconv.FormatFloat(f, 'g', -1, 64)
 			}
-			return "f:" + strconv.FormatFloat(f, 'g', -1, 64)
 		}
 		return "t:" + strings.ToLower(v.s)
 	case Date:
@@ -404,9 +495,11 @@ func (v Value) MatchesKeyword(keyword string) bool {
 	if kw == "" {
 		return false
 	}
-	if f, err := strconv.ParseFloat(kw, 64); err == nil {
-		if vf, ok := v.Float(); ok {
-			return vf == f
+	if floatShaped(kw) {
+		if f, err := strconv.ParseFloat(kw, 64); err == nil {
+			if vf, ok := v.Float(); ok {
+				return vf == f
+			}
 		}
 	}
 	return strings.EqualFold(strings.TrimSpace(v.String()), kw)
@@ -421,17 +514,27 @@ func Parse(s string) Value {
 	if t == "" || strings.EqualFold(t, "null") {
 		return NullValue
 	}
-	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
-		return NewInt(i)
+	// Shape pre-checks keep the strconv/time error paths (which allocate)
+	// off the common route where most strings are plain text.
+	if intShaped(t) {
+		if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+			return NewInt(i)
+		}
 	}
-	if f, err := strconv.ParseFloat(t, 64); err == nil {
-		return NewDecimal(f)
+	if floatShaped(t) {
+		if f, err := strconv.ParseFloat(t, 64); err == nil {
+			return NewDecimal(f)
+		}
 	}
-	if d, err := time.Parse("2006-01-02", t); err == nil {
-		return NewDate(d)
+	if dateShaped(t) {
+		if d, err := time.Parse("2006-01-02", t); err == nil {
+			return NewDate(d)
+		}
 	}
-	if c, err := time.Parse("15:04:05", t); err == nil {
-		return NewTime(c)
+	if timeShaped(t) {
+		if c, err := time.Parse("15:04:05", t); err == nil {
+			return NewTime(c)
+		}
 	}
 	return NewText(s)
 }
