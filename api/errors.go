@@ -10,12 +10,14 @@ import (
 	"errors"
 
 	"prism/internal/exec"
+	"prism/internal/serve"
 )
 
 // Sentinel errors of the wire API. ErrUnknownDatabase is the canonical
 // definition re-exported as prism.ErrUnknownDatabase; the table and
 // executor sentinels live in the exec package and are re-exported as
-// prism.ErrUnknownTable / prism.ErrUnknownExecutor.
+// prism.ErrUnknownTable / prism.ErrUnknownExecutor; the admission
+// sentinels (ErrOverloaded, ErrDraining) live in the serve package.
 var (
 	// ErrUnknownDatabase reports a database name no engine is registered
 	// under (wire code "unknown_database").
@@ -23,16 +25,31 @@ var (
 	// ErrUnknownSession reports an unknown or expired refinement-session id
 	// (wire code "unknown_session").
 	ErrUnknownSession = errors.New("prism: unknown or expired session")
+	// ErrInvalidRequest reports a request that parsed but failed
+	// validation — e.g. a negative parallelism (wire code
+	// "invalid_request").
+	ErrInvalidRequest = errors.New("prism: invalid request")
+	// ErrOverloaded re-exports the admission controller's shed sentinel:
+	// the server is over its concurrency budget and rejected the request
+	// (HTTP 429 with a Retry-After hint, wire code "overloaded").
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDraining re-exports the admission controller's shutdown
+	// sentinel: the server is draining and admits no new rounds (HTTP
+	// 503, wire code "draining").
+	ErrDraining = serve.ErrDraining
 )
 
 // Wire error codes. The set is append-only within a version.
 const (
 	CodeBadRequest       = "bad_request"
+	CodeInvalidRequest   = "invalid_request"
 	CodeUnknownDatabase  = "unknown_database"
 	CodeUnknownTable     = "unknown_table"
 	CodeUnknownExecutor  = "unknown_executor"
 	CodeUnknownSession   = "unknown_session"
 	CodeMethodNotAllowed = "method_not_allowed"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
 )
 
 // Error is the uniform structured error body of the JSON API:
@@ -78,6 +95,12 @@ func CodeForError(err error) string {
 		return CodeUnknownExecutor
 	case errors.Is(err, ErrUnknownSession):
 		return CodeUnknownSession
+	case errors.Is(err, ErrInvalidRequest):
+		return CodeInvalidRequest
+	case errors.Is(err, serve.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, serve.ErrDraining):
+		return CodeDraining
 	default:
 		return CodeBadRequest
 	}
@@ -95,6 +118,12 @@ func SentinelForCode(code string) error {
 		return exec.ErrUnknownExecutor
 	case CodeUnknownSession:
 		return ErrUnknownSession
+	case CodeInvalidRequest:
+		return ErrInvalidRequest
+	case CodeOverloaded:
+		return serve.ErrOverloaded
+	case CodeDraining:
+		return serve.ErrDraining
 	default:
 		return nil
 	}

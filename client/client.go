@@ -39,8 +39,10 @@ import (
 
 // Client talks to one Prism server. It is safe for concurrent use.
 type Client struct {
-	base  string
-	httpc *http.Client
+	base   string
+	httpc  *http.Client
+	header http.Header
+	retry  retryPolicy
 }
 
 // Option customises New.
@@ -66,8 +68,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
 	}
 	c := &Client{
-		base:  strings.TrimRight(u.String(), "/") + api.PathPrefix,
-		httpc: &http.Client{},
+		base:   strings.TrimRight(u.String(), "/") + api.PathPrefix,
+		httpc:  &http.Client{},
+		header: make(http.Header),
 	}
 	for _, o := range opts {
 		o(c)
@@ -78,34 +81,67 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // BaseURL returns the resolved endpoint prefix (server root + /api/v1).
 func (c *Client) BaseURL() string { return c.base }
 
-// roundTrip runs one HTTP exchange and returns the status and raw body;
-// err is non-nil only for transport-level failures.
+// roundTrip runs one HTTP exchange — retried under the client's retry
+// policy when the server sheds the request — and returns the final status
+// and raw body; err is non-nil only for transport-level failures.
 func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (int, []byte, error) {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
-		payload, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
 			return 0, nil, fmt.Errorf("client: encoding request: %w", err)
 		}
+	}
+	for attempt := 0; ; attempt++ {
+		status, raw, header, err := c.exchange(ctx, method, path, payload)
+		if err != nil {
+			return status, raw, err
+		}
+		if !c.retry.retryable(status, attempt) {
+			return status, raw, nil
+		}
+		if err := c.retry.wait(ctx, header.Get("Retry-After"), attempt); err != nil {
+			return status, raw, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+	}
+}
+
+// exchange runs exactly one HTTP exchange.
+func (c *Client) exchange(ctx context.Context, method, path string, payload []byte) (int, []byte, http.Header, error) {
+	var body io.Reader
+	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
-		return 0, nil, fmt.Errorf("client: %w", err)
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+		return 0, nil, nil, err
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return 0, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return 0, nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+		return 0, nil, nil, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
 	}
-	return resp.StatusCode, raw, nil
+	return resp.StatusCode, raw, resp.Header, nil
+}
+
+// newRequest builds one request with the client's standing headers
+// (tenant, priority) applied.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	for k, vs := range c.header {
+		req.Header[k] = vs
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
 }
 
 // do runs one JSON exchange. A non-2xx status with a structured body comes
@@ -231,19 +267,29 @@ func (c *Client) DiscoverStream(ctx context.Context, req api.DiscoverRequest) (<
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/discover/stream", bytes.NewReader(payload))
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("client: POST /discover/stream: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		httpReq, err := c.newRequest(ctx, http.MethodPost, "/discover/stream", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		resp, err = c.httpc.Do(httpReq)
+		if err != nil {
+			return nil, fmt.Errorf("client: POST /discover/stream: %w", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		// A shed stream (429 before any event) is retried like any other
+		// shed exchange — the server did no round work yet.
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		return nil, decodeError(resp.StatusCode, raw)
+		if !c.retry.retryable(resp.StatusCode, attempt) {
+			return nil, decodeError(resp.StatusCode, raw)
+		}
+		if err := c.retry.wait(ctx, resp.Header.Get("Retry-After"), attempt); err != nil {
+			return nil, fmt.Errorf("client: POST /discover/stream: %w", err)
+		}
 	}
 
 	out := make(chan StreamEvent)

@@ -1,0 +1,109 @@
+package client
+
+// Multi-tenant serving options: standing tenant/priority headers and the
+// bounded retry policy for shed (429) exchanges, plus the client view of
+// the server's stats endpoint.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"prism/api"
+)
+
+// WithTenant stamps every request with the given tenant
+// (X-Prism-Tenant), so the server accounts — and budgets — this client's
+// rounds under that tenant instead of the shared default.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.header.Set(api.TenantHeader, tenant) }
+}
+
+// WithPriority stamps every request with the given admission priority
+// class (X-Prism-Priority): api.PriorityInteractive, api.PriorityNormal
+// or api.PriorityBatch. Bulk callers (benchmarks, load tests) should
+// declare PriorityBatch so interactive traffic keeps its latency under
+// contention. The server rejects unknown values with a structured
+// invalid_request error.
+func WithPriority(priority string) Option {
+	return func(c *Client) { c.header.Set(api.PriorityHeader, priority) }
+}
+
+// maxRetryBackoff bounds one exponential back-off step when the server
+// sent no usable Retry-After hint.
+const maxRetryBackoff = 30 * time.Second
+
+// retryPolicy is the client's bounded back-off for shed requests. The
+// zero value never retries.
+type retryPolicy struct {
+	// attempts is the total number of tries (1 = no retry).
+	attempts int
+	// backoff is the first-retry delay when the server sent no Retry-After
+	// hint; it doubles per attempt up to maxRetryBackoff.
+	backoff time.Duration
+}
+
+// WithRetry makes the client retry exchanges the server shed with 429
+// (overloaded), up to maxAttempts total tries. The wait before each retry
+// honours the server's Retry-After hint when present and otherwise backs
+// off exponentially from backoff (default 500ms, capped at 30s). Only
+// shed requests are retried — the server did no round work for them — so
+// the policy is safe for non-idempotent discover rounds. Draining (503)
+// is not retried: the process is going away, and its replacement gets the
+// fresh request instead.
+func WithRetry(maxAttempts int, backoff time.Duration) Option {
+	return func(c *Client) {
+		if maxAttempts < 1 {
+			maxAttempts = 1
+		}
+		if backoff <= 0 {
+			backoff = 500 * time.Millisecond
+		}
+		c.retry = retryPolicy{attempts: maxAttempts, backoff: backoff}
+	}
+}
+
+// retryable reports whether the attempt-numbered (0-based) exchange that
+// ended with status should be retried.
+func (p retryPolicy) retryable(status int, attempt int) bool {
+	return status == http.StatusTooManyRequests && attempt+1 < p.attempts
+}
+
+// wait sleeps out the back-off before the retry following attempt
+// (0-based): the server's Retry-After hint when parseable, else the
+// exponential schedule. It returns early with ctx.Err() when the caller
+// gives up.
+func (p retryPolicy) wait(ctx context.Context, retryAfter string, attempt int) error {
+	delay := p.backoff << attempt
+	if delay > maxRetryBackoff || delay <= 0 {
+		delay = maxRetryBackoff
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		delay = time.Duration(secs) * time.Second
+	}
+	if delay <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats fetches the server's serving-tier statistics
+// (GET /api/v1/stats): admission counters, per-tenant accounting,
+// per-priority latency quantiles, worker-pool utilization and stream
+// stalls.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, api.StatsPath, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prism"
+	"prism/api"
+)
+
+// flakyServer sheds the first `failures` discover requests with 429 (and
+// the given Retry-After hint), then serves a minimal success. It records
+// every request's headers.
+func flakyServer(t *testing.T, failures int, retryAfter string) (*httptest.Server, *atomic.Int64, *[]http.Header) {
+	t.Helper()
+	var calls atomic.Int64
+	var headers []http.Header
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		headers = append(headers, r.Header.Clone())
+		if int(n) <= failures {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Message: "overloaded", Code: api.CodeOverloaded})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.DiscoverResponse{Database: "mondial"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls, &headers
+}
+
+// TestWithRetryAgainstFlakyServer pins the retry contract: bounded
+// attempts, 429-only, Retry-After honoured, and a clean *api.Error
+// unwrapping to prism.ErrOverloaded once the budget is exhausted.
+func TestWithRetryAgainstFlakyServer(t *testing.T) {
+	cases := []struct {
+		name      string
+		failures  int
+		opts      []Option
+		wantCalls int64
+		wantErr   error // nil = success expected
+	}{
+		{
+			name:      "no retry by default",
+			failures:  1,
+			wantCalls: 1,
+			wantErr:   prism.ErrOverloaded,
+		},
+		{
+			name:      "recovers within budget",
+			failures:  2,
+			opts:      []Option{WithRetry(3, time.Millisecond)},
+			wantCalls: 3,
+		},
+		{
+			name:      "budget exhausted surfaces 429",
+			failures:  5,
+			opts:      []Option{WithRetry(3, time.Millisecond)},
+			wantCalls: 3,
+			wantErr:   prism.ErrOverloaded,
+		},
+		{
+			name:      "single attempt budget never retries",
+			failures:  1,
+			opts:      []Option{WithRetry(1, time.Millisecond)},
+			wantCalls: 1,
+			wantErr:   prism.ErrOverloaded,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Retry-After: 0 keeps the test fast while exercising the
+			// hint-parsing path.
+			srv, calls, _ := flakyServer(t, tc.failures, "0")
+			c, err := New(srv.URL, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := c.Discover(context.Background(), api.DiscoverRequest{Database: "mondial"})
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Discover: %v", err)
+				}
+				if resp.Database != "mondial" {
+					t.Errorf("response = %+v", resp)
+				}
+			} else {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				var apiErr *api.Error
+				if !errors.As(err, &apiErr) || apiErr.HTTPStatus != http.StatusTooManyRequests {
+					t.Errorf("err = %#v, want *api.Error with HTTPStatus 429", err)
+				}
+			}
+			if got := calls.Load(); got != tc.wantCalls {
+				t.Errorf("server calls = %d, want %d", got, tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestRetryHonoursRetryAfterHint pins that a parseable Retry-After
+// delays the retry by the hinted seconds (not the exponential schedule).
+func TestRetryHonoursRetryAfterHint(t *testing.T) {
+	srv, calls, _ := flakyServer(t, 1, "1")
+	c, err := New(srv.URL, WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Discover(context.Background(), api.DiscoverRequest{Database: "mondial"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v, want >= 1s (the Retry-After hint)", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestRetryWaitRespectsContext pins that a cancelled context interrupts
+// the back-off wait instead of sleeping it out.
+func TestRetryWaitRespectsContext(t *testing.T) {
+	srv, calls, _ := flakyServer(t, 10, "30")
+	c, err := New(srv.URL, WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Discover(ctx, api.DiscoverRequest{Database: "mondial"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("waited %v despite cancelled context", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// TestTenantAndPriorityHeaders pins that WithTenant/WithPriority stamp
+// every exchange, including streams.
+func TestTenantAndPriorityHeaders(t *testing.T) {
+	srv, _, headers := flakyServer(t, 0, "")
+	c, err := New(srv.URL, WithTenant("acme"), WithPriority(api.PriorityBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Discover(context.Background(), api.DiscoverRequest{Database: "mondial"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*headers) != 1 {
+		t.Fatalf("requests = %d, want 1", len(*headers))
+	}
+	got := (*headers)[0]
+	if got.Get(api.TenantHeader) != "acme" {
+		t.Errorf("tenant header = %q, want acme", got.Get(api.TenantHeader))
+	}
+	if got.Get(api.PriorityHeader) != api.PriorityBatch {
+		t.Errorf("priority header = %q, want batch", got.Get(api.PriorityHeader))
+	}
+}

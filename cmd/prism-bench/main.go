@@ -202,7 +202,12 @@ func scaled(n int, factor float64) int {
 // structurally, and discovered over the server's "mondial" through the v1
 // client.
 func remoteTable1(ctx context.Context, baseURL string, timeout time.Duration, parallelism int, executor string) (*experiment.Table, error) {
-	c, err := client.New(baseURL)
+	// Bench traffic declares itself batch-priority so it never competes
+	// with interactive rounds on a shared server, and retries through
+	// transient shedding (429) honouring the server's Retry-After hint.
+	c, err := client.New(baseURL,
+		client.WithPriority(api.PriorityBatch),
+		client.WithRetry(3, 500*time.Millisecond))
 	if err != nil {
 		return nil, err
 	}
@@ -258,5 +263,14 @@ func remoteTable1(ctx context.Context, baseURL string, timeout time.Duration, pa
 		fmt.Sprintf("discovered %d satisfying schema mapping queries in total (candidates=%d validations=%d elapsed=%dms)",
 			len(resp.Mappings), resp.Candidates, resp.Validations, resp.ElapsedMS),
 	)
+	// The serving-tier view of the run: how the server's admission
+	// controller accounted this bench traffic (older servers without
+	// /stats just skip the note).
+	if stats, err := c.Stats(ctx); err == nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"server admission: admitted=%d shed=%d queued=%d inFlight=%d (budgets: %d concurrent, %d queue)",
+			stats.Admission.Admitted, stats.Admission.Shed, stats.Admission.QueueDepth,
+			stats.Admission.InFlight, stats.Admission.MaxConcurrent, stats.Admission.MaxQueue))
+	}
 	return t, nil
 }

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"prism/internal/serve"
 	"prism/internal/server"
 )
 
@@ -31,6 +32,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-round discovery time limit")
 	grace := flag.Duration("shutdown-grace", 0, "drain budget for in-flight rounds on shutdown (0 = timeout plus slack)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission: max concurrent rounds across tenants (0 = 2×GOMAXPROCS)")
+	maxPerTenant := flag.Int("max-per-tenant", 0, "admission: max concurrent rounds per tenant (0 = max-concurrent)")
+	maxQueue := flag.Int("max-queue", 0, "admission: max requests queued for admission (0 = 8×max-concurrent)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max wait in the queue before shedding (0 = 5s)")
+	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-round validation parallelism requests (0 = 4×GOMAXPROCS)")
 	flag.Parse()
 
 	// The first SIGINT/SIGTERM starts the graceful drain; signal.NotifyContext
@@ -41,6 +47,13 @@ func main() {
 	s := server.New()
 	s.TimeLimit = *timeout
 	s.ShutdownGrace = *grace
+	s.Admission = serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxPerTenant:  *maxPerTenant,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+	}
+	s.MaxParallelism = *maxParallelism
 	fmt.Printf("prism-demo: listening on %s (databases: mondial, imdb, nba)\n", *addr)
 	if err := s.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)

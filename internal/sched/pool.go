@@ -1,0 +1,46 @@
+package sched
+
+import "sync/atomic"
+
+// Process-wide validation worker-pool gauge. Every RunContext spawns a
+// bounded pool of validation workers; the gauge aggregates them across
+// all concurrently running rounds so the serving tier can sample
+// utilization (active validations vs. live workers) for its stats
+// endpoint without reaching into individual runs.
+var pool struct {
+	liveWorkers atomic.Int64
+	active      atomic.Int64
+	completed   atomic.Int64
+}
+
+// PoolStats is a point-in-time sample of the process-wide validation
+// worker pools.
+type PoolStats struct {
+	// LiveWorkers is the number of validation worker goroutines currently
+	// spawned across all running rounds.
+	LiveWorkers int64
+	// ActiveValidations is how many workers are executing a validation at
+	// the sampling instant.
+	ActiveValidations int64
+	// CompletedValidations counts validations finished since process
+	// start.
+	CompletedValidations int64
+}
+
+// Utilization is ActiveValidations/LiveWorkers, or 0 when no workers are
+// live.
+func (p PoolStats) Utilization() float64 {
+	if p.LiveWorkers <= 0 {
+		return 0
+	}
+	return float64(p.ActiveValidations) / float64(p.LiveWorkers)
+}
+
+// PoolSnapshot samples the gauge.
+func PoolSnapshot() PoolStats {
+	return PoolStats{
+		LiveWorkers:          pool.liveWorkers.Load(),
+		ActiveValidations:    pool.active.Load(),
+		CompletedValidations: pool.completed.Load(),
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoolGaugeTracksRuns pins the worker-pool gauge: a scheduling run
+// must raise the completed-validation counter, and after it returns no
+// workers may remain live (each run reclaims its pool).
+func TestPoolGaugeTracksRuns(t *testing.T) {
+	before := PoolSnapshot()
+	fx := newFixture(t)
+	runner := &Runner{
+		DB:        fx.db,
+		Spec:      fx.spec,
+		Set:       fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Parallelism: 4},
+	}
+	if _, err := runner.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	after := PoolSnapshot()
+	if after.CompletedValidations <= before.CompletedValidations {
+		t.Errorf("completed validations did not advance: %d -> %d",
+			before.CompletedValidations, after.CompletedValidations)
+	}
+	// Run returns once all results are collected; workers may still be
+	// between delivering their last result and their deferred gauge
+	// decrement, so poll briefly rather than asserting instantly.
+	deadline := time.Now().Add(2 * time.Second)
+	for PoolSnapshot().LiveWorkers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live workers did not drain: %d", PoolSnapshot().LiveWorkers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := (PoolStats{LiveWorkers: 4, ActiveValidations: 2}).Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if got := (PoolStats{}).Utilization(); got != 0 {
+		t.Errorf("empty utilization = %v, want 0", got)
+	}
+}

@@ -463,8 +463,13 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	defer close(jobs)
 	for w := 0; w < parallelism; w++ {
 		go func() {
+			pool.liveWorkers.Add(1)
+			defer pool.liveWorkers.Add(-1)
 			for idx := range jobs {
+				pool.active.Add(1)
 				vr, err := validator.ValidateContext(runCtx, r.Set.Filters[idx])
+				pool.active.Add(-1)
+				pool.completed.Add(1)
 				results <- outcome{idx: idx, vr: vr, err: err}
 			}
 		}()

@@ -1,0 +1,53 @@
+package serve
+
+import "time"
+
+// Latencies aggregates round latencies per priority class, each in a
+// sliding-window quantile sketch, for the stats endpoint's p50/p99.
+type Latencies struct {
+	sketches [numPriorities]*Sketch
+}
+
+// NewLatencies creates the per-priority sketches (window <= 0 uses the
+// sketch default).
+func NewLatencies(window int) *Latencies {
+	l := &Latencies{}
+	for i := range l.sketches {
+		l.sketches[i] = NewSketch(window)
+	}
+	return l
+}
+
+// Observe records one finished round of the given priority.
+func (l *Latencies) Observe(pri Priority, d time.Duration) {
+	if pri < 0 || pri >= numPriorities {
+		pri = PriorityNormal
+	}
+	l.sketches[pri].ObserveDuration(d)
+}
+
+// LatencySnapshot is the latency view of one priority class; quantiles
+// are in milliseconds over the sketch window.
+type LatencySnapshot struct {
+	Priority Priority
+	Count    int64
+	P50Ms    float64
+	P99Ms    float64
+}
+
+// Snapshot returns one entry per priority class in dispatch order,
+// including classes that saw no traffic (Count 0).
+func (l *Latencies) Snapshot() []LatencySnapshot {
+	out := make([]LatencySnapshot, 0, numPriorities)
+	for _, pri := range Priorities() {
+		s := l.sketches[pri]
+		qs := s.Quantiles(0.50, 0.99)
+		out = append(out, LatencySnapshot{
+			Priority: pri,
+			Count:    s.Count(),
+			P50Ms:    qs[0],
+			P99Ms:    qs[1],
+		})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sketch is a small sliding-window streaming quantile estimator: it keeps
+// the most recent Window observations in a ring and answers quantile
+// queries exactly over that window. For serving latency this is what an
+// operator wants — p50/p99 of *recent* rounds, with old traffic aging out
+// — and the memory bound (Window float64s) is fixed regardless of how
+// many requests the server has seen.
+//
+// A Sketch is safe for concurrent use.
+type Sketch struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int   // ring insertion cursor
+	count int64 // lifetime observations
+}
+
+// defaultSketchWindow balances resolution (a p99 needs ≥100 samples to
+// mean anything) against the cost of sorting a snapshot per stats scrape.
+const defaultSketchWindow = 2048
+
+// NewSketch creates a sketch over a window of the given size
+// (<= 0 uses the default of 2048 observations).
+func NewSketch(window int) *Sketch {
+	if window <= 0 {
+		window = defaultSketchWindow
+	}
+	return &Sketch{ring: make([]float64, 0, window)}
+}
+
+// Observe records one observation.
+func (s *Sketch) Observe(v float64) {
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, v)
+	} else {
+		s.ring[s.next] = v
+	}
+	s.next = (s.next + 1) % cap(s.ring)
+	s.count++
+	s.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (s *Sketch) ObserveDuration(d time.Duration) {
+	s.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the lifetime number of observations (not capped by the
+// window).
+func (s *Sketch) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) over the current window,
+// or 0 when nothing has been observed. Quantile(0.5) is the median,
+// Quantile(0.99) the p99; q is clamped into [0, 1].
+func (s *Sketch) Quantile(q float64) float64 {
+	qs := s.Quantiles(q)
+	return qs[0]
+}
+
+// Quantiles answers several quantile queries over one consistent snapshot
+// of the window (one lock, one sort).
+func (s *Sketch) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	s.mu.Lock()
+	if len(s.ring) == 0 {
+		s.mu.Unlock()
+		return out
+	}
+	window := append([]float64(nil), s.ring...)
+	s.mu.Unlock()
+	sort.Float64s(window)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		// Nearest-rank (ceil) on the sorted window: the p99 of two
+		// samples is the larger one, not the smaller.
+		idx := int(math.Ceil(q*float64(len(window)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = window[idx]
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSketchExactUnderWindow(t *testing.T) {
+	s := NewSketch(128)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch quantile = %v, want 0", got)
+	}
+	vals := []float64{5, 1, 9, 3, 7}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	sort.Float64s(vals)
+	// Nearest-rank over the full set.
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("q1 = %v, want 9", got)
+	}
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if s.Count() != 5 {
+		t.Errorf("count = %d, want 5", s.Count())
+	}
+}
+
+func TestSketchWindowRolls(t *testing.T) {
+	s := NewSketch(10)
+	// First 10 observations: all 100s. Then 10 more: all 1s — the window
+	// must forget the 100s entirely.
+	for i := 0; i < 10; i++ {
+		s.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	if got := s.Quantile(0.99); got != 1 {
+		t.Errorf("p99 after roll = %v, want 1", got)
+	}
+	if s.Count() != 20 {
+		t.Errorf("lifetime count = %d, want 20", s.Count())
+	}
+}
+
+func TestSketchAgainstExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch(4096)
+	var all []float64
+	for i := 0; i < 4096; i++ {
+		v := rng.Float64() * 1000
+		all = append(all, v)
+		s.Observe(v)
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		// Same nearest-rank (ceil) definition as the sketch.
+		want := all[int(math.Ceil(q*float64(len(all))))-1]
+		if got := s.Quantile(q); got != want {
+			t.Errorf("q%.2f = %v, want exact %v", q, got, want)
+		}
+	}
+}
+
+func TestSketchConcurrentObserve(t *testing.T) {
+	s := NewSketch(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(float64(i))
+				if i%100 == 0 {
+					s.Quantile(0.99)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count())
+	}
+}
+
+func TestLatenciesSnapshot(t *testing.T) {
+	l := NewLatencies(64)
+	l.Observe(PriorityInteractive, 10*time.Millisecond)
+	l.Observe(PriorityInteractive, 20*time.Millisecond)
+	l.Observe(PriorityBatch, 500*time.Millisecond)
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot entries = %d, want 3 (one per class)", len(snap))
+	}
+	if snap[0].Priority != PriorityInteractive || snap[0].Count != 2 {
+		t.Errorf("interactive snapshot = %+v", snap[0])
+	}
+	if snap[0].P99Ms != 20 {
+		t.Errorf("interactive p99 = %v, want 20", snap[0].P99Ms)
+	}
+	if snap[1].Priority != PriorityNormal || snap[1].Count != 0 {
+		t.Errorf("normal (no traffic) snapshot = %+v", snap[1])
+	}
+	if snap[2].Priority != PriorityBatch || snap[2].P50Ms != 500 {
+		t.Errorf("batch snapshot = %+v", snap[2])
+	}
+}

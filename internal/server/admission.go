@@ -1,0 +1,146 @@
+package server
+
+// The serving-tier integration: every discovery round passes the
+// admission controller (prism/internal/serve) before it may start, so a
+// multi-tenant deployment degrades by shedding load with 429 + Retry-After
+// instead of queueing unboundedly, and GET /api/v1/stats exposes the
+// controller, per-class latency quantiles and the validation worker pools
+// for scrapers (prism-loadtest, dashboards, the CI regression leg).
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"prism/api"
+	"prism/internal/sched"
+	"prism/internal/serve"
+)
+
+// init wires the serving-tier state; it is idempotent and called by
+// Handler, so every entry point (ListenAndServe, tests mounting Handler
+// directly) gets an admission controller.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		if s.sessions == nil {
+			s.sessions = newSessionStore(s.SessionTTL, s.MaxSessions)
+		}
+		s.admission = serve.NewController(s.Admission)
+		s.latencies = serve.NewLatencies(0)
+		s.started = time.Now()
+	})
+}
+
+// maxParallelism is the server-side cap on req.Parallelism (the scheduler
+// would otherwise spawn an unbounded validation pool per round).
+func (s *Server) maxParallelism() int {
+	if s.MaxParallelism > 0 {
+		return s.MaxParallelism
+	}
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+// admitted gates a round-running handler behind the admission controller.
+// The tenant comes from the X-Prism-Tenant header (DefaultTenant when
+// absent), the priority class from X-Prism-Priority (the handler's default
+// when absent; an unknown value is a structured 400). Shed requests get
+// 429 with a Retry-After hint; during shutdown the answer is an immediate
+// 503 so a restarting fleet fails fast. Admitted rounds are timed into the
+// per-class latency sketches on completion.
+func (s *Server) admitted(def serve.Priority, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.Header.Get(api.TenantHeader)
+		if tenant == "" {
+			tenant = api.DefaultTenant
+		}
+		pri := def
+		if raw := r.Header.Get(api.PriorityHeader); raw != "" {
+			p, err := serve.ParsePriority(raw)
+			if err != nil {
+				writeAPIError(w, http.StatusBadRequest, api.CodeInvalidRequest, err.Error())
+				return
+			}
+			pri = p
+		}
+		release, err := s.admission.Admit(r.Context(), tenant, pri)
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+		start := time.Now()
+		h(w, r)
+		s.latencies.Observe(pri, time.Since(start))
+	}
+}
+
+// writeAdmissionError maps an admission failure to its wire shape:
+// overloaded → 429 + Retry-After, draining → 503, an abandoned context →
+// 503 (the client is usually gone by then).
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		secs := int(math.Ceil(s.admission.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeAPIError(w, http.StatusTooManyRequests, api.CodeOverloaded, err.Error())
+	case errors.Is(err, serve.ErrDraining):
+		writeAPIError(w, http.StatusServiceUnavailable, api.CodeDraining, err.Error())
+	default:
+		writeAPIError(w, http.StatusServiceUnavailable, api.CodeOverloaded,
+			"request abandoned while queued: "+err.Error())
+	}
+}
+
+// handleStats serves GET /api/v1/stats: admission counters (global and
+// per-tenant), per-class latency quantiles over the sliding window, the
+// validation worker-pool gauge and the stream-stall counter.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.admission.Snapshot()
+	resp := api.StatsResponse{
+		UptimeMs: time.Since(s.started).Milliseconds(),
+		Admission: api.AdmissionStats{
+			MaxConcurrent: snap.MaxConcurrent,
+			MaxPerTenant:  snap.MaxPerTenant,
+			MaxQueue:      snap.MaxQueue,
+			InFlight:      snap.InFlight,
+			QueueDepth:    snap.QueueDepth,
+			Admitted:      snap.Admitted,
+			Shed:          snap.Shed,
+			Drained:       snap.Drained,
+			Draining:      snap.Draining,
+		},
+		StreamStalls: s.streamStalls.Load(),
+	}
+	for _, t := range snap.Tenants {
+		resp.Tenants = append(resp.Tenants, api.TenantStats{
+			Tenant:   t.Tenant,
+			Admitted: t.Admitted,
+			Shed:     t.Shed,
+			InFlight: t.InFlight,
+			Queued:   t.Queued,
+		})
+	}
+	for _, l := range s.latencies.Snapshot() {
+		resp.Latency = append(resp.Latency, api.LatencyStats{
+			Priority: l.Priority.String(),
+			Count:    l.Count,
+			P50Ms:    l.P50Ms,
+			P99Ms:    l.P99Ms,
+		})
+	}
+	pool := sched.PoolSnapshot()
+	resp.Pool = api.PoolStats{
+		LiveWorkers:          pool.LiveWorkers,
+		ActiveValidations:    pool.ActiveValidations,
+		CompletedValidations: pool.CompletedValidations,
+		Utilization:          pool.Utilization(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -25,6 +25,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"prism"
@@ -33,6 +35,7 @@ import (
 	"prism/internal/exec"
 	"prism/internal/explain"
 	"prism/internal/mem"
+	"prism/internal/serve"
 )
 
 // Server is the demo web application.
@@ -54,9 +57,27 @@ type Server struct {
 	// requests to drain after its context is cancelled (0 = TimeLimit plus
 	// slack, so a round that started before the signal can finish).
 	ShutdownGrace time.Duration
+	// Admission tunes the multi-tenant admission controller gating every
+	// discovery round (zero fields take the serve package defaults).
+	Admission serve.Config
+	// MaxParallelism caps the per-round validation parallelism a request
+	// may ask for (default 4×GOMAXPROCS); negative requests are rejected
+	// with a structured invalid_request error.
+	MaxParallelism int
+	// StreamBuffer and StreamWriteTimeout tune the backpressure of
+	// streaming responses: a consumer that can neither drain StreamBuffer
+	// pending events nor complete a write within StreamWriteTimeout has its
+	// round cancelled — only its own round (defaults 64 events, 10s).
+	StreamBuffer       int
+	StreamWriteTimeout time.Duration
 
-	sessions *sessionStore
-	tmpl     *template.Template
+	initOnce     sync.Once
+	admission    *serve.Controller
+	latencies    *serve.Latencies
+	streamStalls atomic.Int64
+	started      time.Time
+	sessions     *sessionStore
+	tmpl         *template.Template
 }
 
 // New creates the demo server. Engines for the bundled data sets are built
@@ -87,12 +108,10 @@ func (s *Server) engine(name string) (*prism.Engine, error) {
 // handler — under the deprecated unversioned /api prefix, whose responses
 // carry a Deprecation header pointing at the successor.
 func (s *Server) Handler() http.Handler {
-	if s.sessions == nil {
-		s.sessions = newSessionStore(s.SessionTTL, s.MaxSessions)
-	}
+	s.init()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/discover", s.handleDiscoverForm)
+	mux.HandleFunc("/discover", s.admitted(serve.PriorityNormal, s.handleDiscoverForm))
 	// Method-less fallbacks so wrong-method requests get the structured
 	// JSON 405 like every other API endpoint, not net/http's text page.
 	methodNotAllowed := func(allowed string) http.HandlerFunc {
@@ -103,12 +122,16 @@ func (s *Server) Handler() http.Handler {
 	mount := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
 		mux.HandleFunc(prefix+"/datasets", wrap(s.handleDatasets))
 		mux.HandleFunc(prefix+"/sample", wrap(s.handleSample))
-		mux.HandleFunc(prefix+"/discover", wrap(s.handleDiscoverAPI))
-		mux.HandleFunc(prefix+"/discover/stream", wrap(s.handleDiscoverStream))
+		mux.HandleFunc(prefix+"/stats", wrap(s.handleStats))
+		// Round-running endpoints pass the admission controller; one-shot
+		// discovers default to the normal class, session refine rounds (a
+		// human waiting) to interactive. The priority header can override.
+		mux.HandleFunc(prefix+"/discover", wrap(s.admitted(serve.PriorityNormal, s.handleDiscoverAPI)))
+		mux.HandleFunc(prefix+"/discover/stream", wrap(s.admitted(serve.PriorityNormal, s.handleDiscoverStream)))
 		mux.HandleFunc("POST "+prefix+"/session", wrap(s.handleSessionCreate))
 		mux.HandleFunc("GET "+prefix+"/session/{id}", wrap(s.handleSessionInfo))
 		mux.HandleFunc("DELETE "+prefix+"/session/{id}", wrap(s.handleSessionDelete))
-		mux.HandleFunc("POST "+prefix+"/session/{id}/refine", wrap(s.handleSessionRefine))
+		mux.HandleFunc("POST "+prefix+"/session/{id}/refine", wrap(s.admitted(serve.PriorityInteractive, s.handleSessionRefine)))
 		mux.HandleFunc(prefix+"/session", wrap(methodNotAllowed("POST")))
 		mux.HandleFunc(prefix+"/session/{id}", wrap(methodNotAllowed("GET or DELETE")))
 		mux.HandleFunc(prefix+"/session/{id}/refine", wrap(methodNotAllowed("POST")))
@@ -148,6 +171,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Stop admitting new rounds before the listener closes: queued
+	// requests are flushed with an immediate 503 (draining) and new
+	// arrivals fail fast, while rounds already running keep their request
+	// contexts and finish inside the grace window below.
+	s.admission.Drain()
 	grace := s.ShutdownGrace
 	if grace <= 0 {
 		grace = s.TimeLimit + 10*time.Second
@@ -319,6 +347,17 @@ func (s *Server) roundOptions(req DiscoverRequest) (discovery.Options, error) {
 	if err := checkExecutor(req.Executor); err != nil {
 		return discovery.Options{}, err
 	}
+	// Validate parallelism at the boundary: a negative value is a client
+	// bug (structured invalid_request, not a silent default), and the
+	// server caps the pool size a request may demand.
+	parallelism := req.Parallelism
+	if parallelism < 0 {
+		return discovery.Options{}, fmt.Errorf("%w: parallelism must be >= 0, got %d",
+			api.ErrInvalidRequest, parallelism)
+	}
+	if limit := s.maxParallelism(); parallelism > limit {
+		parallelism = limit
+	}
 	policy := discovery.PolicyBayes
 	if req.Policy != "" {
 		policy = discovery.Policy(req.Policy)
@@ -332,7 +371,7 @@ func (s *Server) roundOptions(req DiscoverRequest) (discovery.Options, error) {
 	return discovery.Options{
 		TimeLimit:      timeLimit,
 		Policy:         policy,
-		Parallelism:    req.Parallelism,
+		Parallelism:    parallelism,
 		Executor:       req.Executor,
 		IncludeResults: true,
 		ResultLimit:    10,
@@ -426,6 +465,11 @@ func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs b
 // line, unless the client asks for Server-Sent Events with
 // Accept: text/event-stream. Mappings are pushed as soon as the scheduler
 // confirms them; the final event carries the full report.
+//
+// Writes go through a bounded serve.Sink under a per-write deadline: a
+// consumer that can neither drain the buffer nor complete a write within
+// StreamWriteTimeout has its round cancelled — only its own round, so a
+// stalled reader never ties up a worker slot or another tenant's stream.
 func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeAPIError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use POST")
@@ -455,21 +499,40 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+
+	sink := serve.NewSink(w, serve.SinkOptions{
+		Buffer:           s.StreamBuffer,
+		WriteTimeout:     s.StreamWriteTimeout,
+		SetWriteDeadline: func(t time.Time) error { return rc.SetWriteDeadline(t) },
+		Flush: func() {
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+		OnStall: func() {
+			// The consumer cannot keep up: cancel this round (and only
+			// this round) and count the stall for /stats.
+			s.streamStalls.Add(1)
+			cancel()
+		},
+	})
+	// The event loop below is the only producer, so Close after it ends
+	// cannot race Send.
+	defer sink.Close()
 
 	write := func(ev StreamEventResponse) {
 		payload, err := json.Marshal(ev)
 		if err != nil {
 			return
 		}
+		var framed []byte
 		if sse {
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, payload)
+			framed = fmt.Appendf(nil, "event: %s\ndata: %s\n\n", ev.Event, payload)
 		} else {
-			w.Write(payload)
-			w.Write([]byte("\n"))
+			framed = append(payload, '\n')
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		sink.Send(framed)
 	}
 
 	for ev := range rd.eng.DiscoverStream(ctx, rd.spec, rd.opts) {

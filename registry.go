@@ -28,6 +28,17 @@ var (
 	// ErrUnknownSession is returned by the client when a refinement-session
 	// id is unknown or expired on the server.
 	ErrUnknownSession = api.ErrUnknownSession
+	// ErrInvalidRequest is returned by the client when the server rejected
+	// a request that parsed but failed validation (e.g. a negative
+	// parallelism).
+	ErrInvalidRequest = api.ErrInvalidRequest
+	// ErrOverloaded is returned by the client when the server shed the
+	// request under load (HTTP 429); back off — honouring the Retry-After
+	// hint, which client.WithRetry automates — and try again.
+	ErrOverloaded = api.ErrOverloaded
+	// ErrDraining is returned by the client when the server is shutting
+	// down and no longer admits new rounds (HTTP 503).
+	ErrDraining = api.ErrDraining
 )
 
 // normalizeName canonicalises a registry / Open database name.
