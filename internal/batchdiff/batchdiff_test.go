@@ -1,0 +1,460 @@
+// Package batchdiff is the batch⇄sequential differential suite: for every
+// bundled dataset it generates validation-shaped plans and random predicate
+// batches, and asserts that ExistsBatch verdicts byte-match a loop of
+// single Exists calls (exec.SequentialExistsBatch) on both the mem and
+// columnar backends — the shared-scan batched path must be observationally
+// identical to the per-probe path it replaces, on satisfied, unsatisfied
+// and mixed batches, empty batches, batches of one, and under cancellation
+// mid-batch.
+package batchdiff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prism/internal/dataset"
+	"prism/internal/exec"
+	"prism/internal/mem"
+	"prism/internal/schema"
+	"prism/internal/value"
+
+	_ "prism/internal/colexec" // register the columnar backend
+)
+
+// diffDataset is one dataset fixture of the differential suite.
+type diffDataset struct {
+	name  string
+	build func() (*mem.Database, error)
+}
+
+func diffDatasets() []diffDataset {
+	return []diffDataset{
+		{"mondial", func() (*mem.Database, error) {
+			return dataset.Mondial(dataset.MondialConfig{
+				Seed: 7, Countries: 4, ProvincesPerCountry: 3, CitiesPerProvince: 2,
+				Lakes: 40, Rivers: 20, Mountains: 12,
+			})
+		}},
+		{"imdb", func() (*mem.Database, error) { return dataset.IMDB(dataset.IMDBConfig{}) }},
+		{"nba", func() (*mem.Database, error) { return dataset.NBA(dataset.NBAConfig{}) }},
+	}
+}
+
+// diffPlans derives validation-shaped Project-Join plans from the dataset's
+// own schema: every single table, every foreign-key pair, and every
+// two-edge chain — the same shapes filter.Decompose produces.
+func diffPlans(sch *schema.Schema) []exec.Plan {
+	var plans []exec.Plan
+	for _, t := range sch.Tables() {
+		n := min(2, len(t.Columns))
+		var proj []schema.ColumnRef
+		for i := 0; i < n; i++ {
+			proj = append(proj, schema.ColumnRef{Table: t.Name, Column: t.Columns[i].Name})
+		}
+		plans = append(plans, exec.Plan{Tables: []string{t.Name}, Project: proj})
+	}
+	fks := sch.ForeignKeys()
+	for _, fk := range fks {
+		plans = append(plans, exec.Plan{
+			Tables:  []string{fk.From.Table, fk.To.Table},
+			Joins:   []exec.JoinEdge{{Left: fk.From, Right: fk.To}},
+			Project: []schema.ColumnRef{fk.From, fk.To},
+		})
+	}
+	for i, a := range fks {
+		for _, b := range fks[i+1:] {
+			p, ok := chainPlan(a, b)
+			if ok {
+				plans = append(plans, p)
+			}
+			if len(plans) > 24 {
+				return plans
+			}
+		}
+	}
+	return plans
+}
+
+// chainPlan joins two foreign keys sharing exactly one table into a
+// three-table chain plan.
+func chainPlan(a, b schema.ForeignKey) (exec.Plan, bool) {
+	tables := []string{a.From.Table, a.To.Table}
+	var third string
+	switch {
+	case eqFold(b.From.Table, a.From.Table) && !eqFold(b.To.Table, a.To.Table):
+		third = b.To.Table
+	case eqFold(b.From.Table, a.To.Table) && !eqFold(b.To.Table, a.From.Table):
+		third = b.To.Table
+	case eqFold(b.To.Table, a.From.Table) && !eqFold(b.From.Table, a.To.Table):
+		third = b.From.Table
+	case eqFold(b.To.Table, a.To.Table) && !eqFold(b.From.Table, a.From.Table):
+		third = b.From.Table
+	default:
+		return exec.Plan{}, false
+	}
+	tables = append(tables, third)
+	return exec.Plan{
+		Tables: tables,
+		Joins: []exec.JoinEdge{
+			{Left: a.From, Right: a.To},
+			{Left: b.From, Right: b.To},
+		},
+		Project: []schema.ColumnRef{a.From, b.To},
+	}, true
+}
+
+func eqFold(a, b string) bool {
+	return value.Normalize(a) == value.Normalize(b)
+}
+
+// randomSet builds one random predicate set over the plan's tables:
+// keyword-equality predicates seeded from stored values (mostly
+// satisfiable), nonsense keywords (unsatisfiable), numeric bounds, and
+// bare scan-shaped predicates, optionally with a tuple predicate.
+func randomSet(rng *rand.Rand, db *mem.Database, p exec.Plan) exec.PredicateSet {
+	var set exec.PredicateSet
+	nPreds := rng.Intn(4)
+	for k := 0; k < nPreds; k++ {
+		tbl := p.Tables[rng.Intn(len(p.Tables))]
+		ts, ok := db.Schema().Table(tbl)
+		if !ok || len(ts.Columns) == 0 {
+			continue
+		}
+		col := ts.Columns[rng.Intn(len(ts.Columns))].Name
+		ref := schema.ColumnRef{Table: tbl, Column: col}
+		vals, err := db.ColumnValues(ref)
+		if err != nil {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0: // keyword equality on a stored value
+			v, ok := pickNonNull(rng, vals)
+			if !ok {
+				continue
+			}
+			kw := v.String()
+			set.ColumnPredicates = append(set.ColumnPredicates, exec.ColumnPredicate{
+				Ref:      ref,
+				Pred:     func(c value.Value) bool { return c.MatchesKeyword(kw) },
+				Keywords: []string{kw},
+			})
+		case 1: // nonsense keyword: provably unsatisfiable
+			kw := fmt.Sprintf("zz-no-such-value-%d", rng.Intn(1000))
+			set.ColumnPredicates = append(set.ColumnPredicates, exec.ColumnPredicate{
+				Ref:      ref,
+				Pred:     func(c value.Value) bool { return c.MatchesKeyword(kw) },
+				Keywords: []string{kw},
+			})
+		case 2: // numeric bounds around a stored value
+			f, ok := pickNumeric(rng, vals)
+			if !ok {
+				continue
+			}
+			lo, hi := f-1, f+1
+			set.ColumnPredicates = append(set.ColumnPredicates, exec.ColumnPredicate{
+				Ref: ref,
+				Pred: func(c value.Value) bool {
+					cf, ok := c.Float()
+					return ok && cf >= lo && cf <= hi
+				},
+				Bounds: &exec.NumericBounds{Lo: lo, Hi: hi, HasLo: true, HasHi: true},
+			})
+		default: // scan-shaped: no keyword or bounds cover
+			set.ColumnPredicates = append(set.ColumnPredicates, exec.ColumnPredicate{
+				Ref:  ref,
+				Pred: func(c value.Value) bool { return !c.IsNull() },
+			})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		set.TuplePredicate = func(t value.Tuple) bool {
+			return len(t) > 0 && len(t[0].String())%2 == 0
+		}
+	}
+	return set
+}
+
+func pickNonNull(rng *rand.Rand, vals []value.Value) (value.Value, bool) {
+	for try := 0; try < 8 && len(vals) > 0; try++ {
+		v := vals[rng.Intn(len(vals))]
+		if !v.IsNull() {
+			return v, true
+		}
+	}
+	return value.Value{}, false
+}
+
+func pickNumeric(rng *rand.Rand, vals []value.Value) (float64, bool) {
+	for try := 0; try < 8 && len(vals) > 0; try++ {
+		if f, ok := vals[rng.Intn(len(vals))].Float(); ok {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// verdictBytes renders a verdict slice as one byte per set, so equality
+// assertions are literal byte-matches.
+func verdictBytes(vs []exec.Verdict) string {
+	b := make([]byte, len(vs))
+	for i, v := range vs {
+		if v.Satisfied {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func buildExecutors(t *testing.T, build func() (*mem.Database, error)) (*mem.Database, exec.Executor) {
+	t.Helper()
+	db, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := exec.New("columnar", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, col
+}
+
+// TestBatchSequentialDifferential is the core differential sweep: random
+// batches over every plan of every dataset, batch verdicts must byte-match
+// the sequential loop on both backends and across backends.
+func TestBatchSequentialDifferential(t *testing.T) {
+	for _, ds := range diffDatasets() {
+		ds := ds
+		t.Run(ds.name, func(t *testing.T) {
+			db, col := buildExecutors(t, ds.build)
+			plans := diffPlans(db.Schema())
+			if len(plans) < 3 {
+				t.Fatalf("only %d plans derived — fixture too weak", len(plans))
+			}
+			rng := rand.New(rand.NewSource(42))
+			sat, unsat := 0, 0
+			for pi, plan := range plans {
+				for round := 0; round < 4; round++ {
+					sets := make([]exec.PredicateSet, rng.Intn(7))
+					for i := range sets {
+						sets[i] = randomSet(rng, db, plan)
+					}
+					batch, _, err := col.ExistsBatch(plan, sets, exec.ExecOptions{})
+					if err != nil {
+						t.Fatalf("plan %d round %d: columnar ExistsBatch: %v", pi, round, err)
+					}
+					seqCol, _, err := exec.SequentialExistsBatch(col, plan, sets, exec.ExecOptions{})
+					if err != nil {
+						t.Fatalf("plan %d round %d: columnar sequential: %v", pi, round, err)
+					}
+					memBatch, _, err := db.ExistsBatch(plan, sets, exec.ExecOptions{})
+					if err != nil {
+						t.Fatalf("plan %d round %d: mem ExistsBatch: %v", pi, round, err)
+					}
+					got, wantSeq, wantMem := verdictBytes(batch), verdictBytes(seqCol), verdictBytes(memBatch)
+					if got != wantSeq {
+						t.Fatalf("plan %d (%v) round %d: columnar batch %s != columnar sequential %s", pi, plan.Tables, round, got, wantSeq)
+					}
+					if got != wantMem {
+						t.Fatalf("plan %d (%v) round %d: columnar batch %s != mem %s", pi, plan.Tables, round, got, wantMem)
+					}
+					for _, v := range batch {
+						if v.Satisfied {
+							sat++
+						} else {
+							unsat++
+						}
+					}
+				}
+			}
+			if sat == 0 || unsat == 0 {
+				t.Fatalf("suite produced %d satisfied / %d unsatisfied verdicts — fixture cannot catch one-sided bugs", sat, unsat)
+			}
+		})
+	}
+}
+
+// TestBatchMixedVerdicts pins an explicitly mixed batch: an unconstrained
+// set (satisfied whenever the plan is non-empty), a nonsense-keyword set
+// (unsatisfied), and a scan-shaped set, in one call.
+func TestBatchMixedVerdicts(t *testing.T) {
+	for _, ds := range diffDatasets() {
+		ds := ds
+		t.Run(ds.name, func(t *testing.T) {
+			db, col := buildExecutors(t, ds.build)
+			plans := diffPlans(db.Schema())
+			plan := plans[len(plans)-1]
+			ref := plan.Project[0]
+			sets := []exec.PredicateSet{
+				{}, // unconstrained
+				{ColumnPredicates: []exec.ColumnPredicate{{
+					Ref:      ref,
+					Pred:     func(c value.Value) bool { return c.MatchesKeyword("zz-nothing-matches-zz") },
+					Keywords: []string{"zz-nothing-matches-zz"},
+				}}},
+				{ColumnPredicates: []exec.ColumnPredicate{{
+					Ref:  ref,
+					Pred: func(c value.Value) bool { return !c.IsNull() },
+				}}},
+			}
+			batch, _, err := col.ExistsBatch(plan, sets, exec.ExecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, _, err := exec.SequentialExistsBatch(col, plan, sets, exec.ExecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verdictBytes(batch) != verdictBytes(seq) {
+				t.Fatalf("mixed batch %s != sequential %s", verdictBytes(batch), verdictBytes(seq))
+			}
+			if batch[1].Satisfied {
+				t.Fatal("nonsense keyword set should be unsatisfied")
+			}
+			if !batch[0].Satisfied {
+				t.Fatal("unconstrained set over a non-empty plan should be satisfied")
+			}
+		})
+	}
+}
+
+// TestBatchEmptyAndSingleton covers the degenerate batch shapes on both
+// backends: an empty batch returns an empty verdict slice and no error; a
+// batch of one matches the direct Exists answer.
+func TestBatchEmptyAndSingleton(t *testing.T) {
+	for _, ds := range diffDatasets() {
+		ds := ds
+		t.Run(ds.name, func(t *testing.T) {
+			db, col := buildExecutors(t, ds.build)
+			plan := diffPlans(db.Schema())[0]
+			for _, ex := range []exec.Executor{db, col} {
+				vs, stats, err := ex.ExistsBatch(plan, nil, exec.ExecOptions{})
+				if err != nil {
+					t.Fatalf("%s: empty batch: %v", ex.ExecutorName(), err)
+				}
+				if len(vs) != 0 {
+					t.Fatalf("%s: empty batch returned %d verdicts", ex.ExecutorName(), len(vs))
+				}
+				if stats != (exec.ExecStats{}) {
+					t.Fatalf("%s: empty batch did work: %+v", ex.ExecutorName(), stats)
+				}
+
+				set := exec.PredicateSet{ColumnPredicates: []exec.ColumnPredicate{{
+					Ref:  plan.Project[0],
+					Pred: func(c value.Value) bool { return !c.IsNull() },
+				}}}
+				vs, _, err = ex.ExistsBatch(plan, []exec.PredicateSet{set}, exec.ExecOptions{})
+				if err != nil {
+					t.Fatalf("%s: singleton batch: %v", ex.ExecutorName(), err)
+				}
+				want, _, err := ex.Exists(plan, exec.ExecOptions{
+					ColumnPredicates: set.ColumnPredicates,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(vs) != 1 || vs[0].Satisfied != want {
+					t.Fatalf("%s: singleton batch %v, Exists says %v", ex.ExecutorName(), vs, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCancellationMidBatch drives a batch over a dataset large enough
+// that the interrupt poll cadence (exec.InterruptEvery) fires mid-scan:
+// both backends must abort with exec.ErrInterrupted, exactly like the
+// sequential path under a cancelled context.
+func TestBatchCancellationMidBatch(t *testing.T) {
+	db, err := dataset.Mondial(dataset.MondialConfig{
+		Seed: 5, Countries: 4, ProvincesPerCountry: 3, CitiesPerProvince: 2,
+		Lakes: 2 * exec.InterruptEvery, Rivers: 20, Mountains: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := exec.New("columnar", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The biggest two-table plan: guaranteed to scan past one interrupt
+	// window.
+	var plan exec.Plan
+	best := 0
+	for _, p := range diffPlans(db.Schema()) {
+		rows := 0
+		for _, tbl := range p.Tables {
+			rows += db.NumRows(tbl)
+		}
+		if len(p.Tables) >= 2 && rows > best {
+			best, plan = rows, p
+		}
+	}
+	if best < exec.InterruptEvery {
+		t.Fatalf("largest plan scans only %d rows; cannot cross the %d-step interrupt window", best, exec.InterruptEvery)
+	}
+	scanSet := func() exec.PredicateSet {
+		return exec.PredicateSet{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:  plan.Project[0],
+			Pred: func(c value.Value) bool { return !c.IsNull() },
+		}}}
+	}
+	sets := []exec.PredicateSet{scanSet(), scanSet(), scanSet()}
+	opts := exec.ExecOptions{Interrupt: func() bool { return true }}
+	for _, ex := range []exec.Executor{db, col} {
+		vs, _, err := ex.ExistsBatch(plan, sets, opts)
+		if !errors.Is(err, exec.ErrInterrupted) {
+			t.Fatalf("%s: batch under cancelled context: err = %v, want ErrInterrupted", ex.ExecutorName(), err)
+		}
+		if vs != nil {
+			t.Fatalf("%s: interrupted batch leaked verdicts %v", ex.ExecutorName(), vs)
+		}
+	}
+	// The sequential loop agrees on the error.
+	if _, _, err := exec.SequentialExistsBatch(col, plan, sets, opts); !errors.Is(err, exec.ErrInterrupted) {
+		t.Fatalf("sequential loop under cancelled context: err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestBatchMaxIntermediateFallback pins the runaway-join guard: with a
+// MaxIntermediate too small for the shared scan, the batched path must
+// still agree with the sequential loop (both abort, or the batch falls
+// back to per-set execution and matches its verdicts).
+func TestBatchMaxIntermediateFallback(t *testing.T) {
+	db, col := buildExecutors(t, diffDatasets()[0].build)
+	var plan exec.Plan
+	for _, p := range diffPlans(db.Schema()) {
+		if len(p.Tables) >= 2 {
+			plan = p
+			break
+		}
+	}
+	sets := []exec.PredicateSet{
+		{},
+		{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:  plan.Project[0],
+			Pred: func(c value.Value) bool { return !c.IsNull() },
+		}}},
+	}
+	for _, limit := range []int{1, 3, 10, 1000000} {
+		opts := exec.ExecOptions{MaxIntermediate: limit}
+		bv, _, berr := col.ExistsBatch(plan, sets, opts)
+		sv, _, serr := exec.SequentialExistsBatch(col, plan, sets, opts)
+		if (berr == nil) != (serr == nil) {
+			t.Fatalf("limit %d: batch err %v, sequential err %v", limit, berr, serr)
+		}
+		if berr == nil && verdictBytes(bv) != verdictBytes(sv) {
+			t.Fatalf("limit %d: batch %s != sequential %s", limit, verdictBytes(bv), verdictBytes(sv))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package colexec
+
+// Tests of the shared-scan batched validation path that need package
+// internals: the warm-path allocation bound and scratch-state reuse.
+
+import (
+	"testing"
+
+	"prism/internal/exec"
+	"prism/internal/value"
+)
+
+func batchSets() []exec.PredicateSet {
+	return []exec.PredicateSet{
+		{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:      ref("Lake", "Name"),
+			Pred:     func(v value.Value) bool { return v.MatchesKeyword("lake tahoe") },
+			Keywords: []string{"lake tahoe"},
+		}}},
+		{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:    ref("Lake", "Area"),
+			Pred:   func(v value.Value) bool { f, ok := v.Float(); return ok && f >= 100 && f <= 600 },
+			Bounds: &exec.NumericBounds{Lo: 100, Hi: 600, HasLo: true, HasHi: true},
+		}}},
+		{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:  ref("geo_lake", "Province"),
+			Pred: func(v value.Value) bool { return !v.IsNull() && len(v.String()) >= 6 },
+		}}},
+	}
+}
+
+// TestWarmBatchValidationAllocations bounds the warm batched path: once the
+// pooled execution state has seen the batch shape, ExistsBatch may allocate
+// only the verdicts slice it returns — the per-set bitmaps, check ranges,
+// and liveness scratch all come from the pooled state.
+func TestWarmBatchValidationAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops pooled state on purpose; allocation counts are meaningless")
+	}
+	db := mondial(t)
+	col := build(t, db)
+	plan := lakePlan()
+	sets := batchSets()
+
+	fn := func() {
+		if _, _, err := col.ExistsBatch(plan, sets, exec.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn() // warm the pools
+	fn()
+	// One allocation is inherent (the returned verdicts slice); allow one
+	// more for pool-internal variance.
+	if allocs := testing.AllocsPerRun(200, fn); allocs > 2 {
+		t.Errorf("warm batched validation allocates %.2f times per run, want <= 2", allocs)
+	}
+}
+
+// TestBatchMatchesSequentialOnLakePlan is an in-package spot check that the
+// batched verdicts equal the sequential reference on the canonical lake
+// plan, including the early-exit bookkeeping in ExecStats.
+func TestBatchMatchesSequentialOnLakePlan(t *testing.T) {
+	db := mondial(t)
+	col := build(t, db)
+	plan := lakePlan()
+	sets := batchSets()
+
+	batch, bStats, err := col.ExistsBatch(plan, sets, exec.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, sStats, err := exec.SequentialExistsBatch(col, plan, sets, exec.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		if batch[i] != seq[i] {
+			t.Fatalf("set %d: batch %v, sequential %v", i, batch[i], seq[i])
+		}
+	}
+	if bStats.ResultRows != sStats.ResultRows {
+		t.Fatalf("satisfied counts differ: batch %d, sequential %d", bStats.ResultRows, sStats.ResultRows)
+	}
+}
+
+// TestSharedScanCountsRowsOnce: when several scan-shaped sets constrain the
+// same table, the batched path walks that table's rows once for all of
+// them, where the sequential loop pays the scan per set.
+func TestSharedScanCountsRowsOnce(t *testing.T) {
+	db := mondial(t)
+	col := build(t, db)
+	plan := lakePlan()
+	scanOn := func(column string, pred func(value.Value) bool) exec.PredicateSet {
+		return exec.PredicateSet{ColumnPredicates: []exec.ColumnPredicate{{
+			Ref:  ref("Lake", column),
+			Pred: pred,
+		}}}
+	}
+	sets := []exec.PredicateSet{
+		scanOn("Name", func(v value.Value) bool { return !v.IsNull() && len(v.String()) >= 6 }),
+		scanOn("Area", func(v value.Value) bool { f, ok := v.Float(); return ok && f >= 100 }),
+		scanOn("Name", func(v value.Value) bool { return len(v.String())%2 == 0 }),
+	}
+
+	batch, bStats, err := col.ExistsBatch(plan, sets, exec.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, sStats, err := exec.SequentialExistsBatch(col, plan, sets, exec.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		if batch[i] != seq[i] {
+			t.Fatalf("set %d: batch %v, sequential %v", i, batch[i], seq[i])
+		}
+	}
+	// The whole point of the shared scan: strictly fewer rows touched than
+	// the sequential loop, which re-scans Lake once per set.
+	if bStats.RowsScanned >= sStats.RowsScanned {
+		t.Errorf("shared scan touched %d rows, sequential loop %d — no sharing happened", bStats.RowsScanned, sStats.RowsScanned)
+	}
+}

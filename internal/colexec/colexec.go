@@ -400,12 +400,16 @@ type gather struct {
 
 // predCheck is the per-predicate verification state of one selectRows
 // call; when verdict is non-nil the predicate was pre-evaluated per
-// dictionary code.
+// dictionary code, and when exact is set the predicate is answered from
+// the value's numeric view with two float comparisons
+// (exec.ColumnPredicate.BoundsExact) — no closure call per row.
 type predCheck struct {
 	pred    func(value.Value) bool
 	vals    []value.Value
 	codes   []int32
 	verdict []bool
+	exact   bool
+	lo, hi  float64
 }
 
 // execState is the pooled per-execution scratch: bound plan state, slot
@@ -436,6 +440,26 @@ type execState struct {
 	next    [][]int32
 	gathers []gather
 	scratch value.Tuple
+
+	// Batch-only scratch (ExistsBatch): per-set bound predicates, the flat
+	// nSets×nTabs verdict-bitmap grid, per-set liveness/satisfaction, and
+	// the shared-scan worklists.
+	batchPreds []batchPred
+	setBMs     []*rowset.Bitmap
+	setLive    []bool
+	setSat     []bool
+	scanSets   []int
+	scanRanges [][2]int
+	scanHits   []int
+
+	// Masked-join scratch: when masked is set (batch runs only), the join
+	// pipeline carries one uint64 per row — bit si set while the row is
+	// still compatible with set si's selections — and drops rows whose
+	// mask empties, so "mix" rows (combinations of different sets'
+	// selections that belong to no single set) never materialise.
+	masked   bool
+	maskCur  []uint64
+	maskNext []uint64
 }
 
 func (e *Executor) getState() *execState {
@@ -459,8 +483,18 @@ func (e *Executor) putState(st *execState) {
 	st.gathers = truncate(st.gathers)
 	st.cur = truncate(st.cur)
 	st.next = truncate(st.next)
+	st.batchPreds = truncate(st.batchPreds)
+	st.setBMs = truncate(st.setBMs)
 	clear(st.scratch)
 	st.slotOf = st.slotOf[:0]
+	st.setLive = st.setLive[:0]
+	st.setSat = st.setSat[:0]
+	st.scanSets = st.scanSets[:0]
+	st.scanRanges = st.scanRanges[:0]
+	st.scanHits = st.scanHits[:0]
+	st.masked = false
+	st.maskCur = st.maskCur[:0]
+	st.maskNext = st.maskNext[:0]
 	st.selUsed, st.bmUsed, st.idUsed, st.vecUsed, st.vdUsed = 0, 0, 0, 0, 0
 	e.states.Put(st)
 }
@@ -677,6 +711,42 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 		}
 	}
 
+	nRows, err := e.joinPipeline(st, p, opts, &stats)
+	if err != nil {
+		return stats, err
+	}
+
+	if err := st.prepareProjection(p); err != nil {
+		return stats, err
+	}
+	proj := st.scratch[:len(st.gathers)]
+	for r := 0; r < nRows; r++ {
+		if st.interrupt.Hit() {
+			stats.hasPartial = true
+			return stats, exec.ErrInterrupted
+		}
+		for gi := range st.gathers {
+			g := &st.gathers[gi]
+			proj[gi] = g.col.vals[st.cur[g.slot][r]]
+		}
+		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
+			continue
+		}
+		if !yield(proj) {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// joinPipeline runs the join phase over the already-installed selections:
+// starting-table choice, the column-at-a-time index joins, and residual
+// edge filters. On return st.cur holds one slot vector per joined table
+// (st.slotOf maps table index to slot) with nRows surviving rows. It is
+// shared by the single-probe path (run) and the batched path (runBatch),
+// which differ only in how selections were built and what happens to the
+// surviving rows.
+func (e *Executor) joinPipeline(st *execState, p exec.Plan, opts exec.ExecOptions, stats *runStats) (int, error) {
 	// Same starting table and edge-scan discipline as the reference
 	// engine, over the filtered cardinalities, so both executors emit rows
 	// in the same order. Both call exec.StartTable so the tie-break can
@@ -692,6 +762,9 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 		st.cur = append(st.cur, e.identity[:st.tabs[start].numRows])
 	}
 	nRows := len(st.cur[0])
+	if st.masked {
+		nRows = st.maskStart(start, nRows)
+	}
 
 	var joined uint64 = 1 << uint(start)
 	joinedCount := 1
@@ -708,7 +781,7 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 			}
 		}
 		if edgeIdx < 0 {
-			return stats, fmt.Errorf("colexec: plan join graph is not connected")
+			return 0, fmt.Errorf("colexec: plan join graph is not connected")
 		}
 		edge := remaining[edgeIdx]
 		remaining = append(remaining[:edgeIdx], remaining[edgeIdx+1:]...)
@@ -737,10 +810,13 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 		}
 		outRows := 0
 		keys := probeCol.keys
+		if st.masked {
+			st.maskNext = st.maskNext[:0]
+		}
 		for r := 0; r < nRows; r++ {
 			if st.interrupt.Hit() {
 				stats.hasPartial = true
-				return stats, exec.ErrInterrupted
+				return 0, exec.ErrInterrupted
 			}
 			k := keys[probeVec[r]]
 			if k == "" {
@@ -750,6 +826,17 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 				if newSel != nil && !newSel.bm.Contains(rid) {
 					continue
 				}
+				if st.masked {
+					// Drop the combination as it forms unless some set
+					// selected both sides: the joined row's mask is the
+					// probe row's mask restricted to sets whose selection
+					// on the new table admits rid.
+					m := st.maskCur[r] & st.rowMask(newTab, rid)
+					if m == 0 {
+						continue
+					}
+					st.maskNext = append(st.maskNext, m)
+				}
 				for s := 0; s < width; s++ {
 					st.next[s] = append(st.next[s], st.cur[s][r])
 				}
@@ -758,7 +845,7 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 				if opts.MaxIntermediate > 0 && outRows > opts.MaxIntermediate {
 					stats.AbortedTooLarge = true
 					stats.hasPartial = true
-					return stats, fmt.Errorf("colexec: intermediate result exceeded %d tuples", opts.MaxIntermediate)
+					return 0, fmt.Errorf("colexec: intermediate result exceeded %d tuples", opts.MaxIntermediate)
 				}
 			}
 		}
@@ -766,6 +853,9 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 			st.keepVec(vecBase+s, st.next[s])
 		}
 		st.cur = append(st.cur[:0], st.next...)
+		if st.masked {
+			st.maskCur, st.maskNext = st.maskNext, st.maskCur
+		}
 		nRows = outRows
 		st.slotOf[newTab] = width
 		joined |= 1 << uint(newTab)
@@ -781,7 +871,7 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 				var err error
 				nRows, err = st.filterResidual(nRows, re)
 				if err != nil {
-					return stats, err
+					return 0, err
 				}
 			} else {
 				kept = append(kept, re)
@@ -796,40 +886,28 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 		var err error
 		nRows, err = st.filterResidual(nRows, re)
 		if err != nil {
-			return stats, err
+			return 0, err
 		}
 	}
+	return nRows, nil
+}
 
-	// Project: gather values from the column stores only now.
+// prepareProjection resolves the projection against the joined slot vectors
+// and sizes the pooled scratch tuple; rows are gathered from the column
+// stores only now (late materialisation).
+func (st *execState) prepareProjection(p exec.Plan) error {
 	st.gathers = st.gathers[:0]
 	for _, ref := range p.Project {
 		ti, col, err := st.columnOf(ref)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		st.gathers = append(st.gathers, gather{slot: st.slotOf[ti], col: col})
 	}
 	if cap(st.scratch) < len(st.gathers) {
 		st.scratch = make(value.Tuple, len(st.gathers))
 	}
-	proj := st.scratch[:len(st.gathers)]
-	for r := 0; r < nRows; r++ {
-		if st.interrupt.Hit() {
-			stats.hasPartial = true
-			return stats, exec.ErrInterrupted
-		}
-		for gi := range st.gathers {
-			g := &st.gathers[gi]
-			proj[gi] = g.col.vals[st.cur[g.slot][r]]
-		}
-		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
-			continue
-		}
-		if !yield(proj) {
-			break
-		}
-	}
-	return stats, nil
+	return nil
 }
 
 // filterResidual keeps intermediate rows whose two referenced columns hold
@@ -857,6 +935,9 @@ func (st *execState) filterResidual(nRows int, edge exec.JoinEdge) (int, error) 
 		st.next = append(st.next, v)
 	}
 	out := 0
+	if st.masked {
+		st.maskNext = st.maskNext[:0]
+	}
 	for r := 0; r < nRows; r++ {
 		lv := lc.vals[st.cur[ls][r]]
 		if lv.IsNull() || !lv.Equal(rc.vals[st.cur[rs][r]]) {
@@ -865,12 +946,18 @@ func (st *execState) filterResidual(nRows int, edge exec.JoinEdge) (int, error) 
 		for s := 0; s < width; s++ {
 			st.next[s] = append(st.next[s], st.cur[s][r])
 		}
+		if st.masked {
+			st.maskNext = append(st.maskNext, st.maskCur[r])
+		}
 		out++
 	}
 	for s := 0; s < width; s++ {
 		st.keepVec(vecBase+s, st.next[s])
 	}
 	st.cur = append(st.cur[:0], st.next...)
+	if st.masked {
+		st.maskCur, st.maskNext = st.maskNext, st.maskCur
+	}
 	return out, nil
 }
 
@@ -958,14 +1045,7 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 			continue
 		}
 		col := t.cols[bp.ci]
-		c := predCheck{pred: bp.cp.Pred, vals: col.vals}
-		if d := col.dict; d != nil && len(d.vals) < toCheck {
-			c.codes = d.codes
-			c.verdict = st.getVerdict(len(d.vals))
-			for code, dv := range d.vals {
-				c.verdict[code] = bp.cp.Pred(dv)
-			}
-		}
+		c := newPredCheck(&bp.cp, col, toCheck, st)
 		st.checks = append(st.checks, c)
 	}
 
@@ -1000,15 +1080,47 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 	return false
 }
 
+// newPredCheck builds the per-row verification state of one pushed-down
+// predicate: a dictionary verdict table when the column's dictionary is
+// smaller than the number of rows to check, the closure-free float fast
+// path when the predicate's bounds are exact, the predicate closure
+// otherwise.
+func newPredCheck(cp *exec.ColumnPredicate, col *column, toCheck int, st *execState) predCheck {
+	c := predCheck{pred: cp.Pred, vals: col.vals}
+	if d := col.dict; d != nil && len(d.vals) < toCheck {
+		c.codes = d.codes
+		c.verdict = st.getVerdict(len(d.vals))
+		for code, dv := range d.vals {
+			c.verdict[code] = cp.Pred(dv)
+		}
+		return c
+	}
+	if cp.BoundsExact && cp.Bounds != nil && cp.Bounds.HasLo && cp.Bounds.HasHi {
+		c.exact = true
+		c.lo, c.hi = cp.Bounds.Lo, cp.Bounds.Hi
+	}
+	return c
+}
+
 // verifyRow re-applies every pushed-down predicate of the current
 // selectRows call to one row.
 func (st *execState) verifyRow(id int32, stats *exec.ExecStats) bool {
 	stats.RowsScanned++
-	for i := range st.checks {
+	return st.checkRange(id, 0, len(st.checks), stats)
+}
+
+// checkRange applies the checks in st.checks[lo:hi] to one row. The batched
+// path packs several predicate sets' checks into st.checks and addresses
+// each set by range, so one shared row scan answers all of them.
+func (st *execState) checkRange(id int32, lo, hi int, stats *exec.ExecStats) bool {
+	for i := lo; i < hi; i++ {
 		c := &st.checks[i]
 		var pass bool
 		if c.verdict != nil {
 			pass = c.verdict[c.codes[id]]
+		} else if c.exact {
+			f, ok := c.vals[id].Float()
+			pass = ok && f >= c.lo && f <= c.hi
 		} else {
 			pass = c.pred(c.vals[id])
 		}

@@ -82,6 +82,12 @@ type Options struct {
 	// (normally exec.DefaultName). The mapping set is identical for every
 	// backend — executors differ only in how fast they answer.
 	Executor string
+	// BatchValidation groups pending validations by candidate-plan
+	// fingerprint and dispatches each group as one shared-scan batch
+	// (sched.Options.Batching). The mapping set is identical with or
+	// without batching — it only changes how many probes the backend runs.
+	// Default off.
+	BatchValidation bool
 }
 
 func (o Options) withDefaults() Options {
@@ -527,6 +533,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		TimeLimit:   opts.TimeLimit,
 		Now:         opts.Now,
 		Parallelism: opts.Parallelism,
+		Batching:    opts.BatchValidation,
 	}
 	if sess != nil {
 		// Keys bind each filter to the round's constraints and the current

@@ -208,6 +208,14 @@ type ColumnPredicate struct {
 	// wrong direction (a wrong skip would prune a valid mapping).
 	// lang.NumericBounds derives covers from constraint expressions.
 	Bounds *NumericBounds
+	// BoundsExact, when set (requires non-nil Bounds with both sides
+	// present), strengthens the cover to a characterisation: Pred(v) holds
+	// iff v has a numeric view f (value.Value.Float) with Lo <= f <= Hi.
+	// Executors may then answer the predicate from the numeric view with
+	// two float comparisons instead of invoking Pred — the closure-free
+	// fast path the shared batch scan leans on. lang.ExactRangeBounds
+	// derives exact bounds from pure numeric range expressions.
+	BoundsExact bool
 }
 
 // NumericBounds is a closed numeric interval cover [Lo, Hi] for a

@@ -43,7 +43,7 @@ func ValidationKey(f *Filter, spec *constraint.Spec, datasetVersion uint64) stri
 	b.WriteString("v")
 	b.WriteString(strconv.FormatUint(datasetVersion, 10))
 	b.WriteString("|")
-	b.WriteString(f.Plan().Fingerprint())
+	b.WriteString(f.PlanFingerprint())
 	b.WriteString("|")
 	b.WriteString(strings.Join(sigs, ";"))
 	return b.String()

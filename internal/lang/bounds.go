@@ -33,6 +33,38 @@ import (
 //   - Negation, orderings on non-numeric constants, and any shape this
 //     analysis does not understand yield ok == false — never a wrong
 //     interval.
+//
+// ExactRangeBounds reports bounds that characterise e exactly rather than
+// merely cover it: when ok, e.Eval(v) holds iff v.Float() yields f with
+// b.Lo <= f <= b.Hi. Only the pure numeric Range shape "[lo, hi]"
+// qualifies, and the equivalence holds for EVERY value kind:
+//
+//   - values with a numeric view (Int, Decimal, Date, Time,
+//     numeric-looking Text) compare against Int/Decimal constants by
+//     magnitude (compareFloat), so Eval is exactly the interval test —
+//     including a NaN view, which both sides reject;
+//   - NULL fails Eval and has no numeric view;
+//   - non-numeric Text sorts above both numeric kinds in the cross-kind
+//     order, so it lands above Hi and below neither — Eval is false, and
+//     Float reports !ok.
+//
+// Ordering shapes (">= c") are NOT exact: non-numeric text sorts above the
+// constant and satisfies them while having no numeric view. Executors use
+// exact bounds to answer the predicate with two float comparisons instead
+// of a closure call per row (exec.ColumnPredicate.BoundsExact).
+func ExactRangeBounds(e ValueExpr) (BoundsCover, bool) {
+	r, ok := e.(Range)
+	if !ok {
+		return BoundsCover{}, false
+	}
+	lo, lok := numericConst(r.Lo)
+	hi, hok := numericConst(r.Hi)
+	if !lok || !hok {
+		return BoundsCover{}, false
+	}
+	return BoundsCover{Lo: lo, Hi: hi, HasLo: true, HasHi: true}, true
+}
+
 func NumericBounds(e ValueExpr) (b BoundsCover, ok bool) {
 	switch n := e.(type) {
 	case Compare:

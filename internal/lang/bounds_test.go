@@ -120,3 +120,50 @@ func TestNumericBoundsIsACover(t *testing.T) {
 		}
 	}
 }
+
+// TestExactRangeBoundsCharacterises is the property the executors' float
+// fast path relies on: for a pure numeric range, Eval(v) holds iff v's
+// numeric view lies inside the interval — for EVERY value kind, including
+// non-numeric text (which sorts above the numeric kinds), NULL, temporal
+// values, and numeric-looking text.
+func TestExactRangeBoundsCharacterises(t *testing.T) {
+	probes := []value.Value{
+		value.NullValue,
+		value.NewInt(-7), value.NewInt(100), value.NewInt(350), value.NewInt(600), value.NewInt(601),
+		value.NewDecimal(99.999), value.NewDecimal(100.0), value.NewDecimal(600.0001),
+		value.Parse("250"), value.Parse("250.5"), // numeric-looking text
+		value.Parse("Lake Tahoe"), value.Parse(""), value.Parse("nan"),
+		value.Parse("2020-01-31"), value.Parse("12:30:00"),
+	}
+	exprs := []ValueExpr{
+		Range{Lo: value.NewInt(100), Hi: value.NewInt(600)},
+		Range{Lo: value.NewDecimal(-50.5), Hi: value.NewInt(120)},
+		Range{Lo: value.NewInt(0), Hi: value.NewInt(0)},
+	}
+	for _, e := range exprs {
+		b, ok := ExactRangeBounds(e)
+		if !ok {
+			t.Fatalf("ExactRangeBounds(%s) refused a pure numeric range", e)
+		}
+		for _, v := range probes {
+			f, fok := v.Float()
+			fast := fok && f >= b.Lo && f <= b.Hi
+			if got := e.Eval(v); got != fast {
+				t.Errorf("%s on %v: Eval=%v, float fast path=%v", e, v, got, fast)
+			}
+		}
+	}
+	// Shapes the fast path must refuse: orderings (non-numeric text sorts
+	// above the constant and passes them with no numeric view), text
+	// endpoints, and compound expressions.
+	refused := []ValueExpr{
+		Compare{Op: OpGe, Const: value.NewInt(5)},
+		Range{Lo: value.Parse("a"), Hi: value.NewInt(10)},
+		And{Terms: []ValueExpr{Range{Lo: value.NewInt(0), Hi: value.NewInt(9)}}},
+	}
+	for _, e := range refused {
+		if _, ok := ExactRangeBounds(e); ok {
+			t.Errorf("ExactRangeBounds(%s) claimed exactness", e)
+		}
+	}
+}

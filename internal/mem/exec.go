@@ -336,6 +336,15 @@ func (db *Database) ExecuteWith(p Plan, opts ExecOptions) (*Result, error) {
 	return res, nil
 }
 
+// ExistsBatch implements exec.Executor as a loop of single Exists calls
+// (exec.SequentialExistsBatch). The reference engine stays row-at-a-time on
+// purpose: its batch answers are definitionally the sequential semantics,
+// which makes it the oracle the batched columnar path is differentially
+// tested against.
+func (db *Database) ExistsBatch(p Plan, sets []exec.PredicateSet, opts ExecOptions) ([]exec.Verdict, ExecStats, error) {
+	return exec.SequentialExistsBatch(db, p, sets, opts)
+}
+
 // Exists reports whether the plan produces at least one tuple satisfying
 // the options' predicates, terminating as early as possible. It returns the
 // execution stats as the validation cost.

@@ -1,0 +1,253 @@
+package sched
+
+// Tests of batched validation scheduling: mapping-set equivalence with the
+// per-probe loop, batch formation rules (cached and implied outcomes ride
+// free), ValidateBatchContext agreement with ValidateContext, and the
+// fingerprint-memoisation guarantee (one computation per candidate filter
+// per run, never one per probe).
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"prism/internal/filter"
+	"prism/internal/graphx"
+	"prism/internal/schema"
+)
+
+// batchFixture is newFixture with one source column (Lake.Name) related to
+// two target columns. Distinct filters then share a canonical plan —
+// filterKey differs by target column while the projection is identical —
+// which is exactly the shape plan-fingerprint groups (and therefore
+// batches) are made of. The base fixture's related columns never overlap
+// across targets, so it produces only singleton groups.
+func batchFixture(t testing.TB) *fixture {
+	t.Helper()
+	fx := newFixture(t)
+	related := [][]schema.ColumnRef{
+		{{Table: "geo_lake", Column: "Province"}, {Table: "Province", Column: "Name"}, {Table: "City", Column: "Province"}, {Table: "Lake", Column: "Name"}},
+		{{Table: "Lake", Column: "Name"}, {Table: "geo_lake", Column: "Lake"}},
+		{{Table: "Lake", Column: "Area"}},
+	}
+	g := graphx.New(fx.db.Schema())
+	cands, err := graphx.Enumerate(g, related, graphx.EnumerateOptions{MaxTables: 4, RequireUsefulLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.set = filter.Decompose(cands)
+	groups := make(map[string]int)
+	multi := false
+	for _, f := range fx.set.Filters {
+		groups[f.PlanFingerprint()]++
+		if groups[f.PlanFingerprint()] > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("batch fixture produced only singleton plan groups; batching would never trigger")
+	}
+	return fx
+}
+
+// TestBatchingMatchesSequentialScheduler: filter outcomes are ground truths
+// of the database, so the confirmed and pruned candidate sets must be
+// identical with batching on or off, for every policy and parallelism.
+func TestBatchingMatchesSequentialScheduler(t *testing.T) {
+	fx := batchFixture(t)
+	truth, err := GroundTruth(fx.db, fx.spec, fx.set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, est := range estimators(fx, truth) {
+		base, err := (&Runner{DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est}).Run()
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", key, err)
+		}
+		for _, par := range []int{1, 4} {
+			runner := &Runner{
+				DB: fx.db, Spec: fx.spec, Set: fx.set, Estimator: est,
+				Options: Options{Batching: true, Parallelism: par},
+			}
+			res, err := runner.Run()
+			if err != nil {
+				t.Fatalf("%s: batched p%d: %v", key, par, err)
+			}
+			if !reflect.DeepEqual(res.Confirmed, base.Confirmed) {
+				t.Errorf("%s p%d: batched confirmed %v, sequential %v", key, par, res.Confirmed, base.Confirmed)
+			}
+			if !reflect.DeepEqual(res.Pruned, base.Pruned) {
+				t.Errorf("%s p%d: batched pruned %v, sequential %v", key, par, res.Pruned, base.Pruned)
+			}
+			if res.Validations == 0 {
+				t.Errorf("%s p%d: batched run executed nothing", key, par)
+			}
+		}
+	}
+}
+
+// TestBatchingDeterministicAtParallelismOne: at parallelism 1 batch
+// composition is a pure function of the pick order, so two identical runs
+// report identical validation and implication counts.
+func TestBatchingDeterministicAtParallelismOne(t *testing.T) {
+	fx := batchFixture(t)
+	run := func() Result {
+		runner := &Runner{
+			DB: fx.db, Spec: fx.spec, Set: fx.set,
+			Estimator: &PathLengthEstimator{},
+			Options:   Options{Batching: true},
+		}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Validations != b.Validations || a.Implied != b.Implied {
+		t.Errorf("batched runs diverged: %d/%d vs %d/%d validations/implied",
+			a.Validations, a.Implied, b.Validations, b.Implied)
+	}
+	if !reflect.DeepEqual(a.Confirmed, b.Confirmed) {
+		t.Errorf("confirmed sets diverged: %v vs %v", a.Confirmed, b.Confirmed)
+	}
+}
+
+// TestBatchingExcludesCachedOutcomes: a warm outcome cache determines every
+// filter before any batch forms, so a batched warm run executes nothing.
+func TestBatchingExcludesCachedOutcomes(t *testing.T) {
+	fx := batchFixture(t)
+	cache := filter.NewOutcomeCache(0)
+	keyOf := func(i int) string {
+		return filter.ValidationKey(fx.set.Filters[i], fx.spec, fx.db.Version())
+	}
+	cold := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Batching: true, Cache: cache, CacheKey: keyOf},
+	}
+	coldRes, err := cold.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.Validations == 0 || coldRes.CacheStores != coldRes.Validations {
+		t.Fatalf("cold batched run: %d validations, %d stores", coldRes.Validations, coldRes.CacheStores)
+	}
+	warm := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Batching: true, Cache: cache, CacheKey: keyOf},
+	}
+	warmRes, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Validations != 0 {
+		t.Errorf("warm batched run executed %d validations; cached outcomes must not enter batches", warmRes.Validations)
+	}
+	if !reflect.DeepEqual(warmRes.Confirmed, coldRes.Confirmed) {
+		t.Errorf("warm confirmed %v, cold %v", warmRes.Confirmed, coldRes.Confirmed)
+	}
+}
+
+// TestValidateBatchContextMatchesSequential: for every plan-fingerprint
+// group in the fixture's filter set, one ValidateBatchContext call returns
+// exactly the per-filter ValidateContext verdicts.
+func TestValidateBatchContextMatchesSequential(t *testing.T) {
+	fx := batchFixture(t)
+	v := &filter.Validator{DB: fx.db, Spec: fx.spec}
+	groups := make(map[string][]*filter.Filter)
+	for _, f := range fx.set.Filters {
+		fp := f.PlanFingerprint()
+		groups[fp] = append(groups[fp], f)
+	}
+	multi := 0
+	for fp, fs := range groups {
+		if len(fs) > 1 {
+			multi++
+		}
+		passed, _, err := v.ValidateBatchContext(context.Background(), fs)
+		if err != nil {
+			t.Fatalf("group %s: %v", fp, err)
+		}
+		for k, f := range fs {
+			vr, err := v.ValidateContext(context.Background(), f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if passed[k] != vr.Passed {
+				t.Errorf("group %s filter %s: batch says %v, sequential says %v", fp, f.Key, passed[k], vr.Passed)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("fixture has no multi-filter plan group; the batch path was never exercised")
+	}
+}
+
+// TestValidateBatchContextRejectsMixedPlans: a batch must share one
+// canonical plan; mixing fingerprints is a caller bug, reported as an
+// error rather than silently producing one merged scan.
+func TestValidateBatchContextRejectsMixedPlans(t *testing.T) {
+	fx := batchFixture(t)
+	v := &filter.Validator{DB: fx.db, Spec: fx.spec}
+	var a, b *filter.Filter
+	for _, f := range fx.set.Filters {
+		if a == nil {
+			a = f
+			continue
+		}
+		if f.PlanFingerprint() != a.PlanFingerprint() {
+			b = f
+			break
+		}
+	}
+	if b == nil {
+		t.Fatal("fixture has only one plan fingerprint")
+	}
+	if _, _, err := v.ValidateBatchContext(context.Background(), []*filter.Filter{a, b}); err == nil {
+		t.Error("mixed-plan batch validated without error")
+	}
+}
+
+// TestFingerprintComputedOncePerFilter is the regression test for the
+// re-fingerprinting fix: across an entire batched, cached scheduling run —
+// group construction, cache keys, and one group lookup per launched probe —
+// each filter's plan fingerprint is computed exactly once, by the memoised
+// filter.PlanFingerprint.
+func TestFingerprintComputedOncePerFilter(t *testing.T) {
+	// Baseline before the fixture exists: batchFixture's own group check is
+	// the first fingerprint consumer, and everything after it — cache keys,
+	// group construction, one group lookup per launched probe — must be
+	// served from the per-filter memo.
+	base := filter.PlanFingerprintComputations()
+	fx := batchFixture(t)
+	cache := filter.NewOutcomeCache(0)
+	keyOf := func(i int) string {
+		return filter.ValidationKey(fx.set.Filters[i], fx.spec, fx.db.Version())
+	}
+	runner := &Runner{
+		DB: fx.db, Spec: fx.spec, Set: fx.set,
+		Estimator: &PathLengthEstimator{},
+		Options:   Options{Batching: true, Cache: cache, CacheKey: keyOf},
+	}
+	res, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Validations == 0 {
+		t.Fatal("run executed nothing; fixture broken")
+	}
+	got := filter.PlanFingerprintComputations() - base
+	want := int64(fx.set.NumFilters())
+	if got != want {
+		t.Errorf("run computed %d plan fingerprints for %d filters; want exactly one per filter", got, want)
+	}
+	// A second run over the same (already-memoised) filter set computes none.
+	if _, err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if extra := filter.PlanFingerprintComputations() - base - got; extra != 0 {
+		t.Errorf("second run recomputed %d fingerprints; memoisation lost", extra)
+	}
+}

@@ -207,6 +207,19 @@ type Options struct {
 	// already in flight whenever a worker frees up — so parallelism only
 	// overlaps validation executions; it never reorders selections.
 	Parallelism int
+	// Batching groups pending validations by candidate-plan fingerprint:
+	// when the picked filter has undetermined group-mates (same memoised
+	// filter.PlanFingerprint — identical canonical plan), the whole group is
+	// dispatched as one Validator.ValidateBatchContext call, which the
+	// backend answers with one shared scan/join pipeline (exec.ExistsBatch)
+	// instead of one probe per filter. Cached and implied outcomes are
+	// excluded from batches (they are already determined when the batch
+	// forms), implication propagation applies per member verdict, and
+	// because filter outcomes are ground truths of the database the
+	// confirmed/pruned candidate sets are identical with batching on or off
+	// — only validation counts and wall-clock change. Default off (the
+	// paper's per-probe loop).
+	Batching bool
 	// OnResolved, when non-nil, is invoked from the scheduling goroutine
 	// each time a candidate becomes confirmed or pruned, with a progress
 	// snapshot taken at that moment. Discovery streaming hangs off it.
@@ -362,6 +375,21 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		isTop[ti] = true
 	}
 
+	// Batch grouping: the group key is the memoised per-filter plan
+	// fingerprint, and membership is computed once per run — never re-sorted
+	// or re-fingerprinted per probe (a fingerprint-computation counter test
+	// in package filter pins this). Group member lists are ascending by
+	// filter index, so batch composition is deterministic at any
+	// parallelism.
+	var groups map[string][]int
+	if opts.Batching {
+		groups = make(map[string][]int, r.Set.NumFilters())
+		for i, f := range r.Set.Filters {
+			fp := f.PlanFingerprint()
+			groups[fp] = append(groups[fp], i)
+		}
+	}
+
 	snapshot := func() Snapshot {
 		s := Snapshot{
 			Validations: sess.Executed,
@@ -450,27 +478,57 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	}
 
 	type outcome struct {
-		idx int
-		vr  filter.ValidationResult
-		err error
+		idxs []int
+		vrs  []filter.ValidationResult
+		err  error
 	}
 	// Workers never block sending: at most `parallelism` sends are
 	// outstanding and the channel buffers them all. The pool is persistent
-	// — `parallelism` goroutines spawned once per run, fed filter indexes
-	// through jobs — instead of one goroutine per validation.
+	// — `parallelism` goroutines spawned once per run, fed batches of filter
+	// indexes through jobs (singletons unless Batching groups them) —
+	// instead of one goroutine per validation.
 	results := make(chan outcome, parallelism)
-	jobs := make(chan int, parallelism)
+	jobs := make(chan []int, parallelism)
 	defer close(jobs)
+	// With batching on, a multi-sample spec sends even singleton groups
+	// through the batch path: ValidateBatchContext turns the per-sample
+	// probe loop into one shared pipeline (one PredicateSet per sample),
+	// which is where most of the shared-scan saving comes from. Single-sample
+	// singletons keep the plain ValidateContext path — the batch call would
+	// add bookkeeping for an identical single probe.
+	batchSingletons := opts.Batching && len(r.Spec.Samples) > 1
 	for w := 0; w < parallelism; w++ {
 		go func() {
 			pool.liveWorkers.Add(1)
 			defer pool.liveWorkers.Add(-1)
-			for idx := range jobs {
+			for batch := range jobs {
 				pool.active.Add(1)
-				vr, err := validator.ValidateContext(runCtx, r.Set.Filters[idx])
+				out := outcome{idxs: batch}
+				if len(batch) == 1 && !batchSingletons {
+					vr, err := validator.ValidateContext(runCtx, r.Set.Filters[batch[0]])
+					out.vrs = []filter.ValidationResult{vr}
+					out.err = err
+				} else {
+					fs := make([]*filter.Filter, len(batch))
+					for k, idx := range batch {
+						fs[k] = r.Set.Filters[idx]
+					}
+					passed, stats, err := validator.ValidateBatchContext(runCtx, fs)
+					if err == nil {
+						out.vrs = make([]filter.ValidationResult, len(batch))
+						for k := range batch {
+							out.vrs[k].Passed = passed[k]
+						}
+						// The shared scan's cost is attributed to the batch's
+						// first member; splitting it would double-count work
+						// the backend did once.
+						out.vrs[0].Cost = stats
+					}
+					out.err = err
+				}
 				pool.active.Add(-1)
 				pool.completed.Add(1)
-				results <- outcome{idx: idx, vr: vr, err: err}
+				results <- out
 			}
 		}()
 	}
@@ -478,10 +536,12 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	// and contiguous; a map would pay a hash per pick-loop probe).
 	inFlight := rowset.New(r.Set.NumFilters())
 	inFlightCount := 0
-	launch := func(idx int) {
-		inFlight.Add(int32(idx))
+	launch := func(batch []int) {
+		for _, idx := range batch {
+			inFlight.Add(int32(idx))
+		}
 		inFlightCount++
-		jobs <- idx
+		jobs <- batch
 	}
 
 	stopping := false
@@ -513,7 +573,21 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 				if !ok {
 					break
 				}
-				launch(next)
+				batch := []int{next}
+				if opts.Batching {
+					// Ride every still-relevant group-mate along with the
+					// picked filter: undetermined, not in flight, and still
+					// able to resolve a candidate. Determined covers cached
+					// and implied outcomes, so the batch never re-executes
+					// what the session already knows.
+					for _, j := range groups[r.Set.Filters[next].PlanFingerprint()] {
+						if j == next || sess.Determined(j) || inFlight.Contains(int32(j)) || sess.PruningReach(j) == 0 {
+							continue
+						}
+						batch = append(batch, j)
+					}
+				}
+				launch(batch)
 			}
 		}
 		if inFlightCount == 0 {
@@ -523,14 +597,21 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 			break
 		}
 		d := <-results
-		inFlight.Remove(int32(d.idx))
+		for _, idx := range d.idxs {
+			inFlight.Remove(int32(idx))
+		}
 		inFlightCount--
 		switch {
 		case d.err == nil:
-			applyOutcome(d.idx, d.vr)
+			// Outcomes are applied in batch-member order on this goroutine,
+			// propagating implications per verdict.
+			for k, idx := range d.idxs {
+				applyOutcome(idx, d.vrs[k])
+			}
 		case errors.Is(d.err, context.Canceled) || errors.Is(d.err, context.DeadlineExceeded) || errors.Is(d.err, exec.ErrInterrupted):
-			// The validation was interrupted by cancellation or the time
-			// budget; its outcome is unknown and is simply discarded.
+			// The validation (or whole batch) was interrupted by cancellation
+			// or the time budget; its outcomes are unknown and are simply
+			// discarded.
 		default:
 			if runErr == nil {
 				runErr = fmt.Errorf("sched: %w", d.err)
