@@ -43,6 +43,9 @@ type retryPolicy struct {
 	// backoff is the first-retry delay when the server sent no Retry-After
 	// hint; it doubles per attempt up to maxRetryBackoff.
 	backoff time.Duration
+	// now is the clock used to resolve HTTP-date Retry-After hints;
+	// nil means time.Now. Tests pin it to exercise past/future dates.
+	now func() time.Time
 }
 
 // WithRetry makes the client retry exchanges the server shed with 429
@@ -76,12 +79,9 @@ func (p retryPolicy) retryable(status int, attempt int) bool {
 // exponential schedule. It returns early with ctx.Err() when the caller
 // gives up.
 func (p retryPolicy) wait(ctx context.Context, retryAfter string, attempt int) error {
-	delay := p.backoff << attempt
-	if delay > maxRetryBackoff || delay <= 0 {
-		delay = maxRetryBackoff
-	}
-	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
-		delay = time.Duration(secs) * time.Second
+	delay := p.exponentialDelay(attempt)
+	if hint, ok := p.parseRetryAfter(retryAfter); ok {
+		delay = hint
 	}
 	if delay <= 0 {
 		return ctx.Err()
@@ -94,6 +94,63 @@ func (p retryPolicy) wait(ctx context.Context, retryAfter string, attempt int) e
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// exponentialDelay is the schedule used when the server sent no usable
+// hint: backoff doubled per attempt, saturating at maxRetryBackoff. The
+// shift is guarded before it runs — for large attempt counts
+// backoff<<attempt wraps and can land on a small positive value, which
+// the post-hoc bounds check cannot catch.
+func (p retryPolicy) exponentialDelay(attempt int) time.Duration {
+	if p.backoff <= 0 {
+		return maxRetryBackoff
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	// 2^attempt * backoff >= maxRetryBackoff once attempt covers the
+	// remaining bit-width; cap instead of shifting into the sign bit.
+	if attempt >= 62 || p.backoff > maxRetryBackoff>>uint(attempt) {
+		return maxRetryBackoff
+	}
+	return p.backoff << uint(attempt)
+}
+
+// parseRetryAfter interprets a Retry-After header in either RFC 9110
+// form — delta-seconds or HTTP-date — clamped to [0, maxRetryBackoff] so
+// a hostile or misconfigured server can never park the client beyond the
+// policy's own ceiling. The boolean is false when the header is absent or
+// unparseable, in which case the caller falls back to the exponential
+// schedule.
+func (p retryPolicy) parseRetryAfter(retryAfter string) (time.Duration, bool) {
+	retryAfter = strings.TrimSpace(retryAfter)
+	if retryAfter == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(retryAfter); err == nil {
+		return clampRetryDelay(time.Duration(secs) * time.Second), true
+	}
+	if at, err := http.ParseTime(retryAfter); err == nil {
+		now := time.Now
+		if p.now != nil {
+			now = p.now
+		}
+		return clampRetryDelay(at.Sub(now())), true
+	}
+	return 0, false
+}
+
+// clampRetryDelay bounds a server-supplied delay to [0, maxRetryBackoff]:
+// past dates and negative delta-seconds mean "retry now", absurd values
+// are capped at the policy ceiling.
+func clampRetryDelay(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > maxRetryBackoff {
+		return maxRetryBackoff
+	}
+	return d
 }
 
 // Stats fetches the server's serving-tier statistics

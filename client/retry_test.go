@@ -154,6 +154,100 @@ func TestRetryWaitRespectsContext(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterForms pins the Retry-After grammar end to end: both
+// RFC 9110 forms (delta-seconds and HTTP-date) are honoured, hostile or
+// garbage values never park the client beyond maxRetryBackoff, and
+// unparseable hints fall back to the exponential schedule. The HTTP-date
+// cases fail on the pre-fix parser, which only understood delta-seconds.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	p := retryPolicy{attempts: 3, backoff: time.Millisecond, now: func() time.Time { return now }}
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+		wantOK bool
+	}{
+		{name: "absent", header: "", wantOK: false},
+		{name: "delta seconds", header: "7", want: 7 * time.Second, wantOK: true},
+		{name: "delta seconds zero", header: "0", want: 0, wantOK: true},
+		{name: "delta seconds padded", header: "  3 ", want: 3 * time.Second, wantOK: true},
+		{name: "negative delta clamps to now", header: "-15", want: 0, wantOK: true},
+		{name: "absurd delta clamps to ceiling", header: "86400", want: maxRetryBackoff, wantOK: true},
+		{name: "http date", header: now.Add(9 * time.Second).Format(http.TimeFormat), want: 9 * time.Second, wantOK: true},
+		{name: "http date rfc850", header: now.Add(4 * time.Second).Format(time.RFC850), want: 4 * time.Second, wantOK: true},
+		{name: "http date in the past", header: now.Add(-time.Hour).Format(http.TimeFormat), want: 0, wantOK: true},
+		{name: "http date too far out", header: now.Add(48 * time.Hour).Format(http.TimeFormat), want: maxRetryBackoff, wantOK: true},
+		{name: "garbage", header: "soon", wantOK: false},
+		{name: "garbage numeric-ish", header: "12 parsecs", wantOK: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := p.parseRetryAfter(tc.header)
+			if ok != tc.wantOK {
+				t.Fatalf("parseRetryAfter(%q) ok = %v, want %v", tc.header, ok, tc.wantOK)
+			}
+			if ok && got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryHonoursHTTPDateHint proves the fix end to end against a live
+// server: an HTTP-date hint delays the retry like its delta-seconds
+// equivalent would. Pre-fix, the date was unparseable and the retry fired
+// immediately on the tiny exponential schedule.
+func TestRetryHonoursHTTPDateHint(t *testing.T) {
+	srv, calls, _ := flakyServer(t, 1, time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+	c, err := New(srv.URL, WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Discover(context.Background(), api.DiscoverRequest{Database: "mondial"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v, want >= 1s (the HTTP-date hint)", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestExponentialDelayClamps pins the no-hint schedule: doubling from
+// backoff, saturating at maxRetryBackoff, and — critically — never
+// wrapping through the shift for absurd attempt counts (pre-fix,
+// backoff<<attempt could overflow to a small positive delay that dodged
+// the bounds check).
+func TestExponentialDelayClamps(t *testing.T) {
+	cases := []struct {
+		name    string
+		backoff time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{name: "first retry", backoff: 500 * time.Millisecond, attempt: 0, want: 500 * time.Millisecond},
+		{name: "doubles", backoff: 500 * time.Millisecond, attempt: 2, want: 2 * time.Second},
+		{name: "saturates at ceiling", backoff: 500 * time.Millisecond, attempt: 10, want: maxRetryBackoff},
+		{name: "shift would wrap to positive", backoff: 500 * time.Millisecond, attempt: 64, want: maxRetryBackoff},
+		{name: "shift into sign bit", backoff: time.Second, attempt: 63, want: maxRetryBackoff},
+		{name: "huge attempt", backoff: time.Millisecond, attempt: 1 << 20, want: maxRetryBackoff},
+		{name: "negative attempt", backoff: time.Second, attempt: -3, want: time.Second},
+		{name: "zero backoff", backoff: 0, attempt: 0, want: maxRetryBackoff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := retryPolicy{attempts: 5, backoff: tc.backoff}
+			if got := p.exponentialDelay(tc.attempt); got != tc.want {
+				t.Errorf("exponentialDelay(%d) with backoff %v = %v, want %v",
+					tc.attempt, tc.backoff, got, tc.want)
+			}
+		})
+	}
+}
+
 // TestTenantAndPriorityHeaders pins that WithTenant/WithPriority stamp
 // every exchange, including streams.
 func TestTenantAndPriorityHeaders(t *testing.T) {

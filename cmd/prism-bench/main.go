@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ import (
 	"prism/client"
 	"prism/internal/dataset"
 	"prism/internal/experiment"
+	"prism/internal/mem"
 )
 
 func main() {
@@ -53,6 +55,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cases := fs.Int("cases", 6, "test cases per resolution level (E1/E2)")
 	schedCases := fs.Int("sched-cases", 8, "test cases for the scheduling comparison (E3)")
 	scale := fs.Float64("scale", 1.0, "database scale factor relative to the default synthetic Mondial")
+	big := fs.Bool("big", false, "use the million-row Mondial variant as the -scale base (see dataset.BigMondialConfig)")
+	snapshot := fs.String("snapshot", "", "engine snapshot path: load the experiment database from it when present, else build normally and write it there; must match the run's -big/-scale/-seed")
 	markdown := fs.Bool("markdown", false, "emit markdown tables instead of plain text")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-round discovery time limit, enforced as a context deadline")
 	parallelism := fs.Int("parallelism", 0, "concurrent filter validations per round (0 = sequential, the reproducible default)")
@@ -110,6 +114,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	base := dataset.DefaultMondialConfig()
+	if *big {
+		base = dataset.BigMondialConfig()
+	}
 	cfg := experiment.Config{
 		Seed: *seed,
 		Mondial: dataset.MondialConfig{
@@ -127,9 +134,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Parallelism:     *parallelism,
 		Executor:        *executor,
 	}
+	// Cold start from a snapshot when one is on disk; otherwise build the
+	// database and (with -snapshot) write one for the next run.
+	snapshotLoaded := false
+	if *snapshot != "" {
+		start := time.Now()
+		db, err := loadSnapshotDatabase(*snapshot)
+		switch {
+		case err == nil:
+			cfg.Database = db
+			snapshotLoaded = true
+			fmt.Fprintf(out, "prism-bench: loaded engine snapshot %s in %v\n", *snapshot, time.Since(start).Round(time.Millisecond))
+		case !errors.Is(err, os.ErrNotExist):
+			return err
+		}
+	}
 	runner, err := experiment.NewRunner(cfg)
 	if err != nil {
 		return err
+	}
+	if *snapshot != "" && !snapshotLoaded {
+		start := time.Now()
+		if err := writeSnapshotDatabase(*snapshot, runner.DB); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "prism-bench: wrote engine snapshot %s in %v\n", *snapshot, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Fprintf(out, "prism-bench: synthetic Mondial with %d rows, seed %d\n\n", runner.DB.TotalRows(), *seed)
 
@@ -195,6 +224,35 @@ func scaled(n int, factor float64) int {
 		v = 1
 	}
 	return v
+}
+
+// loadSnapshotDatabase restores the experiment database from an engine
+// snapshot written by a previous -snapshot run.
+func loadSnapshotDatabase(path string) (*mem.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening -snapshot: %w", err)
+	}
+	defer f.Close()
+	db, err := mem.ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("-snapshot %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// writeSnapshotDatabase persists the freshly built experiment database so
+// the next -snapshot run cold-starts instead of regenerating.
+func writeSnapshotDatabase(path string, db *mem.Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating -snapshot: %w", err)
+	}
+	if err := db.WriteSnapshot(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing -snapshot %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // remoteTable1 reproduces the §3 walkthrough against a running server: the

@@ -16,14 +16,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"prism"
+	"prism/internal/dataset"
 	"prism/internal/serve"
 	"prism/internal/server"
 )
@@ -37,6 +42,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission: max requests queued for admission (0 = 8×max-concurrent)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max wait in the queue before shedding (0 = 5s)")
 	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-round validation parallelism requests (0 = 4×GOMAXPROCS)")
+	snapshotDir := flag.String("snapshot", "", "engine snapshot directory: <dir>/<db>.snap is loaded instead of regenerating; snapshots missing there are written after the first build (delete stale files when changing -big)")
+	big := flag.Bool("big", false, "serve the million-row scaled variants of the bundled datasets")
 	flag.Parse()
 
 	// The first SIGINT/SIGTERM starts the graceful drain; signal.NotifyContext
@@ -54,9 +61,67 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 	}
 	s.MaxParallelism = *maxParallelism
+	if *big || *snapshotDir != "" {
+		for _, name := range prism.DatasetNames() {
+			s.Registry.RegisterOpener(name, func() (*prism.Engine, error) {
+				return openDataset(name, *big, *snapshotDir)
+			})
+		}
+	}
 	fmt.Printf("prism-demo: listening on %s (databases: mondial, imdb, nba)\n", *addr)
 	if err := s.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("prism-demo: drained in-flight rounds, bye")
+}
+
+// openDataset builds one bundled dataset's engine, preferring a snapshot
+// from the -snapshot directory when one is there and writing one back
+// (best effort) after building from scratch. Engines are built lazily by
+// the registry, so a server with warm snapshots starts serving a dataset
+// after one file read instead of a full generate-and-analyze.
+func openDataset(name string, big bool, dir string) (*prism.Engine, error) {
+	var path string
+	if dir != "" {
+		path = filepath.Join(dir, name+".snap")
+		start := time.Now()
+		eng, err := prism.OpenSnapshot(path)
+		switch {
+		case err == nil:
+			log.Printf("prism-demo: %s: loaded snapshot %s in %v", name, path, time.Since(start).Round(time.Millisecond))
+			return eng, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// A corrupt or mismatched snapshot is an operator problem;
+			// refuse to serve silently-regenerated data instead.
+			return nil, err
+		}
+	}
+	eng, err := buildDataset(name, big)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := eng.SnapshotFile(path); err != nil {
+			log.Printf("prism-demo: %s: writing snapshot: %v", name, err)
+		} else {
+			log.Printf("prism-demo: %s: wrote snapshot %s", name, path)
+		}
+	}
+	return eng, nil
+}
+
+func buildDataset(name string, big bool) (*prism.Engine, error) {
+	if !big {
+		return prism.Open(name)
+	}
+	switch name {
+	case "mondial":
+		return prism.Open(name, prism.WithMondialConfig(dataset.BigMondialConfig()))
+	case "imdb":
+		return prism.Open(name, prism.WithIMDBConfig(dataset.BigIMDBConfig()))
+	case "nba":
+		return prism.Open(name, prism.WithNBAConfig(dataset.BigNBAConfig()))
+	default:
+		return prism.Open(name)
+	}
 }

@@ -2,6 +2,7 @@ package prism
 
 import (
 	"context"
+	"errors"
 	"testing"
 )
 
@@ -97,5 +98,12 @@ func TestEngineSampleRowsPublic(t *testing.T) {
 	}
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// Zero and negative sample sizes are caller bugs: they must surface as
+	// a structured invalid_request error, never an unbounded dump.
+	for _, limit := range []int{0, -1, -100} {
+		if _, err := eng.SampleRows("Team", limit); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("SampleRows(limit=%d) err = %v, want ErrInvalidRequest", limit, err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ package prism
 // plain `go test`; `go test -fuzz FuzzEquivalence .` explores beyond it.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -79,6 +80,25 @@ var fuzzEngines = sync.OnceValue(func() map[string]*Engine {
 			panic(fmt.Sprintf("building fuzz engine %s: %v", v.name, err))
 		}
 		out[v.name] = eng
+	}
+	return out
+})
+
+// fuzzSnapshotEngines round-trips every fuzz engine through the snapshot
+// codec once per process: the snapshot-loaded twin must behave
+// byte-identically to its freshly built original on every specification.
+var fuzzSnapshotEngines = sync.OnceValue(func() map[string]*Engine {
+	out := make(map[string]*Engine, 3)
+	for name, eng := range fuzzEngines() {
+		var buf bytes.Buffer
+		if err := eng.Snapshot(&buf); err != nil {
+			panic(fmt.Sprintf("snapshotting fuzz engine %s: %v", name, err))
+		}
+		loaded, err := ReadSnapshot(&buf)
+		if err != nil {
+			panic(fmt.Sprintf("loading fuzz snapshot %s: %v", name, err))
+		}
+		out[name] = loaded
 	}
 	return out
 })
@@ -307,6 +327,19 @@ func FuzzEquivalence(f *testing.F) {
 		if got := mappingsDigest(batchReport); got != mappingsDigest(memReport) {
 			t.Fatalf("batched round diverges from mem:\nspec:\n%s--- mem ---\n%s--- batched ---\n%s",
 				spec, mappingsDigest(memReport), got)
+		}
+
+		// Snapshot arm: an engine cold-started from a snapshot of the same
+		// database must be indistinguishable — identical mapping SQL set and
+		// order, previews, and the full validation schedule.
+		snapEng := fuzzSnapshotEngines()[v.name]
+		snapReport, snapErr := snapEng.Discover(ctx, spec, memOpts)
+		if snapErr != nil {
+			t.Fatalf("snapshot-loaded round failed where fresh succeeded: %v\nspec:\n%s", snapErr, spec)
+		}
+		if got := fuzzDigest(snapReport); got != want {
+			t.Fatalf("snapshot-loaded engine diverges from fresh:\nspec:\n%s--- fresh ---\n%s--- snapshot ---\n%s",
+				spec, want, got)
 		}
 	})
 }

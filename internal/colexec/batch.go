@@ -214,7 +214,7 @@ func (e *Executor) runBatch(st *execState, p exec.Plan, sets []exec.PredicateSet
 				if !gathered {
 					for gi := range st.gathers {
 						g := &st.gathers[gi]
-						proj[gi] = g.col.vals[st.cur[g.slot][r]]
+						proj[gi] = g.col.value(st.cur[g.slot][r])
 					}
 					gathered = true
 				}
@@ -313,16 +313,36 @@ func (e *Executor) batchSelectTable(st *execState, ti int, stats *exec.ExecStats
 		st.scanHits = append(st.scanHits, 0)
 		st.setBMs[si*nTabs+ti] = st.getBitmap(t.numRows)
 	}
-	for id := int32(0); id < int32(t.numRows); id++ {
-		if st.interrupt.Hit() {
-			return killed, true
-		}
-		stats.RowsScanned++
-		for k, si := range st.scanSets {
+	// The shared scan walks the table block-at-a-time: each set's
+	// exact-bounds checks are tested against the per-block zone maps, so a
+	// set skips every block its bounds prove empty, and a block no live
+	// set can match is never touched at all.
+	st.scanActive = resizeBools(st.scanActive, len(st.scanSets), false)
+	for b0 := 0; b0 < t.numRows; b0 += blockRows {
+		anyActive := false
+		for k := range st.scanSets {
 			rng := st.scanRanges[k]
-			if st.checkRange(id, rng[0], rng[1], stats) {
-				st.setBMs[si*nTabs+ti].Add(id)
-				st.scanHits[k]++
+			st.scanActive[k] = !st.blockPruned(b0/blockRows, rng[0], rng[1])
+			anyActive = anyActive || st.scanActive[k]
+		}
+		if !anyActive {
+			continue
+		}
+		end := int32(min(b0+blockRows, t.numRows))
+		for id := int32(b0); id < end; id++ {
+			if st.interrupt.Hit() {
+				return killed, true
+			}
+			stats.RowsScanned++
+			for k, si := range st.scanSets {
+				if !st.scanActive[k] {
+					continue
+				}
+				rng := st.scanRanges[k]
+				if st.checkRange(id, rng[0], rng[1], stats) {
+					st.setBMs[si*nTabs+ti].Add(id)
+					st.scanHits[k]++
+				}
 			}
 		}
 	}

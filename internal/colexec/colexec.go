@@ -37,6 +37,7 @@ package colexec
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strconv"
 	"strings"
 	"sync"
@@ -71,16 +72,73 @@ type zone struct {
 	nulls   int
 }
 
+// blockRows is the granularity of the per-block zone maps: every column
+// keeps one blockZone per blockRows stored rows, so range predicates can
+// skip provably-empty stretches of a scan without touching them.
+const blockRows = 1024
+
+// blockZone is the zone map of one blockRows-sized stretch of a column:
+// the extrema of the rows' numeric views. An exact-bounds predicate
+// (predCheck.exact) passes only rows with a numeric view inside
+// [lo, hi], so a block with no numeric rows — or whose extrema miss the
+// interval — provably contributes nothing and is skipped whole.
+type blockZone struct {
+	minF, maxF float64
+	// hasNum reports that at least one row in the block has a numeric
+	// view; minF/maxF are valid only when set.
+	hasNum bool
+}
+
+// codeRun is one run of the dictionary's RLE index: rows
+// [start, end) all carry code.
+type codeRun struct {
+	start, end, code int32
+}
+
 // dictionary is the low-cardinality encoding of one column: the distinct
 // stored values (by strict identity, so predicate evaluation per code is
-// exactly predicate evaluation per row) and one code per row. NULL is a
-// dictionary entry like any other, so Pred(NULL) semantics are preserved.
+// exactly predicate evaluation per row) and one bit-packed code per row.
+// NULL is a dictionary entry like any other, so Pred(NULL) semantics are
+// preserved. Dictionary-encoded columns drop their per-row value and key
+// slices entirely — rows are materialised through the dictionary — so a
+// 256-way column costs at most one byte per row instead of a boxed value
+// plus a key string.
 type dictionary struct {
-	vals  []value.Value
-	codes []int32
+	vals []value.Value
+	// keys holds Value.Key() per distinct value ("" for NULL), so join
+	// probes on dictionary columns still never render a key.
+	keys []string
+	// width is the number of bits per packed code: ⌈log2(len(vals))⌉,
+	// zero when the column holds a single distinct value.
+	width uint
+	// bits holds the packed codes, width bits per row, little-endian
+	// within each word, padded with one spare word so a straddling read
+	// never bounds-checks.
+	bits []uint64
+	// runs is the RLE index over the codes, present only when the column
+	// actually runs (few runs relative to rows): a scan-shaped predicate
+	// is then answered once per run instead of once per row.
+	runs []codeRun
+}
+
+// code unpacks row ri's dictionary code.
+func (d *dictionary) code(ri int32) int32 {
+	if d.width == 0 {
+		return 0
+	}
+	bit := uint64(ri) * uint64(d.width)
+	off := bit & 63
+	v := d.bits[bit>>6] >> off
+	if off+uint64(d.width) > 64 {
+		v |= d.bits[bit>>6+1] << (64 - off)
+	}
+	return int32(v & (1<<d.width - 1))
 }
 
 // column is the columnar storage of one table column plus its indexes.
+// For dictionary-encoded columns vals and keys are nil: per-row storage
+// is the packed dict codes, and values/keys materialise through the
+// value/key accessors.
 type column struct {
 	vals []value.Value
 	// keys holds Value.Key() per row ("" for NULL), precomputed so join
@@ -99,7 +157,29 @@ type column struct {
 	kwText map[string][]int32
 	kwNum  map[float64][]int32
 	zone   zone
+	// blocks is the per-block zone map, one entry per blockRows rows.
+	blocks []blockZone
 	dict   *dictionary
+}
+
+// value materialises row ri, through the dictionary when the column is
+// compressed.
+func (c *column) value(ri int32) value.Value {
+	if c.vals != nil {
+		return c.vals[ri]
+	}
+	d := c.dict
+	return d.vals[d.code(ri)]
+}
+
+// key returns row ri's canonical join key ("" for NULL), through the
+// dictionary when the column is compressed.
+func (c *column) key(ri int32) string {
+	if c.keys != nil {
+		return c.keys[ri]
+	}
+	d := c.dict
+	return d.keys[d.code(ri)]
 }
 
 // table is the columnar image of one relation.
@@ -165,8 +245,10 @@ func New(src exec.Source) (exec.Executor, error) {
 	return e, nil
 }
 
-// buildColumn computes the storage, indexes, zone map and (when the column
-// is low-cardinality) dictionary of one column.
+// buildColumn computes the storage, indexes, zone maps and (when the column
+// is low-cardinality) dictionary of one column. Dictionary-encoded columns
+// are stored compressed: bit-packed codes plus an RLE run index when the
+// column runs, with the per-row value and key slices dropped.
 func buildColumn(vals []value.Value) *column {
 	c := &column{
 		vals:   vals,
@@ -174,6 +256,7 @@ func buildColumn(vals []value.Value) *column {
 		join:   make(map[string][]int32),
 		kwText: make(map[string][]int32),
 		kwNum:  make(map[float64][]int32),
+		blocks: make([]blockZone, (len(vals)+blockRows-1)/blockRows),
 	}
 	z := &c.zone
 	z.rows = len(vals)
@@ -181,6 +264,7 @@ func buildColumn(vals []value.Value) *column {
 	zSeeded := false
 
 	strict := make(map[string]int32, 64) // strict identity -> dict code
+	var codes []int32
 	dict := &dictionary{}
 	for ri, v := range vals {
 		if !v.IsNull() {
@@ -206,6 +290,17 @@ func buildColumn(vals []value.Value) *column {
 						z.maxF = f
 					}
 				}
+				b := &c.blocks[ri/blockRows]
+				if !b.hasNum {
+					b.minF, b.maxF, b.hasNum = f, f, true
+				} else {
+					if f < b.minF {
+						b.minF = f
+					}
+					if f > b.maxF {
+						b.maxF = f
+					}
+				}
 			} else {
 				z.numeric = false
 			}
@@ -218,20 +313,63 @@ func buildColumn(vals []value.Value) *column {
 			code, ok := strict[sk]
 			if !ok {
 				if len(dict.vals) >= dictMaxCardinality {
-					dict, strict = nil, nil
+					dict, strict, codes = nil, nil, nil
 					continue
 				}
 				code = int32(len(dict.vals))
 				strict[sk] = code
 				dict.vals = append(dict.vals, v)
 			}
-			dict.codes = append(dict.codes, code)
+			codes = append(codes, code)
 		}
 	}
 	if dict != nil && len(vals) > 0 {
+		dict.compress(codes)
 		c.dict = dict
+		// Per-row storage becomes the packed codes; values and keys
+		// materialise through the dictionary from here on.
+		c.vals = nil
+		c.keys = nil
 	}
 	return c
+}
+
+// compress finalises a dictionary from the raw per-row codes: the
+// per-distinct key table, the bit-packed code lanes, and — when the
+// column actually runs — the RLE run index.
+func (d *dictionary) compress(codes []int32) {
+	d.keys = make([]string, len(d.vals))
+	for code, v := range d.vals {
+		if !v.IsNull() {
+			d.keys[code] = v.Key()
+		}
+	}
+	d.width = uint(bits.Len(uint(len(d.vals) - 1)))
+	if d.width > 0 {
+		d.bits = make([]uint64, (uint64(len(codes))*uint64(d.width)+63)/64+1)
+		for ri, code := range codes {
+			bit := uint64(ri) * uint64(d.width)
+			off := bit & 63
+			d.bits[bit>>6] |= uint64(code) << off
+			if off+uint64(d.width) > 64 {
+				d.bits[bit>>6+1] |= uint64(code) >> (64 - off)
+			}
+		}
+	}
+	var runs []codeRun
+	for ri := 0; ri < len(codes); {
+		end := ri + 1
+		for end < len(codes) && codes[end] == codes[ri] {
+			end++
+		}
+		runs = append(runs, codeRun{start: int32(ri), end: int32(end), code: codes[ri]})
+		ri = end
+	}
+	// Keep the run index only when the column genuinely runs; a
+	// run-per-row index would cost more to walk than the rows.
+	if len(runs)*4 <= len(codes) {
+		d.runs = runs
+	}
 }
 
 // strictKey identifies a stored value by exact kind and payload —
@@ -304,7 +442,7 @@ func (e *Executor) SampleRows(tbl string, limit int) ([]value.Tuple, error) {
 	for ri := 0; ri < n; ri++ {
 		row := make(value.Tuple, len(t.cols))
 		for ci, c := range t.cols {
-			row[ci] = c.vals[ri]
+			row[ci] = c.value(int32(ri))
 		}
 		out[ri] = row
 	}
@@ -402,14 +540,27 @@ type gather struct {
 // call; when verdict is non-nil the predicate was pre-evaluated per
 // dictionary code, and when exact is set the predicate is answered from
 // the value's numeric view with two float comparisons
-// (exec.ColumnPredicate.BoundsExact) — no closure call per row.
+// (exec.ColumnPredicate.BoundsExact) — no closure call per row. Exact
+// checks additionally drive per-block zone-map pruning: a block whose
+// numeric extrema miss [lo, hi] is skipped without touching a row.
 type predCheck struct {
 	pred    func(value.Value) bool
-	vals    []value.Value
-	codes   []int32
+	col     *column
 	verdict []bool
 	exact   bool
 	lo, hi  float64
+}
+
+// blockExcluded reports whether the check proves block b of its column
+// empty: an exact-bounds check passes only rows whose numeric view lies
+// in [lo, hi], so a block with no numeric rows or with extrema outside
+// the interval cannot contribute a row.
+func (c *predCheck) blockExcluded(b int) bool {
+	if !c.exact {
+		return false
+	}
+	z := &c.col.blocks[b]
+	return !z.hasNum || z.maxF < c.lo || z.minF > c.hi
 }
 
 // execState is the pooled per-execution scratch: bound plan state, slot
@@ -451,6 +602,7 @@ type execState struct {
 	scanSets   []int
 	scanRanges [][2]int
 	scanHits   []int
+	scanActive []bool
 
 	// Masked-join scratch: when masked is set (batch runs only), the join
 	// pipeline carries one uint64 per row — bit si set while the row is
@@ -492,6 +644,7 @@ func (e *Executor) putState(st *execState) {
 	st.scanSets = st.scanSets[:0]
 	st.scanRanges = st.scanRanges[:0]
 	st.scanHits = st.scanHits[:0]
+	st.scanActive = st.scanActive[:0]
 	st.masked = false
 	st.maskCur = st.maskCur[:0]
 	st.maskNext = st.maskNext[:0]
@@ -727,7 +880,7 @@ func (e *Executor) run(st *execState, p exec.Plan, opts exec.ExecOptions, yield 
 		}
 		for gi := range st.gathers {
 			g := &st.gathers[gi]
-			proj[gi] = g.col.vals[st.cur[g.slot][r]]
+			proj[gi] = g.col.value(st.cur[g.slot][r])
 		}
 		if opts.TuplePredicate != nil && !opts.TuplePredicate(proj) {
 			continue
@@ -809,7 +962,6 @@ func (e *Executor) joinPipeline(st *execState, p exec.Plan, opts exec.ExecOption
 			st.next = append(st.next, v)
 		}
 		outRows := 0
-		keys := probeCol.keys
 		if st.masked {
 			st.maskNext = st.maskNext[:0]
 		}
@@ -818,7 +970,7 @@ func (e *Executor) joinPipeline(st *execState, p exec.Plan, opts exec.ExecOption
 				stats.hasPartial = true
 				return 0, exec.ErrInterrupted
 			}
-			k := keys[probeVec[r]]
+			k := probeCol.key(probeVec[r])
 			if k == "" {
 				continue // NULL never joins
 			}
@@ -939,8 +1091,8 @@ func (st *execState) filterResidual(nRows int, edge exec.JoinEdge) (int, error) 
 		st.maskNext = st.maskNext[:0]
 	}
 	for r := 0; r < nRows; r++ {
-		lv := lc.vals[st.cur[ls][r]]
-		if lv.IsNull() || !lv.Equal(rc.vals[st.cur[rs][r]]) {
+		lv := lc.value(st.cur[ls][r])
+		if lv.IsNull() || !lv.Equal(rc.value(st.cur[rs][r])) {
 			continue
 		}
 		for s := 0; s < width; s++ {
@@ -1063,20 +1215,72 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 				sel.bm.Add(id)
 			}
 		}
-	} else {
-		for id := int32(0); id < int32(t.numRows); id++ {
+	} else if rle := st.rleCheck(); rle != nil {
+		// RLE fast path: a single dictionary-verdict predicate over a
+		// running column is answered once per run. Counters match the
+		// row loop exactly — every row is accounted scanned, failing runs
+		// are filtered wholesale.
+		for _, run := range rle.col.dict.runs {
 			if st.interrupt.Hit() {
 				st.keepIDs(idSlot, ids)
 				return true
 			}
-			if st.verifyRow(id, stats) {
+			n := int(run.end - run.start)
+			stats.RowsScanned += n
+			if !rle.verdict[run.code] {
+				stats.PredicateFiltered += n
+				continue
+			}
+			for id := run.start; id < run.end; id++ {
 				ids = append(ids, id)
 				sel.bm.Add(id)
+			}
+		}
+	} else {
+		for b0 := 0; b0 < t.numRows; b0 += blockRows {
+			if st.blockPruned(b0/blockRows, 0, len(st.checks)) {
+				continue
+			}
+			end := int32(min(b0+blockRows, t.numRows))
+			for id := int32(b0); id < end; id++ {
+				if st.interrupt.Hit() {
+					st.keepIDs(idSlot, ids)
+					return true
+				}
+				if st.verifyRow(id, stats) {
+					ids = append(ids, id)
+					sel.bm.Add(id)
+				}
 			}
 		}
 	}
 	sel.ids = ids
 	st.keepIDs(idSlot, ids)
+	return false
+}
+
+// rleCheck returns the single pending check when the whole selection is
+// one dictionary-verdict predicate over a column with an RLE run index —
+// the shape the run-at-a-time fast path answers — and nil otherwise.
+func (st *execState) rleCheck() *predCheck {
+	if len(st.checks) != 1 {
+		return nil
+	}
+	c := &st.checks[0]
+	if c.verdict == nil || c.col.dict.runs == nil {
+		return nil
+	}
+	return c
+}
+
+// blockPruned reports whether any of st.checks[lo:hi] proves block b
+// empty (per-block zone maps; see predCheck.blockExcluded).
+func (st *execState) blockPruned(b, lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if st.checks[i].blockExcluded(b) {
+			return true
+		}
+	}
 	return false
 }
 
@@ -1086,9 +1290,8 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 // path when the predicate's bounds are exact, the predicate closure
 // otherwise.
 func newPredCheck(cp *exec.ColumnPredicate, col *column, toCheck int, st *execState) predCheck {
-	c := predCheck{pred: cp.Pred, vals: col.vals}
+	c := predCheck{pred: cp.Pred, col: col}
 	if d := col.dict; d != nil && len(d.vals) < toCheck {
-		c.codes = d.codes
 		c.verdict = st.getVerdict(len(d.vals))
 		for code, dv := range d.vals {
 			c.verdict[code] = cp.Pred(dv)
@@ -1117,12 +1320,12 @@ func (st *execState) checkRange(id int32, lo, hi int, stats *exec.ExecStats) boo
 		c := &st.checks[i]
 		var pass bool
 		if c.verdict != nil {
-			pass = c.verdict[c.codes[id]]
+			pass = c.verdict[c.col.dict.code(id)]
 		} else if c.exact {
-			f, ok := c.vals[id].Float()
+			f, ok := c.col.value(id).Float()
 			pass = ok && f >= c.lo && f <= c.hi
 		} else {
-			pass = c.pred(c.vals[id])
+			pass = c.pred(c.col.value(id))
 		}
 		if !pass {
 			stats.PredicateFiltered++

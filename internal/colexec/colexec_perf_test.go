@@ -74,8 +74,9 @@ func TestAllNullColumnPruning(t *testing.T) {
 }
 
 // TestDictionaryEncoding checks the dictionary construction invariants:
-// low-cardinality columns get exact codes (strict identity, NULL
-// included), high-cardinality columns skip the dictionary.
+// low-cardinality columns get exact bit-packed codes (strict identity,
+// NULL included) and drop their per-row storage, high-cardinality columns
+// skip the dictionary and keep it.
 func TestDictionaryEncoding(t *testing.T) {
 	vals := []value.Value{
 		value.NewText("CA"), value.NewText("NV"), value.NullValue,
@@ -86,16 +87,26 @@ func TestDictionaryEncoding(t *testing.T) {
 	if c.dict == nil {
 		t.Fatal("low-cardinality column should be dictionary-encoded")
 	}
-	if len(c.dict.codes) != len(vals) {
-		t.Fatalf("codes cover %d of %d rows", len(c.dict.codes), len(vals))
+	if c.vals != nil || c.keys != nil {
+		t.Error("dictionary-encoded column should drop its per-row value/key storage")
 	}
 	if len(c.dict.vals) != 6 {
 		t.Fatalf("expected 6 distinct strict values, got %d: %v", len(c.dict.vals), c.dict.vals)
 	}
+	if want := uint(3); c.dict.width != want { // 6 distinct values need 3 bits
+		t.Errorf("code width = %d bits, want %d", c.dict.width, want)
+	}
 	for ri, v := range vals {
-		dv := c.dict.vals[c.dict.codes[ri]]
+		dv := c.value(int32(ri))
 		if !dv.EqualStrict(v) {
 			t.Errorf("row %d decodes to %v (kind %v), want %v (kind %v)", ri, dv, dv.Kind(), v, v.Kind())
+		}
+		wantKey := ""
+		if !v.IsNull() {
+			wantKey = v.Key()
+		}
+		if got := c.key(int32(ri)); got != wantKey {
+			t.Errorf("row %d key = %q, want %q", ri, got, wantKey)
 		}
 	}
 
@@ -105,6 +116,103 @@ func TestDictionaryEncoding(t *testing.T) {
 	}
 	if w := buildColumn(wide); w.dict != nil {
 		t.Error("high-cardinality column should not be dictionary-encoded")
+	} else if w.vals == nil || w.keys == nil {
+		t.Error("undictionaried column must keep its per-row storage")
+	}
+}
+
+// TestPackedCodesRoundTrip exercises the bit-packing at widths whose
+// codes straddle word boundaries: every row must decode to its original
+// value regardless of lane alignment.
+func TestPackedCodesRoundTrip(t *testing.T) {
+	for _, distinct := range []int{1, 2, 3, 17, 33, dictMaxCardinality} {
+		var vals []value.Value
+		for i := 0; i < 5000; i++ {
+			// A fixed pseudo-random-ish cycle touching every code.
+			vals = append(vals, value.NewInt(int64((i*7+i/11)%distinct)))
+		}
+		c := buildColumn(vals)
+		if c.dict == nil {
+			t.Fatalf("distinct=%d: expected a dictionary", distinct)
+		}
+		for ri, v := range vals {
+			if got := c.value(int32(ri)); !got.EqualStrict(v) {
+				t.Fatalf("distinct=%d row %d: decoded %v, want %v", distinct, ri, got, v)
+			}
+		}
+	}
+}
+
+// TestRunLengthIndex checks the RLE construction: a running column gets
+// a run index whose runs tile the rows exactly; a non-running column
+// does not pay for one.
+func TestRunLengthIndex(t *testing.T) {
+	var runny []value.Value
+	for i := 0; i < 4000; i++ {
+		runny = append(runny, value.NewText([]string{"A", "B", "C"}[i/500%3]))
+	}
+	c := buildColumn(runny)
+	if c.dict == nil || c.dict.runs == nil {
+		t.Fatal("a long-running column should get an RLE index")
+	}
+	var next int32
+	for _, run := range c.dict.runs {
+		if run.start != next || run.end <= run.start {
+			t.Fatalf("runs do not tile the rows: %+v at expected offset %d", run, next)
+		}
+		for ri := run.start; ri < run.end; ri++ {
+			if code := c.dict.code(ri); code != run.code {
+				t.Fatalf("row %d: code %d, run says %d", ri, code, run.code)
+			}
+		}
+		next = run.end
+	}
+	if next != int32(len(runny)) {
+		t.Fatalf("runs cover %d of %d rows", next, len(runny))
+	}
+
+	var choppy []value.Value
+	for i := 0; i < 4000; i++ {
+		choppy = append(choppy, value.NewInt(int64(i%5)))
+	}
+	if cc := buildColumn(choppy); cc.dict == nil || cc.dict.runs != nil {
+		t.Error("an alternating column should not keep a run index")
+	}
+}
+
+// TestBlockZoneMaps checks the per-block zone maps: block extrema track
+// their own rows, and a block-pruned scan still returns exactly the
+// rows a full scan would.
+func TestBlockZoneMaps(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 3*blockRows; i++ {
+		// Block 0 holds [0, 1000), block 1 [100000, 101000), block 2 NULLs.
+		switch i / blockRows {
+		case 0:
+			vals = append(vals, value.NewInt(int64(i%1000)))
+		case 1:
+			vals = append(vals, value.NewInt(int64(100000+i%1000)))
+		default:
+			vals = append(vals, value.NullValue)
+		}
+	}
+	c := buildColumn(vals)
+	if len(c.blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(c.blocks))
+	}
+	if b := c.blocks[0]; !b.hasNum || b.minF != 0 || b.maxF != 999 {
+		t.Errorf("block 0 zone = %+v", b)
+	}
+	if b := c.blocks[1]; !b.hasNum || b.minF != 100000 || b.maxF != 100999 {
+		t.Errorf("block 1 zone = %+v", b)
+	}
+	if c.blocks[2].hasNum {
+		t.Errorf("all-NULL block claims numeric rows: %+v", c.blocks[2])
+	}
+	check := predCheck{col: c, exact: true, lo: 100100, hi: 100200}
+	if !check.blockExcluded(0) || check.blockExcluded(1) || !check.blockExcluded(2) {
+		t.Errorf("block exclusion verdicts wrong: %v %v %v",
+			check.blockExcluded(0), check.blockExcluded(1), check.blockExcluded(2))
 	}
 }
 

@@ -1,0 +1,44 @@
+package dataset
+
+// Million-row scaled variants of the bundled generators, the out-of-core
+// sizes behind the CLIs' -big flags. They exist to exercise the engine at
+// snapshot-worthy scale: building one takes long enough that loading a
+// snapshot written by Engine.Snapshot is visibly cheaper than rebuilding.
+
+// BigMondialConfig sizes the synthetic Mondial at roughly a million rows
+// across the nine tables (the geo_* link tables roughly double each
+// feature count).
+func BigMondialConfig() MondialConfig {
+	return MondialConfig{
+		Seed:                1,
+		Countries:           100,
+		ProvincesPerCountry: 30,
+		CitiesPerProvince:   80, // 240k cities
+		Lakes:               120_000,
+		Rivers:              80_000,
+		Mountains:           60_000,
+	}
+}
+
+// BigIMDBConfig sizes the synthetic IMDB at roughly a million rows
+// (movies + people + one CastRole per cast slot + genres + directors).
+func BigIMDBConfig() IMDBConfig {
+	return IMDBConfig{
+		Seed:           2,
+		Movies:         120_000,
+		People:         180_000,
+		CastPerMovie:   4, // 480k cast roles
+		GenresPerMovie: 2, // 240k genre links
+	}
+}
+
+// BigNBAConfig sizes the synthetic NBA at roughly a million rows (games
+// dominate).
+func BigNBAConfig() NBAConfig {
+	return NBAConfig{
+		Seed:           3,
+		Teams:          30,
+		PlayersPerTeam: 15,
+		Games:          1_000_000,
+	}
+}

@@ -1,0 +1,149 @@
+package dataset
+
+// The Source abstraction: one nameable provider of a fully built
+// mem.Database. The three embedded generators (mondial, imdb, nba) are
+// sources; CSV files, CSV directories, SQLite database files and engine
+// snapshots are sources too (FromFile sniffs which). Everything upstream
+// — prism.Open, the registry, the CLIs — deals in sources, so file-backed
+// datasets work everywhere a named dataset does.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prism/internal/mem"
+)
+
+// Source names and builds one dataset. Open may be expensive (generator
+// runs, file ingestion); callers cache the result.
+type Source interface {
+	// Name is the dataset's registry name: the generator name for
+	// embedded datasets, or a label derived from the path for files.
+	Name() string
+	// Open builds the database. The result is analyzed and query-ready.
+	Open() (*mem.Database, error)
+}
+
+// generatorSource adapts one embedded generator to Source.
+type generatorSource struct {
+	name  string
+	build func() (*mem.Database, error)
+}
+
+func (g generatorSource) Name() string                 { return g.name }
+func (g generatorSource) Open() (*mem.Database, error) { return g.build() }
+
+// Generator returns the named embedded generator ("mondial", "imdb",
+// "nba") as a Source at its default size.
+func Generator(name string) (Source, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	for _, n := range Names() {
+		if n == key {
+			return generatorSource{name: key, build: func() (*mem.Database, error) { return ByName(key) }}, nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: unknown generator %q (want %s)", name, strings.Join(Names(), ", "))
+}
+
+// Sources lists every embedded generator as a Source, in Names() order.
+func Sources() []Source {
+	out := make([]Source, 0, len(Names()))
+	for _, n := range Names() {
+		s, _ := Generator(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// fileSource is a Source backed by a path on disk; the concrete loader
+// was chosen by FromFile's sniffing.
+type fileSource struct {
+	name string
+	path string
+	load func(path string) (*mem.Database, error)
+}
+
+func (f fileSource) Name() string                 { return f.name }
+func (f fileSource) Open() (*mem.Database, error) { return f.load(f.path) }
+
+// sqliteMagic opens every SQLite 3 database file.
+const sqliteMagic = "SQLite format 3\x00"
+
+// FromFile returns a Source for a path on disk, sniffing its format:
+//
+//   - a directory is loaded as one table per contained *.csv file;
+//   - a file starting with the SQLite 3 magic is read as a SQLite
+//     database (read-only, rowid tables);
+//   - a file starting with the engine-snapshot magic is decoded as a
+//     snapshot (see mem.ReadSnapshot);
+//   - anything else with a .csv extension is loaded as a single-table
+//     CSV dataset.
+//
+// The source's Name is the path's base name without extension,
+// lower-cased — the same convention the registry uses for generators.
+func FromFile(path string) (Source, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	name := datasetNameForPath(path)
+	if info.IsDir() {
+		return fileSource{name: name, path: path, load: LoadCSVDir}, nil
+	}
+	head := make([]byte, 16)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	n, err := io.ReadFull(f, head)
+	f.Close()
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("dataset: reading %s: %w", path, err)
+	}
+	head = head[:n]
+	switch {
+	case strings.HasPrefix(string(head), sqliteMagic):
+		return fileSource{name: name, path: path, load: LoadSQLite}, nil
+	case strings.HasPrefix(string(head), "PRSNAP"):
+		return fileSource{name: name, path: path, load: loadSnapshotFile}, nil
+	case strings.EqualFold(filepath.Ext(path), ".csv"):
+		return fileSource{name: name, path: path, load: LoadCSVFile}, nil
+	default:
+		return nil, fmt.Errorf("dataset: cannot determine the format of %s (want a directory of CSVs, a .csv file, a SQLite database or a prism snapshot)", path)
+	}
+}
+
+// Open is FromFile(path).Open(): the one-call form used by prism.Open's
+// "file:" scheme.
+func Open(path string) (*mem.Database, error) {
+	src, err := FromFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return src.Open()
+}
+
+func loadSnapshotFile(path string) (*mem.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return mem.ReadSnapshot(f)
+}
+
+// datasetNameForPath derives the registry name for a file-backed
+// dataset: base name, extension stripped, lower-cased.
+func datasetNameForPath(path string) string {
+	base := filepath.Base(filepath.Clean(path))
+	if ext := filepath.Ext(base); ext != "" && ext != base {
+		base = base[:len(base)-len(ext)]
+	}
+	if base == "" || base == "." || base == string(filepath.Separator) {
+		return "dataset"
+	}
+	return strings.ToLower(base)
+}

@@ -118,6 +118,12 @@ type Config struct {
 	// truth computation ("" = the engine default, columnar). Validation
 	// counts are identical across backends; wall-clock times are not.
 	Executor string
+	// Database, when non-nil, is used as the source database directly —
+	// typically one restored from an engine snapshot — instead of
+	// generating Mondial from Config.Mondial. It must be a Mondial-shaped
+	// database: the workload generator's ground truths assume that
+	// schema.
+	Database *mem.Database
 }
 
 func (c Config) withDefaults() Config {
@@ -167,9 +173,13 @@ type Runner struct {
 // NewRunner prepares the experiment environment.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
-	db, err := dataset.Mondial(cfg.Mondial)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: %w", err)
+	db := cfg.Database
+	if db == nil {
+		var err error
+		db, err = dataset.Mondial(cfg.Mondial)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
 	}
 	gen, err := workload.NewGenerator(db, cfg.Seed, workload.MondialGroundTruths())
 	if err != nil {

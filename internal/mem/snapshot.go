@@ -1,0 +1,691 @@
+package mem
+
+// Engine snapshots: a compact, checksummed binary serialization of one
+// analyzed Database — schema, rows (column-major), per-column statistics
+// and the keyword inverted index — so a serving process can cold-start by
+// decoding a file instead of re-running a generator, re-coercing every
+// cell and re-analyzing. The format is versioned (formatVersion) and the
+// payload is guarded by a CRC; every decode failure, from a bad magic to
+// a truncated posting list, fails closed with ErrSnapshotCorrupt.
+//
+// The data version (Database.Version) is stored verbatim: filter-outcome
+// caches key on it, so a snapshot round trip keeps cached session state
+// addressable exactly as if the process had never restarted.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// snapshotMagic opens every snapshot file. The trailing byte is the
+// format version; bumping snapshotFormatVersion invalidates old files
+// explicitly rather than misreading them.
+var snapshotMagic = [8]byte{'P', 'R', 'S', 'N', 'A', 'P', '0', '1'}
+
+const snapshotFormatVersion = 1
+
+var (
+	// ErrSnapshotCorrupt reports a snapshot that failed structural
+	// validation: wrong magic, truncated payload, checksum mismatch, or
+	// an impossible encoding. Loads fail closed — no partially-decoded
+	// database is ever returned.
+	ErrSnapshotCorrupt = errors.New("mem: snapshot corrupt")
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version of this package.
+	ErrSnapshotVersion = errors.New("mem: unsupported snapshot format version")
+)
+
+// WriteSnapshot serializes the database to w. The database is analyzed
+// first (a no-op when already current) so the snapshot always carries
+// statistics and the inverted index: a ReadSnapshot of the result is
+// query-ready without further preprocessing.
+func (db *Database) WriteSnapshot(w io.Writer) error {
+	db.Analyze()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	var body bytes.Buffer
+	enc := snapshotEncoder{w: &body}
+	enc.string(db.Name)
+	enc.uvarint(db.version)
+	enc.schema(db.sch)
+	for _, t := range db.sch.Tables() {
+		rel := db.relations[strings.ToLower(t.Name)]
+		enc.uvarint(uint64(len(rel.Rows)))
+		// Column-major with a per-column encoding tag: text columns are
+		// dictionary-encoded (each distinct string stored once, rows as
+		// codes), everything else is a plain kind-tagged value stream.
+		// Cold-start decode speed is the point — a dictionary column
+		// costs one string allocation per distinct value instead of one
+		// per row.
+		for ci := range t.Columns {
+			enc.column(t.Columns[ci].Type, rel.Rows, ci)
+		}
+	}
+	enc.analyzedState(db)
+
+	header := make([]byte, 0, len(snapshotMagic)+2+12)
+	header = append(header, snapshotMagic[:]...)
+	header = binary.LittleEndian.AppendUint64(header, uint64(body.Len()))
+	header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("mem: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("mem: writing snapshot body: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot. The returned
+// database is analyzed (statistics and indexes restored, not recomputed)
+// and carries the original data version.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	header := make([]byte, len(snapshotMagic)+12)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrSnapshotCorrupt, err)
+	}
+	if !bytes.Equal(header[:len(snapshotMagic)-2], snapshotMagic[:len(snapshotMagic)-2]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if !bytes.Equal(header[:len(snapshotMagic)], snapshotMagic[:]) {
+		return nil, fmt.Errorf("%w: snapshot format %q, this build reads %q",
+			ErrSnapshotVersion, header[len(snapshotMagic)-2:len(snapshotMagic)], snapshotMagic[len(snapshotMagic)-2:])
+	}
+	bodyLen := binary.LittleEndian.Uint64(header[len(snapshotMagic):])
+	wantCRC := binary.LittleEndian.Uint32(header[len(snapshotMagic)+8:])
+	const maxSnapshotBytes = 1 << 36 // 64 GiB: reject absurd lengths before allocating
+	if bodyLen > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: implausible body length %d", ErrSnapshotCorrupt, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: truncated body: %v", ErrSnapshotCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+
+	dec := &snapshotDecoder{buf: body}
+	db, err := dec.database()
+	if err != nil {
+		return nil, err
+	}
+	if dec.pos != len(dec.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(dec.buf)-dec.pos)
+	}
+	return db, nil
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+
+type snapshotEncoder struct {
+	w *bytes.Buffer
+}
+
+func (e snapshotEncoder) uvarint(v uint64) { e.w.Write(binary.AppendUvarint(nil, v)) }
+func (e snapshotEncoder) varint(v int64)   { e.w.Write(binary.AppendVarint(nil, v)) }
+
+func (e snapshotEncoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.w.WriteString(s)
+}
+
+func (e snapshotEncoder) value(v value.Value) {
+	e.w.WriteByte(byte(v.Kind()))
+	switch v.Kind() {
+	case value.Null:
+	case value.Int:
+		e.varint(v.Int())
+	case value.Decimal:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Decimal()))
+		e.w.Write(b[:])
+	case value.Text:
+		e.string(v.Text())
+	case value.Date, value.Time:
+		e.varint(v.TimeValue().Unix())
+	}
+}
+
+// Column encoding tags. The trailing-garbage and bit-flip tests cover
+// both branches via the fixture's mixed schema.
+const (
+	colPlain    = 0 // kind-tagged value per row
+	colDictText = 1 // string dictionary, then one code per row (0 = NULL)
+)
+
+// column writes one table column. Text columns get the dictionary
+// encoding; any other declared type — and, defensively, a text column
+// holding a mistyped non-null cell — gets the plain stream.
+func (e snapshotEncoder) column(declared value.Kind, rows []value.Tuple, ci int) {
+	plain := declared != value.Text
+	for _, row := range rows {
+		if v := row[ci]; !v.IsNull() && v.Kind() != declared {
+			plain = true
+			break
+		}
+	}
+	if plain {
+		e.w.WriteByte(colPlain)
+		for _, row := range rows {
+			e.value(row[ci])
+		}
+		return
+	}
+	e.w.WriteByte(colDictText)
+	codes := make(map[string]uint64) // string -> code; 0 is NULL, so codes start at 1
+	dict := make([]string, 0, 16)    // first-seen order keeps the bytes deterministic
+	rowCodes := make([]uint64, len(rows))
+	for ri, row := range rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		s := v.Text()
+		code, ok := codes[s]
+		if !ok {
+			dict = append(dict, s)
+			code = uint64(len(dict))
+			codes[s] = code
+		}
+		rowCodes[ri] = code
+	}
+	e.uvarint(uint64(len(dict)))
+	for _, s := range dict {
+		e.string(s)
+	}
+	for _, code := range rowCodes {
+		e.uvarint(code)
+	}
+}
+
+func (e snapshotEncoder) schema(s *schema.Schema) {
+	tables := s.Tables()
+	e.uvarint(uint64(len(tables)))
+	for _, t := range tables {
+		e.string(t.Name)
+		e.string(t.Comment)
+		e.uvarint(uint64(len(t.Columns)))
+		for _, c := range t.Columns {
+			e.string(c.Name)
+			e.w.WriteByte(byte(c.Type))
+			e.string(c.Comment)
+		}
+		e.uvarint(uint64(len(t.PrimaryKey)))
+		for _, pk := range t.PrimaryKey {
+			e.string(pk)
+		}
+	}
+	fks := s.ForeignKeys()
+	e.uvarint(uint64(len(fks)))
+	for _, fk := range fks {
+		e.string(fk.From.Table)
+		e.string(fk.From.Column)
+		e.string(fk.To.Table)
+		e.string(fk.To.Column)
+	}
+}
+
+// analyzedState writes the preprocessing products: per-column statistics
+// and the keyword inverted index. Postings are encoded against a column
+// ordinal table (schema declaration order) with delta-compressed row
+// ids; keywords are sorted so identical databases produce identical
+// bytes. The per-column keyword sets are not stored — they are exactly
+// the posting refs per keyword and are rebuilt during decode.
+func (e snapshotEncoder) analyzedState(db *Database) {
+	ordinals := columnOrdinals(db.sch)
+	e.uvarint(uint64(len(db.stats)))
+	statKeys := make([]string, 0, len(db.stats))
+	for k := range db.stats {
+		statKeys = append(statKeys, k)
+	}
+	sort.Strings(statKeys)
+	for _, k := range statKeys {
+		st := db.stats[k]
+		e.uvarint(uint64(ordinals[statsKey(st.Ref)]))
+		e.w.WriteByte(byte(st.Type))
+		e.value(st.Min)
+		e.value(st.Max)
+		e.uvarint(uint64(st.MaxLength))
+		e.uvarint(uint64(st.RowCount))
+		e.uvarint(uint64(st.NullCount))
+		e.uvarint(uint64(st.Distinct))
+	}
+
+	e.uvarint(uint64(len(db.inverted)))
+	keywords := make([]string, 0, len(db.inverted))
+	for kw := range db.inverted {
+		keywords = append(keywords, kw)
+	}
+	sort.Strings(keywords)
+	for _, kw := range keywords {
+		postings := db.inverted[kw]
+		e.string(kw)
+		e.uvarint(uint64(len(postings)))
+		prevRow := 0
+		prevCol := 0
+		for _, p := range postings {
+			col := ordinals[statsKey(p.Ref)]
+			e.varint(int64(col - prevCol))
+			e.varint(int64(p.Row - prevRow))
+			prevCol, prevRow = col, p.Row
+		}
+	}
+}
+
+// columnOrdinals numbers every column in schema declaration order; the
+// snapshot refers to columns by these ordinals instead of repeating
+// table/column strings per posting.
+func columnOrdinals(s *schema.Schema) map[string]int {
+	out := make(map[string]int)
+	n := 0
+	for _, t := range s.Tables() {
+		for _, c := range t.Columns {
+			out[statsKey(schema.ColumnRef{Table: t.Name, Column: c.Name})] = n
+			n++
+		}
+	}
+	return out
+}
+
+// columnRefs is the inverse of columnOrdinals: ordinal -> canonical ref.
+func columnRefs(s *schema.Schema) []schema.ColumnRef {
+	var out []schema.ColumnRef
+	for _, t := range s.Tables() {
+		for _, c := range t.Columns {
+			out = append(out, schema.ColumnRef{Table: t.Name, Column: c.Name})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+
+type snapshotDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *snapshotDecoder) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrSnapshotCorrupt, fmt.Sprintf(format, args...), d.pos)
+}
+
+func (d *snapshotDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *snapshotDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count decodes a collection length and bounds it against the bytes that
+// remain: every element costs at least one byte, so any length exceeding
+// the remaining payload is corruption, caught before allocation.
+func (d *snapshotDecoder) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.buf)-d.pos) {
+		return 0, d.fail("count %d exceeds remaining payload", v)
+	}
+	return int(v), nil
+}
+
+func (d *snapshotDecoder) string() (string, error) {
+	n, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+func (d *snapshotDecoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, d.fail("unexpected end of payload")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *snapshotDecoder) value() (value.Value, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return value.NullValue, err
+	}
+	switch value.Kind(kind) {
+	case value.Null:
+		return value.NullValue, nil
+	case value.Int:
+		i, err := d.varint()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewInt(i), nil
+	case value.Decimal:
+		if d.pos+8 > len(d.buf) {
+			return value.NullValue, d.fail("truncated decimal")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+		d.pos += 8
+		return value.NewDecimal(f), nil
+	case value.Text:
+		s, err := d.string()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewText(s), nil
+	case value.Date:
+		secs, err := d.varint()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewDate(time.Unix(secs, 0).UTC()), nil
+	case value.Time:
+		secs, err := d.varint()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewTime(time.Unix(secs, 0).UTC()), nil
+	default:
+		return value.NullValue, d.fail("unknown value kind %d", kind)
+	}
+}
+
+func (d *snapshotDecoder) schema() (*schema.Schema, error) {
+	numTables, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	s := schema.New()
+	for i := 0; i < numTables; i++ {
+		name, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		comment, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		numCols, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]schema.Column, numCols)
+		for ci := range cols {
+			if cols[ci].Name, err = d.string(); err != nil {
+				return nil, err
+			}
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			cols[ci].Type = value.Kind(kind)
+			if cols[ci].Comment, err = d.string(); err != nil {
+				return nil, err
+			}
+		}
+		t, err := schema.NewTable(name, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		t.Comment = comment
+		numPK, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < numPK; p++ {
+			pk, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			t.PrimaryKey = append(t.PrimaryKey, pk)
+		}
+		if err := s.AddTable(t); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+	numFKs, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < numFKs; i++ {
+		var fk schema.ForeignKey
+		if fk.From.Table, err = d.string(); err != nil {
+			return nil, err
+		}
+		if fk.From.Column, err = d.string(); err != nil {
+			return nil, err
+		}
+		if fk.To.Table, err = d.string(); err != nil {
+			return nil, err
+		}
+		if fk.To.Column, err = d.string(); err != nil {
+			return nil, err
+		}
+		if err := s.AddForeignKey(fk); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+	return s, nil
+}
+
+func (d *snapshotDecoder) database() (*Database, error) {
+	name, err := d.string()
+	if err != nil {
+		return nil, err
+	}
+	version, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := d.schema()
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase(name, sch)
+	db.version = version
+
+	for _, t := range sch.Tables() {
+		numRows, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]value.Tuple, numRows)
+		cells := make(value.Tuple, numRows*len(t.Columns))
+		for ri := range rows {
+			rows[ri] = cells[ri*len(t.Columns) : (ri+1)*len(t.Columns)]
+		}
+		for ci := range t.Columns {
+			if err := d.column(t, ci, rows); err != nil {
+				return nil, err
+			}
+		}
+		db.relations[strings.ToLower(t.Name)].Rows = rows
+	}
+
+	if err := d.analyzedState(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// column decodes one table column into rows[*][ci] according to its
+// encoding tag.
+func (d *snapshotDecoder) column(t *schema.Table, ci int, rows []value.Tuple) error {
+	declared := t.Columns[ci].Type
+	tag, err := d.byte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case colPlain:
+		for ri := range rows {
+			v, err := d.value()
+			if err != nil {
+				return err
+			}
+			// Cells were coerced to the declared type before the
+			// snapshot was written; a mismatch means the payload was
+			// tampered with in a CRC-preserving way or written by a
+			// buggy encoder. Either way: fail closed.
+			if !v.IsNull() && v.Kind() != declared {
+				return d.fail("table %s column %s: %s cell in a %s column",
+					t.Name, t.Columns[ci].Name, v.Kind(), declared)
+			}
+			rows[ri][ci] = v
+		}
+	case colDictText:
+		if declared != value.Text {
+			return d.fail("table %s column %s: dictionary encoding on a %s column",
+				t.Name, t.Columns[ci].Name, declared)
+		}
+		numDistinct, err := d.count()
+		if err != nil {
+			return err
+		}
+		dict := make([]value.Value, numDistinct+1) // dict[0] stays NULL
+		for i := 1; i <= numDistinct; i++ {
+			s, err := d.string()
+			if err != nil {
+				return err
+			}
+			dict[i] = value.NewText(s)
+		}
+		for ri := range rows {
+			code, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if code > uint64(numDistinct) {
+				return d.fail("table %s column %s: dictionary code %d out of range",
+					t.Name, t.Columns[ci].Name, code)
+			}
+			rows[ri][ci] = dict[code]
+		}
+	default:
+		return d.fail("table %s column %s: unknown column encoding %d",
+			t.Name, t.Columns[ci].Name, tag)
+	}
+	return nil
+}
+
+func (d *snapshotDecoder) analyzedState(db *Database) error {
+	refs := columnRefs(db.sch)
+	// Ordinal-indexed key and keyword-set tables: the posting loop below
+	// runs once per posting, and computing statsKey (two ToLower calls
+	// plus a concatenation) or re-resolving the columnKeywords map there
+	// dominates cold-start decode time on keyword-dense databases.
+	keys := make([]string, len(refs))
+	sets := make([]map[string]struct{}, len(refs))
+	db.columnKeywords = make(map[string]map[string]struct{}, len(refs))
+	for i, ref := range refs {
+		keys[i] = statsKey(ref)
+		sets[i] = make(map[string]struct{})
+		db.columnKeywords[keys[i]] = sets[i]
+	}
+	numStats, err := d.count()
+	if err != nil {
+		return err
+	}
+	db.stats = make(map[string]schema.Stats, numStats)
+	for i := 0; i < numStats; i++ {
+		ord, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if ord >= uint64(len(refs)) {
+			return d.fail("stats column ordinal %d out of range", ord)
+		}
+		st := schema.Stats{Ref: refs[ord]}
+		kind, err := d.byte()
+		if err != nil {
+			return err
+		}
+		st.Type = value.Kind(kind)
+		if st.Min, err = d.value(); err != nil {
+			return err
+		}
+		if st.Max, err = d.value(); err != nil {
+			return err
+		}
+		fields := []*int{&st.MaxLength, &st.RowCount, &st.NullCount, &st.Distinct}
+		for _, f := range fields {
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			*f = int(v)
+		}
+		db.stats[keys[ord]] = st
+	}
+
+	numKeywords, err := d.count()
+	if err != nil {
+		return err
+	}
+	db.inverted = make(map[string][]Posting, numKeywords)
+	for i := 0; i < numKeywords; i++ {
+		kw, err := d.string()
+		if err != nil {
+			return err
+		}
+		numPostings, err := d.count()
+		if err != nil {
+			return err
+		}
+		postings := make([]Posting, numPostings)
+		col, row := 0, 0
+		marked := -1 // last column marked for kw; postings cluster by column
+		for pi := range postings {
+			dc, err := d.varint()
+			if err != nil {
+				return err
+			}
+			dr, err := d.varint()
+			if err != nil {
+				return err
+			}
+			col += int(dc)
+			row += int(dr)
+			if col < 0 || col >= len(refs) || row < 0 {
+				return d.fail("posting out of range (col %d, row %d)", col, row)
+			}
+			postings[pi] = Posting{Ref: refs[col], Row: row}
+			if col != marked {
+				sets[col][kw] = struct{}{}
+				marked = col
+			}
+		}
+		db.inverted[kw] = postings
+	}
+	db.analyzed = true
+	return nil
+}

@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"prism/internal/schema"
+	"prism/internal/value"
+)
+
+// snapshotFixture builds a small analyzed database exercising every value
+// kind, NULLs, foreign keys, primary keys and comments.
+func snapshotFixture(t *testing.T) *Database {
+	t.Helper()
+	country := schema.MustTable("Country",
+		schema.Column{Name: "Name", Type: value.Text, Comment: "country name"},
+		schema.Column{Name: "Population", Type: value.Int},
+		schema.Column{Name: "Area", Type: value.Decimal},
+		schema.Column{Name: "Founded", Type: value.Date},
+	)
+	country.PrimaryKey = []string{"Name"}
+	city := schema.MustTable("City",
+		schema.Column{Name: "Name", Type: value.Text},
+		schema.Column{Name: "Country", Type: value.Text},
+		schema.Column{Name: "Curfew", Type: value.Time},
+	)
+	sch := schema.New()
+	if err := sch.AddTable(country); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddTable(city); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddForeignKey(schema.ForeignKey{
+		From: schema.ColumnRef{Table: "City", Column: "Country"},
+		To:   schema.ColumnRef{Table: "Country", Column: "Name"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewDatabase("fixture", sch)
+	rows := [][]string{
+		{"Atlantis", "12000", "88.5", "1875-03-02"},
+		{"Lemuria", "", "-3.25", ""},
+		{"Mu", "777", "", "2001-11-30"},
+	}
+	for _, r := range rows {
+		if err := db.InsertStrings("Country", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range [][]string{
+		{"Poseidonis", "Atlantis", "22:30:00"},
+		{"Shalmali", "Lemuria", ""},
+	} {
+		if err := db.InsertStrings("City", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Analyze()
+	return db
+}
+
+// TestSnapshotRoundTrip pins losslessness: schema, rows, data version,
+// statistics, inverted index and per-column keyword sets all survive a
+// write/read cycle, and the decoded database is immediately query-ready.
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Name != db.Name {
+		t.Errorf("name = %q, want %q", got.Name, db.Name)
+	}
+	if got.Version() != db.Version() {
+		t.Errorf("version = %d, want %d", got.Version(), db.Version())
+	}
+	if !got.Analyzed() {
+		t.Error("decoded database is not analyzed")
+	}
+	if got.Schema().String() != db.Schema().String() {
+		t.Errorf("schema diverges:\n--- want ---\n%s--- got ---\n%s", db.Schema(), got.Schema())
+	}
+	for _, table := range db.Schema().TableNames() {
+		want, _ := db.Relation(table)
+		rel, ok := got.Relation(table)
+		if !ok {
+			t.Fatalf("table %s missing after round trip", table)
+		}
+		if len(rel.Rows) != len(want.Rows) {
+			t.Fatalf("table %s has %d rows, want %d", table, len(rel.Rows), len(want.Rows))
+		}
+		for ri := range want.Rows {
+			for ci := range want.Rows[ri] {
+				if !want.Rows[ri][ci].EqualStrict(rel.Rows[ri][ci]) {
+					t.Errorf("table %s row %d col %d = %v (%s), want %v (%s)",
+						table, ri, ci, rel.Rows[ri][ci], rel.Rows[ri][ci].Kind(),
+						want.Rows[ri][ci], want.Rows[ri][ci].Kind())
+				}
+			}
+		}
+		if pk := rel.Schema.PrimaryKey; !reflect.DeepEqual(pk, want.Schema.PrimaryKey) {
+			t.Errorf("table %s primary key = %v, want %v", table, pk, want.Schema.PrimaryKey)
+		}
+	}
+	if !reflect.DeepEqual(got.AllStats(), db.AllStats()) {
+		t.Errorf("stats diverge:\nwant %v\ngot  %v", db.AllStats(), got.AllStats())
+	}
+	if !reflect.DeepEqual(got.inverted, db.inverted) {
+		t.Errorf("inverted index diverges:\nwant %v\ngot  %v", db.inverted, got.inverted)
+	}
+	for key, want := range db.columnKeywords {
+		if !reflect.DeepEqual(got.columnKeywords[key], want) {
+			t.Errorf("column keywords for %s = %v, want %v", key, got.columnKeywords[key], want)
+		}
+	}
+}
+
+// TestSnapshotDeterministic pins that the same database always encodes to
+// the same bytes (map iteration is sorted away), so snapshot files diff
+// cleanly and CI can compare them byte-wise.
+func TestSnapshotDeterministic(t *testing.T) {
+	db := snapshotFixture(t)
+	var a, b bytes.Buffer
+	if err := db.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two snapshots of the same database differ")
+	}
+}
+
+// TestSnapshotFailsClosed pins the corruption contract: truncation, bit
+// flips, bad magic and future format versions all return a typed error
+// and never a partially-decoded database.
+func TestSnapshotFailsClosed(t *testing.T) {
+	db := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated at every prefix length", func(t *testing.T) {
+		// Every strict prefix must fail: either a short header/body read
+		// or a checksum mismatch. Step through a spread of cut points.
+		for cut := 0; cut < len(good)-1; cut += 1 + len(good)/97 {
+			db, err := ReadSnapshot(bytes.NewReader(good[:cut]))
+			if err == nil || db != nil {
+				t.Fatalf("truncation at %d/%d bytes: err=%v db=%v", cut, len(good), err, db)
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("truncation at %d: err = %v, want ErrSnapshotCorrupt", cut, err)
+			}
+		}
+	})
+
+	t.Run("bit flips", func(t *testing.T) {
+		for _, pos := range []int{0, 5, len(snapshotMagic) + 2, len(good) / 2, len(good) - 1} {
+			bad := append([]byte(nil), good...)
+			bad[pos] ^= 0x40
+			db, err := ReadSnapshot(bytes.NewReader(bad))
+			if err == nil || db != nil {
+				t.Fatalf("bit flip at %d: err=%v db=%v", pos, err, db)
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotVersion) {
+				t.Fatalf("bit flip at %d: err = %v, want a typed snapshot error", pos, err)
+			}
+		}
+	})
+
+	t.Run("future format version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[6], bad[7] = '9', '9' // version digits of the magic
+		_, err := ReadSnapshot(bytes.NewReader(bad))
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), "extra"...)
+		// Extra bytes past the declared body are ignored by design (the
+		// reader is length-prefixed), so this must still decode — it is
+		// how the format stays embeddable in larger files.
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err != nil {
+			t.Fatalf("length-prefixed read choked on trailing bytes: %v", err)
+		}
+	})
+
+	t.Run("empty input", func(t *testing.T) {
+		_, err := ReadSnapshot(bytes.NewReader(nil))
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+}
+
+// TestSnapshotEmptyDatabase pins the degenerate case: a schema with no
+// rows round-trips.
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	sch := schema.New()
+	if err := sch.AddTable(schema.MustTable("Empty", schema.Column{Name: "X", Type: value.Int})); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase("void", sch)
+	db.Analyze()
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows("Empty") != 0 {
+		t.Errorf("rows = %d, want 0", got.NumRows("Empty"))
+	}
+	if !got.Analyzed() {
+		t.Error("decoded empty database is not analyzed")
+	}
+}

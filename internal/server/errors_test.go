@@ -81,3 +81,66 @@ func TestStructuredAPIErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestSampleLimitValidation audits the /api/sample limit parameter: zero,
+// negative and non-numeric sample sizes must come back as a structured
+// invalid_request error — pre-fix the handler silently substituted the
+// default and returned 200, hiding caller bugs. Valid limits (and the
+// implicit default) still serve rows.
+func TestSampleLimitValidation(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	cases := []struct {
+		name   string
+		limit  string // raw query value; "" means omit the parameter
+		status int
+		code   string // expected error code; "" means success expected
+	}{
+		{name: "default limit", limit: "", status: http.StatusOK},
+		{name: "positive limit", limit: "3", status: http.StatusOK},
+		{name: "zero limit", limit: "0", status: http.StatusBadRequest, code: "invalid_request"},
+		{name: "negative limit", limit: "-7", status: http.StatusBadRequest, code: "invalid_request"},
+		{name: "garbage limit", limit: "lots", status: http.StatusBadRequest, code: "invalid_request"},
+		{name: "fractional limit", limit: "2.5", status: http.StatusBadRequest, code: "invalid_request"},
+		{name: "overflowing limit", limit: "99999999999999999999", status: http.StatusBadRequest, code: "invalid_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			url := "/api/sample?db=mondial&table=Lake"
+			if tc.limit != "" {
+				url += "&limit=" + tc.limit
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body)
+			}
+			if tc.code == "" {
+				var payload struct {
+					Rows [][]string `json:"rows"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+					t.Fatalf("body is not JSON: %q (%v)", rec.Body.String(), err)
+				}
+				if len(payload.Rows) == 0 {
+					t.Error("no rows in a successful sample")
+				}
+				return
+			}
+			var payload struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+				t.Fatalf("body is not JSON: %q (%v)", rec.Body.String(), err)
+			}
+			if payload.Code != tc.code {
+				t.Errorf("code = %q, want %q (error: %s)", payload.Code, tc.code, payload.Error)
+			}
+			if payload.Error == "" {
+				t.Error("error message missing")
+			}
+		})
+	}
+}

@@ -267,9 +267,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	table := r.URL.Query().Get("table")
 	limit := 10
 	if raw := r.URL.Query().Get("limit"); raw != "" {
-		if n, err := strconv.Atoi(raw); err == nil && n > 0 {
-			limit = n
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeAPIError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("sample limit must be a positive integer, got %q", raw))
+			return
 		}
+		limit = n
 	}
 	rows, err := eng.SampleRows(table, limit)
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"strings"
 
+	"prism/api"
 	"prism/internal/bayes"
 	"prism/internal/constraint"
 	"prism/internal/dataset"
@@ -223,6 +224,12 @@ func WithSessionCacheCapacity(entries int) OpenOption {
 // database entirely. Open replaced the pre-registry OpenDataset /
 // OpenMondial / OpenIMDB / OpenNBA constructors, which have been removed
 // (migration was mechanical: Open(name) / Open(name, With*Config(cfg))).
+//
+// A name of the form "file:PATH" ingests a dataset from disk instead:
+// PATH may be a directory of CSV files (one table each), a single .csv
+// file, a SQLite 3 database file, or an engine snapshot written by
+// Engine.Snapshot / SnapshotFile. The format is sniffed from the file
+// itself; the path keeps its case (only the scheme prefix is fixed).
 func Open(name string, options ...OpenOption) (*Engine, error) {
 	var cfg openConfig
 	for _, o := range options {
@@ -259,7 +266,14 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 	case cfg.nba != nil:
 		db, err = dataset.NBA(*cfg.nba)
 	default:
-		db, err = dataset.ByName(name)
+		// The scheme check runs on the raw (trimmed, case-preserved) name:
+		// file paths are case-sensitive on most filesystems, so only the
+		// prefix itself is matched case-insensitively.
+		if path, ok := cutFileScheme(name); ok {
+			db, err = dataset.Open(path)
+		} else {
+			db, err = dataset.ByName(name)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -267,12 +281,28 @@ func Open(name string, options ...OpenOption) (*Engine, error) {
 	return newEngine(db, cfg.executor, cfg.sessionCache), nil
 }
 
+// cutFileScheme splits a "file:PATH" Open name, preserving the path's
+// case and reporting whether the scheme was present.
+func cutFileScheme(name string) (string, bool) {
+	trimmed := strings.TrimSpace(name)
+	if len(trimmed) < len("file:") || !strings.EqualFold(trimmed[:len("file:")], "file:") {
+		return "", false
+	}
+	return trimmed[len("file:"):], true
+}
+
 // DatasetNames lists the bundled demo databases.
 func DatasetNames() []string { return dataset.Names() }
 
-// SampleRows returns up to limit rows of the named source table (limit <= 0
-// returns all rows), for dataset previews.
+// SampleRows returns up to limit rows of the named source table, for
+// dataset previews. The limit must be positive: zero or negative sample
+// sizes are rejected with ErrInvalidRequest rather than silently meaning
+// "all rows", so a miscomputed size in a caller surfaces as a structured
+// error instead of an unbounded dump.
 func (e *Engine) SampleRows(table string, limit int) ([]Tuple, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("%w: sample limit must be positive, got %d", api.ErrInvalidRequest, limit)
+	}
 	return e.inner.SampleRows(table, limit)
 }
 

@@ -99,6 +99,19 @@ func (r *Registry) RegisterDatabase(name string, db *Database) {
 	r.RegisterOpener(name, func() (*Engine, error) { return NewEngine(db), nil })
 }
 
+// RegisterFile installs (or replaces) a file-backed dataset under the
+// name: a directory of CSV files, a single .csv file, a SQLite database
+// file, or an engine snapshot (the format is sniffed; see Open's "file:"
+// scheme). Ingestion and preprocessing run lazily on first Get, so a
+// server can register many files and pay only for those actually
+// queried. Registration is deliberately explicit — the registry never
+// resolves "file:" names on its own, so a serving tier exposes exactly
+// the paths its operator registered and a client-supplied database name
+// can never reach the filesystem.
+func (r *Registry) RegisterFile(name, path string, options ...OpenOption) {
+	r.RegisterOpener(name, func() (*Engine, error) { return Open("file:"+path, options...) })
+}
+
 // Get returns the named engine, building it on first use. Concurrent Gets
 // of the same name share one build; a failed build is cached and returned
 // to every caller (re-register to retry).

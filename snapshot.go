@@ -1,0 +1,104 @@
+package prism
+
+// Engine snapshots on the public surface: Snapshot serializes the
+// engine's analyzed source database; OpenSnapshot / ReadSnapshot rebuild
+// an equivalent engine from that serialization without re-ingesting or
+// re-analyzing anything. The underlying format (internal/mem) is
+// versioned and checksummed; see docs/storage.md.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"prism/internal/mem"
+)
+
+// Snapshot-format sentinels, re-exported so callers can classify load
+// failures without importing internal packages.
+var (
+	// ErrSnapshotCorrupt reports a snapshot file that failed structural
+	// validation (bad magic, truncation, checksum mismatch, impossible
+	// encoding). Loads fail closed: no partially-decoded engine is ever
+	// returned.
+	ErrSnapshotCorrupt = mem.ErrSnapshotCorrupt
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version of this library.
+	ErrSnapshotVersion = mem.ErrSnapshotVersion
+)
+
+// Snapshot serializes the engine's source database — rows, schema,
+// statistics and keyword indexes, keyed by the database's data version —
+// to w. A later OpenSnapshot/ReadSnapshot of those bytes yields an
+// engine that produces byte-identical mapping sets.
+func (e *Engine) Snapshot(w io.Writer) error {
+	return e.Database().WriteSnapshot(w)
+}
+
+// SnapshotFile writes the engine's snapshot atomically to path: the
+// bytes land in a temporary sibling file first and are renamed into
+// place, so readers never observe a half-written snapshot.
+func (e *Engine) SnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".prism-snap-*")
+	if err != nil {
+		return fmt.Errorf("prism: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("prism: closing snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("prism: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot stream written by Engine.Snapshot and
+// returns an engine over the restored database. Executor and
+// session-cache options apply as with Open; dataset-sizing options do
+// not (the data comes from the snapshot) and are rejected as caller
+// bugs.
+func ReadSnapshot(r io.Reader, options ...OpenOption) (*Engine, error) {
+	cfg, err := snapshotConfig(options)
+	if err != nil {
+		return nil, err
+	}
+	db, err := mem.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(db, cfg.executor, cfg.sessionCache), nil
+}
+
+// OpenSnapshot is ReadSnapshot over a file path.
+func OpenSnapshot(path string, options ...OpenOption) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prism: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	eng, err := ReadSnapshot(f, options...)
+	if err != nil {
+		return nil, fmt.Errorf("prism: snapshot %s: %w", path, err)
+	}
+	return eng, nil
+}
+
+func snapshotConfig(options []OpenOption) (openConfig, error) {
+	var cfg openConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	switch {
+	case cfg.db != nil:
+		return cfg, fmt.Errorf("prism: WithDatabase does not apply to snapshot loads — the database comes from the snapshot")
+	case cfg.mondial != nil, cfg.imdb != nil, cfg.nba != nil:
+		return cfg, fmt.Errorf("prism: dataset sizing options do not apply to snapshot loads — the data comes from the snapshot")
+	}
+	return cfg, nil
+}

@@ -1,0 +1,159 @@
+package prism
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotSpec is a small high-resolution specification every bundled
+// dataset responds to with a non-empty mapping set (keywords are chosen
+// per dataset below).
+func snapshotSpecFor(t *testing.T, name string) *Spec {
+	t.Helper()
+	grids := map[string][][]string{
+		"mondial": {{"California || Nevada", "Lake Tahoe"}},
+		"imdb":    {{"Inception", "Leonardo DiCaprio"}},
+		"nba":     {{"Los Angeles", "Lakers"}},
+	}
+	spec, err := ParseConstraints(2, grids[name], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func discoverDigest(t *testing.T, eng *Engine, spec *Spec) string {
+	t.Helper()
+	report, err := eng.Discover(context.Background(), spec, Options{
+		Parallelism: 1, MaxTables: 3, IncludeResults: true, ResultLimit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fuzzDigest(report)
+}
+
+// TestSnapshotLosslessAcrossDatasets pins the headline acceptance
+// criterion: for each bundled dataset, an engine loaded from a
+// just-written snapshot produces byte-identical mapping sets (SQL order,
+// previews, validation schedule) to the engine that wrote it.
+func TestSnapshotLosslessAcrossDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		t.Run(name, func(t *testing.T) {
+			var opts []OpenOption
+			if name == "mondial" {
+				opts = append(opts, WithMondialConfig(tinyMondial()))
+			}
+			fresh, err := Open(name, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), name+".snap")
+			if err := fresh.SnapshotFile(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := OpenSnapshot(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := loaded.Database().Version(), fresh.Database().Version(); got != want {
+				t.Errorf("data version = %d, want %d", got, want)
+			}
+			spec := snapshotSpecFor(t, name)
+			want := discoverDigest(t, fresh, spec)
+			if got := discoverDigest(t, loaded, spec); got != want {
+				t.Errorf("snapshot-loaded engine diverges:\n--- fresh ---\n%s--- loaded ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestOpenSnapshotFailsClosed pins the file-level corruption contract:
+// missing, truncated and bit-flipped snapshot files surface typed errors
+// and never an engine.
+func TestOpenSnapshotFailsClosed(t *testing.T) {
+	eng, err := Open("nba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nba.snap")
+	if err := eng.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := OpenSnapshot(filepath.Join(dir, "nope.snap")); err == nil {
+			t.Fatal("want error for a missing snapshot")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		p := filepath.Join(dir, "truncated.snap")
+		if err := os.WriteFile(p, good[:len(good)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := OpenSnapshot(p)
+		if !errors.Is(err, ErrSnapshotCorrupt) || eng != nil {
+			t.Fatalf("err = %v (engine %v), want ErrSnapshotCorrupt", err, eng)
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)/2] ^= 0x10
+		p := filepath.Join(dir, "flipped.snap")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := OpenSnapshot(p)
+		if !errors.Is(err, ErrSnapshotCorrupt) || eng != nil {
+			t.Fatalf("err = %v (engine %v), want ErrSnapshotCorrupt", err, eng)
+		}
+	})
+	t.Run("wrong file entirely", func(t *testing.T) {
+		p := filepath.Join(dir, "notes.txt")
+		if err := os.WriteFile(p, []byte("not a snapshot at all, just text"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSnapshot(p); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+}
+
+// TestSnapshotOptionValidation pins that dataset-sizing options — which
+// cannot apply to a snapshot load — are rejected as caller bugs, while
+// executor selection works.
+func TestSnapshotOptionValidation(t *testing.T) {
+	eng, err := Open("nba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	if _, err := ReadSnapshot(bytes.NewReader(snap), WithMondialConfig(MondialConfig{})); err == nil {
+		t.Error("WithMondialConfig on a snapshot load should be rejected")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(snap), WithDatabase(eng.Database())); err == nil {
+		t.Error("WithDatabase on a snapshot load should be rejected")
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(snap), WithExecutor("mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := snapshotSpecFor(t, "nba")
+	if got, want := discoverDigest(t, loaded, spec), discoverDigest(t, eng, spec); got != want {
+		t.Errorf("mem-executor snapshot engine diverges:\n--- fresh ---\n%s--- loaded ---\n%s", want, got)
+	}
+}
