@@ -128,6 +128,12 @@ func (p retryPolicy) parseRetryAfter(retryAfter string) (time.Duration, bool) {
 		return 0, false
 	}
 	if secs, err := strconv.Atoi(retryAfter); err == nil {
+		// RFC 9110 delta-seconds are non-negative; treat a negative value
+		// as unparseable so a misconfigured server that persistently sends
+		// one gets the exponential schedule, not zero-backoff retries.
+		if secs < 0 {
+			return 0, false
+		}
 		return clampRetryDelay(time.Duration(secs) * time.Second), true
 	}
 	if at, err := http.ParseTime(retryAfter); err == nil {
@@ -141,8 +147,8 @@ func (p retryPolicy) parseRetryAfter(retryAfter string) (time.Duration, bool) {
 }
 
 // clampRetryDelay bounds a server-supplied delay to [0, maxRetryBackoff]:
-// past dates and negative delta-seconds mean "retry now", absurd values
-// are capped at the policy ceiling.
+// past HTTP-dates mean "retry now", absurd values are capped at the
+// policy ceiling.
 func clampRetryDelay(d time.Duration) time.Duration {
 	if d < 0 {
 		return 0

@@ -157,8 +157,10 @@ func TestRetryWaitRespectsContext(t *testing.T) {
 // TestParseRetryAfterForms pins the Retry-After grammar end to end: both
 // RFC 9110 forms (delta-seconds and HTTP-date) are honoured, hostile or
 // garbage values never park the client beyond maxRetryBackoff, and
-// unparseable hints fall back to the exponential schedule. The HTTP-date
-// cases fail on the pre-fix parser, which only understood delta-seconds.
+// unparseable hints — including negative delta-seconds, which would
+// otherwise turn every retry into an immediate one — fall back to the
+// exponential schedule. The HTTP-date cases fail on the pre-fix parser,
+// which only understood delta-seconds.
 func TestParseRetryAfterForms(t *testing.T) {
 	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
 	p := retryPolicy{attempts: 3, backoff: time.Millisecond, now: func() time.Time { return now }}
@@ -172,7 +174,7 @@ func TestParseRetryAfterForms(t *testing.T) {
 		{name: "delta seconds", header: "7", want: 7 * time.Second, wantOK: true},
 		{name: "delta seconds zero", header: "0", want: 0, wantOK: true},
 		{name: "delta seconds padded", header: "  3 ", want: 3 * time.Second, wantOK: true},
-		{name: "negative delta clamps to now", header: "-15", want: 0, wantOK: true},
+		{name: "negative delta falls back to schedule", header: "-15", wantOK: false},
 		{name: "absurd delta clamps to ceiling", header: "86400", want: maxRetryBackoff, wantOK: true},
 		{name: "http date", header: now.Add(9 * time.Second).Format(http.TimeFormat), want: 9 * time.Second, wantOK: true},
 		{name: "http date rfc850", header: now.Add(4 * time.Second).Format(time.RFC850), want: 4 * time.Second, wantOK: true},

@@ -18,6 +18,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"prism/internal/mem"
 	"prism/internal/schema"
@@ -28,6 +29,11 @@ import (
 // ordinary table becomes a relation (declared types mapped through
 // SQLite's affinity rules onto prism's kinds), REFERENCES clauses become
 // schema foreign keys, and the result is analyzed.
+//
+// SQLite's flexible typing legally stores any value in any column, so a
+// declared type is a hint, not a guarantee: a column holding cells that
+// cannot be represented as its declared prism kind degrades to Text
+// rather than aborting the load.
 func LoadSQLite(path string) (*mem.Database, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -42,12 +48,14 @@ func LoadSQLite(path string) (*mem.Database, error) {
 		return nil, fmt.Errorf("dataset: %s: %w", path, err)
 	}
 
-	sch := schema.New()
-	type tableInfo struct {
-		def      *sqliteTableDef
-		rootPage int
+	// Phase one: parse definitions and collect every table's raw cells,
+	// so column kinds can be settled against the actual data before the
+	// schema is built.
+	type tableLoad struct {
+		def  *sqliteTableDef
+		rows [][]sqliteValue // record cells, rowid alias already applied
 	}
-	var tables []tableInfo
+	var tables []*tableLoad
 	for _, m := range masters {
 		if m.typ != "table" || strings.HasPrefix(m.name, "sqlite_") {
 			continue
@@ -56,35 +64,59 @@ func LoadSQLite(path string) (*mem.Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %s: table %s: %w", path, m.name, err)
 		}
-		cols := make([]schema.Column, len(def.columns))
-		for i, c := range def.columns {
-			cols[i] = schema.Column{Name: c.name, Type: c.kind}
-		}
-		t, err := schema.NewTable(m.name, cols...)
+		tl := &tableLoad{def: def}
+		err = f.walkTable(m.rootPage, func(rowid int64, record []sqliteValue) error {
+			row := make([]sqliteValue, len(def.columns))
+			for ci := range def.columns {
+				if ci < len(record) {
+					row[ci] = record[ci]
+				}
+				// An INTEGER PRIMARY KEY column is the rowid: its record
+				// slot is stored as NULL and the b-tree key carries the
+				// value.
+				if ci == def.rowidColumn && row[ci].kind == sqliteNull {
+					row[ci] = sqliteValue{kind: sqliteInt, i: rowid}
+				}
+			}
+			tl.rows = append(tl.rows, row)
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+			return nil, fmt.Errorf("dataset: %s: table %s: %w", path, def.name, err)
 		}
-		if def.primaryKey != "" {
-			t.PrimaryKey = []string{def.primaryKey}
-		}
-		if err := sch.AddTable(t); err != nil {
-			return nil, fmt.Errorf("dataset: %s: %w", path, err)
-		}
-		tables = append(tables, tableInfo{def: def, rootPage: m.rootPage})
+		tables = append(tables, tl)
 	}
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("dataset: %s: no ordinary tables", path)
 	}
+
+	sch := schema.New()
+	for _, tl := range tables {
+		cols := make([]schema.Column, len(tl.def.columns))
+		for ci, c := range tl.def.columns {
+			cols[ci] = schema.Column{Name: c.name, Type: effectiveKind(c.kind, tl.rows, ci)}
+		}
+		t, err := schema.NewTable(tl.def.name, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		if tl.def.primaryKey != "" {
+			t.PrimaryKey = []string{tl.def.primaryKey}
+		}
+		if err := sch.AddTable(t); err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+	}
 	// Foreign keys second, once every referenced table exists. Edges
 	// referencing tables we skipped (or self-references, which the schema
 	// layer does not model) are dropped rather than fatal.
-	for _, ti := range tables {
-		for _, fk := range ti.def.foreignKeys {
+	for _, tl := range tables {
+		for _, fk := range tl.def.foreignKeys {
 			edge := schema.ForeignKey{
-				From: schema.ColumnRef{Table: ti.def.name, Column: fk.fromColumn},
+				From: schema.ColumnRef{Table: tl.def.name, Column: fk.fromColumn},
 				To:   schema.ColumnRef{Table: fk.toTable, Column: fk.toColumn},
 			}
-			if _, ok := sch.Table(fk.toTable); !ok || strings.EqualFold(ti.def.name, fk.toTable) {
+			if _, ok := sch.Table(fk.toTable); !ok || strings.EqualFold(tl.def.name, fk.toTable) {
 				continue
 			}
 			if edge.To.Column == "" {
@@ -99,31 +131,34 @@ func LoadSQLite(path string) (*mem.Database, error) {
 	}
 
 	db := mem.NewDatabase(datasetNameForPath(path), sch)
-	for _, ti := range tables {
-		def := ti.def
-		err := f.walkTable(ti.rootPage, func(rowid int64, record []sqliteValue) error {
-			tuple := make(value.Tuple, len(def.columns))
-			for ci := range def.columns {
-				var cell sqliteValue
-				if ci < len(record) {
-					cell = record[ci]
-				}
-				// An INTEGER PRIMARY KEY column is the rowid: its record
-				// slot is stored as NULL and the b-tree key carries the
-				// value.
-				if ci == def.rowidColumn && cell.kind == sqliteNull {
-					cell = sqliteValue{kind: sqliteInt, i: rowid}
-				}
-				tuple[ci] = cell.toValue(def.columns[ci].kind)
+	for _, tl := range tables {
+		t, _ := sch.Table(tl.def.name)
+		for _, row := range tl.rows {
+			tuple := make(value.Tuple, len(row))
+			for ci, cell := range row {
+				tuple[ci] = cell.toValue(t.Columns[ci].Type)
 			}
-			return db.Insert(def.name, tuple)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("dataset: %s: table %s: %w", path, def.name, err)
+			if err := db.Insert(tl.def.name, tuple); err != nil {
+				return nil, fmt.Errorf("dataset: %s: table %s: %w", path, tl.def.name, err)
+			}
 		}
 	}
 	db.Analyze()
 	return db, nil
+}
+
+// effectiveKind returns declared when every cell in the column can be
+// represented as it, Text otherwise (every cell has a Text rendering).
+func effectiveKind(declared value.Kind, rows [][]sqliteValue, ci int) value.Kind {
+	if declared == value.Text {
+		return declared
+	}
+	for _, row := range rows {
+		if v := row[ci].toValue(declared); !v.IsNull() && v.Kind() != declared {
+			return value.Text
+		}
+	}
+	return declared
 }
 
 // ---------------------------------------------------------------------
@@ -197,6 +232,17 @@ func (f *sqliteFile) masterRows(
 // walkTable traverses the table b-tree rooted at root, invoking fn for
 // every row in rowid order.
 func (f *sqliteFile) walkTable(root int, fn func(rowid int64, record []sqliteValue) error) error {
+	return f.walkTablePages(root, fn, make(map[int]bool))
+}
+
+// walkTablePages is walkTable's recursion. visited fails a corrupt file
+// whose interior pages cycle (a page referencing itself or an ancestor)
+// with a clear error instead of recursing without bound.
+func (f *sqliteFile) walkTablePages(root int, fn func(rowid int64, record []sqliteValue) error, visited map[int]bool) error {
+	if visited[root] {
+		return fmt.Errorf("page %d revisited: b-tree cycle", root)
+	}
+	visited[root] = true
 	page, err := f.page(root)
 	if err != nil {
 		return err
@@ -217,12 +263,12 @@ func (f *sqliteFile) walkTable(root int, fn func(rowid int64, record []sqliteVal
 				return fmt.Errorf("interior cell %d out of range", i)
 			}
 			child := int(binary.BigEndian.Uint32(page[off:]))
-			if err := f.walkTable(child, fn); err != nil {
+			if err := f.walkTablePages(child, fn, visited); err != nil {
 				return err
 			}
 		}
 		right := int(binary.BigEndian.Uint32(page[hdr+8 : hdr+12]))
-		return f.walkTable(right, fn)
+		return f.walkTablePages(right, fn, visited)
 	case 0x0D: // leaf table page
 		ptrArray := hdr + 8
 		for i := 0; i < cellCount; i++ {
@@ -353,12 +399,21 @@ func (v sqliteValue) toValue(declared value.Kind) value.Value {
 		natural = value.NewText(v.s)
 	}
 	if declared == value.Date || declared == value.Time {
-		// SQLite stores dates as TEXT/INT by convention; parse the text
-		// form, fall back to text when it is not ISO-formatted.
-		if v.kind == sqliteText {
+		// SQLite stores dates by convention: ISO-ish text
+		// ("YYYY-MM-DD[ HH:MM:SS]") or unix-epoch integers. Anything
+		// else keeps its natural kind, which degrades the column (see
+		// effectiveKind).
+		switch v.kind {
+		case sqliteText:
 			if parsed, err := value.ParseAs(v.s, declared); err == nil {
 				return parsed
 			}
+		case sqliteInt:
+			at := time.Unix(v.i, 0).UTC()
+			if declared == value.Date {
+				return value.NewDate(at)
+			}
+			return value.NewTime(at)
 		}
 		return natural
 	}
@@ -466,8 +521,9 @@ func sqliteUvarint(b []byte) (uint64, int) {
 // CREATE TABLE parsing
 
 type sqliteColumnDef struct {
-	name string
-	kind value.Kind
+	name     string
+	declared string // raw declared type, e.g. "INTEGER" or "VARCHAR(80)"
+	kind     value.Kind
 }
 
 type sqliteForeignKey struct {
@@ -511,7 +567,7 @@ func parseCreateTable(sql string) (*sqliteTableDef, error) {
 			// Table-level constraints: PRIMARY KEY(col) records the key.
 			if pk := extractParenList(item); len(pk) == 1 && strings.EqualFold(tokens[0], "PRIMARY") {
 				def.primaryKey = pk[0]
-				def.markRowidColumn(pk[0], item)
+				def.markRowidColumn(pk[0])
 			}
 			continue
 		case "FOREIGN":
@@ -529,11 +585,15 @@ func parseCreateTable(sql string) (*sqliteTableDef, error) {
 		// A column definition: name [type tokens...] [constraints...]
 		col := sqliteColumnDef{name: unquoteSQLiteIdent(tokens[0])}
 		typeTokens, rest := splitColumnType(tokens[1:])
-		col.kind = affinityKind(strings.Join(typeTokens, " "))
+		col.declared = strings.Join(typeTokens, " ")
+		col.kind = affinityKind(col.declared)
 		upper := strings.ToUpper(strings.Join(rest, " "))
 		if strings.Contains(upper, "PRIMARY KEY") {
 			def.primaryKey = col.name
-			if strings.Contains(strings.ToUpper(strings.Join(typeTokens, " ")), "INT") {
+			// Only a column declared exactly INTEGER aliases the rowid;
+			// INT, BIGINT etc. are ordinary columns that may legally hold
+			// NULL, which must not be replaced by the b-tree key.
+			if strings.EqualFold(col.declared, "INTEGER") {
 				def.rowidColumn = len(def.columns)
 			}
 		}
@@ -551,14 +611,14 @@ func parseCreateTable(sql string) (*sqliteTableDef, error) {
 }
 
 // markRowidColumn resolves a table-level PRIMARY KEY(col) to the rowid
-// alias when the named column's declared type is INTEGER.
-func (d *sqliteTableDef) markRowidColumn(col, rawItem string) {
+// alias when the named column's declared type is exactly INTEGER —
+// SQLite's rule; other integer-affinity spellings stay real columns.
+func (d *sqliteTableDef) markRowidColumn(col string) {
 	for i, c := range d.columns {
-		if strings.EqualFold(c.name, col) && c.kind == value.Int {
+		if strings.EqualFold(c.name, col) && strings.EqualFold(c.declared, "INTEGER") {
 			d.rowidColumn = i
 		}
 	}
-	_ = rawItem
 }
 
 // splitColumnType takes the tokens after a column name and returns the

@@ -463,3 +463,114 @@ func TestParseCreateTable(t *testing.T) {
 		t.Errorf("table-level FK = %+v", fk)
 	}
 }
+
+// TestLoadSQLiteFlexibleTyping pins the load-never-aborts contract:
+// conventional "YYYY-MM-DD HH:MM:SS" text and unix-epoch integers load
+// as the declared temporal kind, and mistyped cells — legal under
+// SQLite's flexible typing — degrade the column to Text instead of
+// failing the whole file. Pre-fix, every one of these rows aborted
+// LoadSQLite with a coercion error.
+func TestLoadSQLiteFlexibleTyping(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.db")
+	writeSQLiteFixture(t, path, []struct {
+		name string
+		sql  string
+		rows []fixtureRow
+	}{{
+		name: "Event",
+		sql:  `CREATE TABLE Event (id INTEGER PRIMARY KEY, created DATETIME, seen TIMESTAMP, day DATE, n INT)`,
+		rows: []fixtureRow{
+			{1, encodeSQLiteRecord([]sqliteCellValue{cvNull(), cvText("2021-03-04 10:30:00"), cvInt(1600000000), cvText("2021-03-04"), cvInt(5)})},
+			{2, encodeSQLiteRecord([]sqliteCellValue{cvNull(), cvText("2022-12-31 23:59:59"), cvInt(1700000000), cvText("not a date"), cvText("five")})},
+		},
+	}})
+
+	db, err := LoadSQLite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, _ := db.Schema().Table("Event")
+	if c, _ := event.Column("created"); c.Type != value.Time {
+		t.Errorf("created type = %v, want time", c.Type)
+	}
+	if c, _ := event.Column("seen"); c.Type != value.Time {
+		t.Errorf("seen type = %v, want time", c.Type)
+	}
+	rel, _ := db.Relation("Event")
+	if got := rel.Rows[0][1]; got.Kind() != value.Time {
+		t.Errorf("created value = %v (%s), want a time", got, got.Kind())
+	}
+	if got := rel.Rows[0][2]; got.Kind() != value.Time || got.TimeValue().Unix() != 1600000000 {
+		t.Errorf("seen value = %v (%s), want epoch 1600000000", got, got.Kind())
+	}
+	// Mixed columns fall back to Text, every original value preserved.
+	if c, _ := event.Column("day"); c.Type != value.Text {
+		t.Errorf("day type = %v, want text (mixed date/garbage cells)", c.Type)
+	}
+	if c, _ := event.Column("n"); c.Type != value.Text {
+		t.Errorf("n type = %v, want text (mixed int/text cells)", c.Type)
+	}
+	if got := rel.Rows[0][4]; got.Kind() != value.Text || got.Text() != "5" {
+		t.Errorf("n row 1 = %v, want \"5\"", got)
+	}
+	if got := rel.Rows[1][4]; got.Kind() != value.Text || got.Text() != "five" {
+		t.Errorf("n row 2 = %v, want \"five\"", got)
+	}
+}
+
+// TestWalkTableCyclicPages pins the corruption guard: an interior page
+// whose child pointer leads back to itself is rejected with a clear
+// error instead of recursing to a stack overflow.
+func TestWalkTableCyclicPages(t *testing.T) {
+	data := make([]byte, 2*fixturePageSize)
+	p := data[fixturePageSize:] // page 2
+	p[0] = 0x05
+	binary.BigEndian.PutUint16(p[3:], 0) // no cells
+	binary.BigEndian.PutUint32(p[8:], 2) // right-most child: itself
+	f := &sqliteFile{data: data, pageSize: fixturePageSize, usable: fixturePageSize}
+	err := f.walkTable(2, func(int64, []sqliteValue) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want a b-tree cycle rejection", err)
+	}
+}
+
+// TestLoadSQLiteIntPrimaryKeyIsNotRowid pins SQLite's rowid-alias rule:
+// only a column declared exactly INTEGER is the rowid. An INT PRIMARY
+// KEY column is a real column that may hold NULL, which must not be
+// replaced by the b-tree key.
+func TestLoadSQLiteIntPrimaryKeyIsNotRowid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ids.db")
+	writeSQLiteFixture(t, path, []struct {
+		name string
+		sql  string
+		rows []fixtureRow
+	}{{
+		name: "T",
+		sql:  `CREATE TABLE T (id INT PRIMARY KEY, name TEXT)`,
+		rows: []fixtureRow{{7, encodeSQLiteRecord([]sqliteCellValue{cvNull(), cvText("x")})}},
+	}})
+	db, err := LoadSQLite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db.Relation("T")
+	if !rel.Rows[0][0].IsNull() {
+		t.Errorf("id = %v, want NULL (INT PRIMARY KEY is not the rowid)", rel.Rows[0][0])
+	}
+
+	// Same rule for table-level PRIMARY KEY(col) constraints.
+	def, err := parseCreateTable(`CREATE TABLE U (id BIGINT, PRIMARY KEY(id))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.rowidColumn != -1 {
+		t.Errorf("BIGINT table-level PK: rowidColumn = %d, want -1", def.rowidColumn)
+	}
+	def, err = parseCreateTable(`CREATE TABLE V (id INTEGER, PRIMARY KEY(id))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.rowidColumn != 0 {
+		t.Errorf("INTEGER table-level PK: rowidColumn = %d, want 0", def.rowidColumn)
+	}
+}

@@ -605,11 +605,13 @@ func (d *snapshotDecoder) analyzedState(db *Database) error {
 	// dominates cold-start decode time on keyword-dense databases.
 	keys := make([]string, len(refs))
 	sets := make([]map[string]struct{}, len(refs))
+	rowCounts := make([]int, len(refs))
 	db.columnKeywords = make(map[string]map[string]struct{}, len(refs))
 	for i, ref := range refs {
 		keys[i] = statsKey(ref)
 		sets[i] = make(map[string]struct{})
 		db.columnKeywords[keys[i]] = sets[i]
+		rowCounts[i] = len(db.relations[strings.ToLower(ref.Table)].Rows)
 	}
 	numStats, err := d.count()
 	if err != nil {
@@ -675,7 +677,10 @@ func (d *snapshotDecoder) analyzedState(db *Database) error {
 			}
 			col += int(dc)
 			row += int(dr)
-			if col < 0 || col >= len(refs) || row < 0 {
+			// Bound row by the referenced table's decoded row count, not
+			// just zero: an index past the relation would otherwise defer
+			// the failure to a panic at query time.
+			if col < 0 || col >= len(refs) || row < 0 || row >= rowCounts[col] {
 				return d.fail("posting out of range (col %d, row %d)", col, row)
 			}
 			postings[pi] = Posting{Ref: refs[col], Row: row}

@@ -231,3 +231,25 @@ func TestSnapshotEmptyDatabase(t *testing.T) {
 		t.Error("decoded empty database is not analyzed")
 	}
 }
+
+// TestSnapshotRejectsOutOfRangePostingRow pins the decoder's bounds
+// check: a posting whose Row points past its table's rows (a buggy
+// encoder, or a tampered file with a recomputed CRC) fails the load with
+// ErrSnapshotCorrupt instead of deferring to a panic at query time.
+func TestSnapshotRejectsOutOfRangePostingRow(t *testing.T) {
+	db := snapshotFixture(t)
+	// Tamper after Analyze so WriteSnapshot serializes the bad posting
+	// verbatim under a valid checksum; only the decoder can catch it.
+	for kw, postings := range db.inverted {
+		db.inverted[kw] = append(postings, Posting{Ref: postings[0].Ref, Row: 999})
+		break
+	}
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+	}
+}

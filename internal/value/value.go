@@ -568,17 +568,17 @@ func ParseAs(s string, k Kind) (Value, error) {
 	case Text:
 		return NewText(s), nil
 	case Date:
-		d, err := time.Parse("2006-01-02", t)
-		if err != nil {
+		d, ok := parseDateText(t)
+		if !ok {
 			return NullValue, fmt.Errorf("value: %q is not a date (want YYYY-MM-DD)", s)
 		}
-		return NewDate(d), nil
+		return d, nil
 	case Time:
-		c, err := time.Parse("15:04:05", t)
-		if err != nil {
+		c, ok := parseTimeText(t)
+		if !ok {
 			return NullValue, fmt.Errorf("value: %q is not a time (want HH:MM:SS)", s)
 		}
-		return NewTime(c), nil
+		return c, nil
 	default:
 		return NullValue, fmt.Errorf("value: unknown kind %v", k)
 	}
@@ -609,15 +609,54 @@ func (v Value) Coerce(k Kind) (Value, bool) {
 		return NewText(v.String()), true
 	case Date:
 		if v.kind == Text {
-			if d, err := time.Parse("2006-01-02", strings.TrimSpace(v.s)); err == nil {
-				return NewDate(d), true
+			if d, ok := parseDateText(strings.TrimSpace(v.s)); ok {
+				return d, true
 			}
 		}
 	case Time:
 		if v.kind == Text {
-			if c, err := time.Parse("15:04:05", strings.TrimSpace(v.s)); err == nil {
-				return NewTime(c), true
+			if c, ok := parseTimeText(strings.TrimSpace(v.s)); ok {
+				return c, true
 			}
+		}
+	}
+	return NullValue, false
+}
+
+// datetimeLayouts are the conventional textual datetime forms accepted
+// for Date and Time beyond the canonical YYYY-MM-DD / HH:MM:SS: SQLite
+// and most CSV exports write "YYYY-MM-DD HH:MM:SS" (optionally
+// T-separated or zoned). time.Parse accepts a fractional-seconds suffix
+// on all of them.
+var datetimeLayouts = []string{
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	time.RFC3339,
+}
+
+// parseDateText interprets s as a Date: the canonical YYYY-MM-DD, or a
+// datetime form truncated to its calendar day.
+func parseDateText(s string) (Value, bool) {
+	if d, err := time.Parse("2006-01-02", s); err == nil {
+		return NewDate(d), true
+	}
+	for _, layout := range datetimeLayouts {
+		if d, err := time.Parse(layout, s); err == nil {
+			return NewDate(d), true
+		}
+	}
+	return NullValue, false
+}
+
+// parseTimeText interprets s as a Time: the canonical HH:MM:SS (on the
+// zero date), or a full datetime form.
+func parseTimeText(s string) (Value, bool) {
+	if c, err := time.Parse("15:04:05", s); err == nil {
+		return NewTime(c), true
+	}
+	for _, layout := range datetimeLayouts {
+		if c, err := time.Parse(layout, s); err == nil {
+			return NewTime(c), true
 		}
 	}
 	return NullValue, false

@@ -540,3 +540,43 @@ func BenchmarkValueKey(b *testing.B) {
 		_ = vals[i%len(vals)].Key()
 	}
 }
+
+// TestParseTemporalDatetimeForms pins the widened Date/Time grammar:
+// the conventional "YYYY-MM-DD HH:MM:SS" datetime (what SQLite and most
+// CSV exports store), its T-separated and RFC 3339 variants, all parse
+// and coerce; garbage still fails.
+func TestParseTemporalDatetimeForms(t *testing.T) {
+	v, err := ParseAs("2021-03-04 10:30:00", Time)
+	if err != nil || v.Kind() != Time {
+		t.Errorf("ParseAs datetime as time: %v %v", v, err)
+	}
+	want := time.Date(2021, 3, 4, 10, 30, 0, 0, time.UTC)
+	if err == nil && !v.TimeValue().Equal(want) {
+		t.Errorf("ParseAs datetime = %v, want %v", v.TimeValue(), want)
+	}
+	v, err = ParseAs("2021-03-04T10:30:00", Time)
+	if err != nil || v.Kind() != Time {
+		t.Errorf("ParseAs T-separated datetime: %v %v", v, err)
+	}
+	v, err = ParseAs("2021-03-04T10:30:00Z", Time)
+	if err != nil || v.Kind() != Time {
+		t.Errorf("ParseAs RFC 3339 datetime: %v %v", v, err)
+	}
+	v, err = ParseAs("2021-03-04 10:30:00", Date)
+	if err != nil || v.Kind() != Date || v.String() != "2021-03-04" {
+		t.Errorf("ParseAs datetime as date: %v %v", v, err)
+	}
+	if _, err = ParseAs("2021-03-04 25:99:00", Time); err == nil {
+		t.Error("ParseAs out-of-range datetime should fail")
+	}
+
+	if v, ok := NewText("2021-03-04 10:30:00").Coerce(Time); !ok || v.Kind() != Time {
+		t.Errorf("Coerce datetime text to time: %v %v", v, ok)
+	}
+	if v, ok := NewText("2021-03-04 10:30:00").Coerce(Date); !ok || v.String() != "2021-03-04" {
+		t.Errorf("Coerce datetime text to date: %v %v", v, ok)
+	}
+	if _, ok := NewText("soonish").Coerce(Time); ok {
+		t.Error("Coerce garbage to time should fail")
+	}
+}
