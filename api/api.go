@@ -18,6 +18,11 @@
 // Version v1 is append-only: fields may be added, existing fields and
 // codes keep their meaning. The unversioned /api/* routes serve the same
 // payloads and remain as deprecated aliases of /api/v1/*.
+//
+// One endpoint is deliberately not JSON: GET /api/v1/metrics (MetricsPath)
+// serves the Prometheus text exposition format so standard scrapers can
+// consume it directly; its errors (e.g. method_not_allowed) still use the
+// structured Error envelope.
 package api
 
 // Version names the wire format this package defines.

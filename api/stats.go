@@ -3,7 +3,9 @@ package api
 // The serving-tier wire surface: tenant/priority request headers and the
 // GET /api/v1/stats observability endpoint that prism-loadtest and the CI
 // regression legs scrape. Like the rest of v1, the stats body is
-// append-only.
+// append-only. The sibling GET /api/v1/metrics endpoint (MetricsPath)
+// exposes the same live sources — plus the library round metrics — in
+// Prometheus text format for standard scrapers.
 
 // Serving headers. Requests without a tenant header are accounted to
 // DefaultTenant; requests without a priority header get the endpoint's
@@ -30,6 +32,12 @@ const (
 
 // StatsPath is the stats endpoint, relative to PathPrefix.
 const StatsPath = "/stats"
+
+// MetricsPath is the Prometheus text-exposition endpoint, relative to
+// PathPrefix. Unlike the JSON surface its body is the Prometheus text
+// format (version 0.0.4); series may be added at any time, scrapers
+// must ignore unknown families.
+const MetricsPath = "/metrics"
 
 // AdmissionStats is the global admission-controller view.
 type AdmissionStats struct {

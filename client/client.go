@@ -204,6 +204,22 @@ func (c *Client) SampleRows(ctx context.Context, database, table string, limit i
 	return out.Rows, nil
 }
 
+// Metrics fetches the server's Prometheus text exposition
+// (GET /api/v1/metrics) and returns the body verbatim: round and
+// validation counters, admission and pool state, per-tenant aggregates
+// and peak-memory gauges. The format is Prometheus text 0.0.4, so the
+// string can be re-served to a scraper or parsed line by line.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	status, raw, err := c.roundTrip(ctx, http.MethodGet, api.MetricsPath, nil)
+	if err != nil {
+		return "", err
+	}
+	if status < 200 || status >= 300 {
+		return "", decodeError(status, raw)
+	}
+	return string(raw), nil
+}
+
 // Discover runs one blocking discovery round (POST /api/v1/discover). A
 // failed round (422) returns both the partial response and the round error
 // — mirroring Engine.Discover, which returns its partial report alongside

@@ -64,8 +64,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	remote := fs.String("remote", "", "base URL of a prism-demo server; the Table 1 walkthrough then runs remotely through the /api/v1 client (-exp t1 only)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file (go tool pprof)")
+	traceFile := fs.String("trace", "", "write the last discovery round's span trace as NDJSON to this file (local experiments only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceFile != "" && *remote != "" {
+		return fmt.Errorf("-trace needs the in-process engine; it is not available with -remote")
 	}
 
 	// Profiling hooks: docs/performance.md walks through reading these.
@@ -133,6 +137,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		TimeLimit:       *timeout,
 		Parallelism:     *parallelism,
 		Executor:        *executor,
+		Trace:           *traceFile != "",
 	}
 	// Cold start from a snapshot when one is on disk; otherwise build the
 	// database and (with -snapshot) write one for the next run.
@@ -214,6 +219,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintln(out, t.String())
 		}
+	}
+	if *traceFile != "" {
+		if runner.LastTrace == nil {
+			fmt.Fprintln(os.Stderr, "prism-bench: no traced round ran; -trace file not written")
+			return nil
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating -trace: %w", err)
+		}
+		if err := runner.LastTrace.WriteNDJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing -trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "prism-bench: trace written to %s\n", *traceFile)
 	}
 	return nil
 }

@@ -80,6 +80,7 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	session := fs.Bool("session", false, "interactive refinement session: edit constraints between rounds at a REPL prompt; refined rounds reuse cached filter outcomes")
 	remote := fs.String("remote", "", "base URL of a prism-demo server; rounds then run remotely through the /api/v1 client instead of in-process")
 	explainMode := fs.String("explain", "", "render the first mapping's query graph: ascii, dot or svg")
+	traceFile := fs.String("trace", "", "write the round's span trace as NDJSON to FILE (one-shot local rounds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +91,12 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	}
 	if *remote != "" && *explainMode != "" {
 		return fmt.Errorf("-explain needs the in-process engine; it is not available with -remote")
+	}
+	if *traceFile != "" && *remote != "" {
+		return fmt.Errorf("-trace needs the in-process engine; it is not available with -remote")
+	}
+	if *traceFile != "" && *session {
+		return fmt.Errorf("-trace covers one round; it is not available with -session")
 	}
 
 	sampleRows := make([][]string, 0, len(samples))
@@ -119,6 +126,7 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 		MaxResults:     *maxResults,
 		IncludeResults: *showResults,
 		ResultLimit:    10,
+		Trace:          *traceFile != "",
 	}
 
 	if *remote != "" {
@@ -198,6 +206,12 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 	if report == nil {
 		return err
 	}
+	if *traceFile != "" && report.Trace != nil {
+		if werr := writeTrace(*traceFile, report.Trace); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceFile)
+	}
 	fmt.Fprintln(out, report.Summary())
 	if msg := report.Failure(); msg != "" {
 		fmt.Fprintln(out, "FAILURE:", msg)
@@ -221,6 +235,19 @@ func run(ctx context.Context, args []string, in io.Reader, out io.Writer) error 
 		}
 	}
 	return nil
+}
+
+// writeTrace dumps a round's span tree as NDJSON.
+func writeTrace(path string, trace *prism.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // timeoutMs converts the -timeout flag for the wire (0 keeps the server's

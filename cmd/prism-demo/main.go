@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +46,7 @@ func main() {
 	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-round validation parallelism requests (0 = 4×GOMAXPROCS)")
 	snapshotDir := flag.String("snapshot", "", "engine snapshot directory: <dir>/<db>.snap is loaded instead of regenerating; snapshots missing there are written after the first build (delete stale files when changing -big)")
 	big := flag.Bool("big", false, "serve the million-row scaled variants of the bundled datasets")
+	debugAddr := flag.String("debug-addr", "", "listen address for the net/http/pprof debug endpoints (disabled when empty; keep it private — bind to localhost)")
 	flag.Parse()
 
 	// The first SIGINT/SIGTERM starts the graceful drain; signal.NotifyContext
@@ -67,6 +70,18 @@ func main() {
 				return openDataset(name, *big, *snapshotDir)
 			})
 		}
+	}
+	// The pprof surface lives on its own listener so profiling a production
+	// deployment never exposes /debug/pprof on the public address.
+	if *debugAddr != "" {
+		go func() {
+			// net/http/pprof registers on http.DefaultServeMux; serving nil
+			// here exposes exactly those routes and nothing of the demo.
+			log.Printf("prism-demo: pprof debug server on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("prism-demo: debug server: %v", err)
+			}
+		}()
 	}
 	fmt.Printf("prism-demo: listening on %s (databases: mondial, imdb, nba)\n", *addr)
 	if err := s.ListenAndServe(ctx, *addr); err != nil {

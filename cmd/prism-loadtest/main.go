@@ -28,10 +28,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"prism"
 	"prism/api"
 	"prism/client"
 	"prism/internal/loadtest"
@@ -52,9 +55,40 @@ func main() {
 	maxPerTenant := flag.Int("max-per-tenant", 0, "admission: max concurrent rounds per tenant (self-hosted; 0 = default)")
 	maxQueue := flag.Int("max-queue", 0, "admission: max queued requests (self-hosted; 0 = default)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max queue wait (self-hosted; 0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the load run to this file (go tool pprof)")
+	traceFile := flag.String("trace", "", "after the load run, trace one in-process round of the probe request and write its span tree as NDJSON to this file")
 	flag.Parse()
 
 	ctx := context.Background()
+
+	// Profiling hooks, the prism-bench pattern: CPU profile over the whole
+	// run, heap profile after a final GC so it shows retained memory.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("creating -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prism-loadtest: creating -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prism-loadtest: writing -memprofile:", err)
+			}
+		}()
+	}
 
 	baseURL := *addr
 	if baseURL == "" {
@@ -131,6 +165,45 @@ func main() {
 		}
 		fmt.Printf("prism-loadtest: wrote %s\n", *out)
 	}
+
+	// Round traces do not cross the wire, so -trace runs one in-process
+	// round of the same probe request and dumps its span tree.
+	if *traceFile != "" {
+		if err := writeProbeTrace(ctx, req, *traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "prism-loadtest: -trace: %v\n", err)
+			return
+		}
+		fmt.Printf("prism-loadtest: trace written to %s\n", *traceFile)
+	}
+}
+
+// writeProbeTrace traces one local round of the loadtest probe request
+// and writes the span tree as NDJSON.
+func writeProbeTrace(ctx context.Context, req api.DiscoverRequest, path string) error {
+	eng, err := prism.Open(req.Database)
+	if err != nil {
+		return err
+	}
+	spec, err := prism.ParseConstraints(req.NumColumns, req.Samples, req.Metadata)
+	if err != nil {
+		return err
+	}
+	report, err := eng.Discover(ctx, spec, prism.Options{Trace: true})
+	if err != nil {
+		return err
+	}
+	if report.Trace == nil {
+		return fmt.Errorf("the traced round produced no trace")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Trace.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selfHost boots an in-process server over the bundled datasets on a

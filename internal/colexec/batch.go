@@ -92,6 +92,7 @@ func (e *Executor) ExistsBatch(p exec.Plan, sets []exec.PredicateSet, opts exec.
 	}
 	st := e.getState()
 	verdicts, stats, err := e.runBatch(st, p, sets, opts)
+	stats.ScratchBytes = st.scratchFootprint()
 	e.putState(st)
 	if err != nil && stats.AbortedTooLarge {
 		// The union of the batch's selections can push an intermediate over
@@ -267,11 +268,13 @@ func (e *Executor) batchSelectTable(st *execState, ti int, stats *exec.ExecStats
 			rejectsNull := b.bp.cp.Bounds != nil || len(b.bp.cp.Keywords) > 0
 			if rejectsNull && z.rows == z.nulls {
 				st.setLive[si] = false
+				stats.ZonesPruned++
 				break
 			}
 			if bnd := b.bp.cp.Bounds; bnd != nil && z.numeric && z.rows > z.nulls {
 				if (bnd.HasLo && z.maxF < bnd.Lo) || (bnd.HasHi && z.minF > bnd.Hi) {
 					st.setLive[si] = false
+					stats.ZonesPruned++
 					break
 				}
 			}
@@ -326,6 +329,7 @@ func (e *Executor) batchSelectTable(st *execState, ti int, stats *exec.ExecStats
 			anyActive = anyActive || st.scanActive[k]
 		}
 		if !anyActive {
+			stats.BlocksPruned++
 			continue
 		}
 		end := int32(min(b0+blockRows, t.numRows))

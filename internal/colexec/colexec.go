@@ -472,6 +472,7 @@ func (e *Executor) ExecuteWith(p exec.Plan, opts exec.ExecOptions) (*exec.Result
 		res.Rows = append(res.Rows, proj.Clone())
 		return opts.Limit <= 0 || len(res.Rows) < opts.Limit
 	})
+	stats.ScratchBytes = st.scratchFootprint()
 	if err != nil {
 		if stats.hasPartial {
 			// Interrupt / runaway-join abort: report the partial stats the
@@ -501,6 +502,7 @@ func (e *Executor) Exists(p exec.Plan, opts exec.ExecOptions) (bool, exec.ExecSt
 		found = true
 		return false
 	})
+	stats.ScratchBytes = st.scratchFootprint()
 	if found {
 		stats.ResultRows = 1
 		stats.TerminatedEarly = true
@@ -650,6 +652,33 @@ func (e *Executor) putState(st *execState) {
 	st.maskNext = st.maskNext[:0]
 	st.selUsed, st.bmUsed, st.idUsed, st.vecUsed, st.vdUsed = 0, 0, 0, 0, 0
 	e.states.Put(st)
+}
+
+// scratchFootprint reports the bytes of pooled scratch arenas this
+// execution state holds — the storage putState keeps for reuse. It is
+// recorded as ExecStats.ScratchBytes after each execution so a round
+// can account its scratch-pool high-water mark; the walk touches only
+// slice headers (no allocation, a handful of iterations).
+func (st *execState) scratchFootprint() int {
+	n := 0
+	for _, bm := range st.bitmaps {
+		if bm != nil {
+			n += bm.Footprint()
+		}
+	}
+	for _, b := range st.idBufs {
+		n += cap(b) * 4
+	}
+	for _, b := range st.vecBufs {
+		n += cap(b) * 4
+	}
+	for _, v := range st.verdicts {
+		n += cap(v)
+	}
+	n += cap(st.maskCur) * 8
+	n += cap(st.maskNext) * 8
+	n += cap(st.scratch) * 16 // interface headers of the projection tuple
+	return n
 }
 
 // truncate zeroes a slice through its capacity and returns it empty, so
@@ -1014,6 +1043,16 @@ func (e *Executor) joinPipeline(st *execState, p exec.Plan, opts exec.ExecOption
 		joinedCount++
 		stats.JoinsExecuted++
 		stats.IntermediateRows += outRows
+		// Memory high-water mark of this join step: one int32 per slot
+		// vector entry (width+1 vectors), plus the uint64 membership
+		// masks on the batched path.
+		stepBytes := outRows * (width + 1) * 4
+		if st.masked {
+			stepBytes += outRows * 8
+		}
+		if stepBytes > stats.PeakIntermediateBytes {
+			stats.PeakIntermediateBytes = stepBytes
+		}
 
 		// Residual edges with both endpoints joined become filters.
 		kept := remaining[:0]
@@ -1145,10 +1184,12 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 		// all-NULL column cannot satisfy them.
 		rejectsNull := bp.cp.Bounds != nil || len(bp.cp.Keywords) > 0
 		if rejectsNull && z.rows == z.nulls {
+			stats.ZonesPruned++
 			return false
 		}
 		if b := bp.cp.Bounds; b != nil && z.numeric && z.rows > z.nulls {
 			if (b.HasLo && z.maxF < b.Lo) || (b.HasHi && z.minF > b.Hi) {
+				stats.ZonesPruned++
 				return false
 			}
 		}
@@ -1239,6 +1280,7 @@ func (e *Executor) selectRows(st *execState, ti int, stats *exec.ExecStats) (abo
 	} else {
 		for b0 := 0; b0 < t.numRows; b0 += blockRows {
 			if st.blockPruned(b0/blockRows, 0, len(st.checks)) {
+				stats.BlocksPruned++
 				continue
 			}
 			end := int32(min(b0+blockRows, t.numRows))

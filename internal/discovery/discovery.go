@@ -21,6 +21,7 @@ import (
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/mem"
+	"prism/internal/obs"
 	"prism/internal/sched"
 	"prism/internal/schema"
 	"prism/internal/sqlgen"
@@ -88,6 +89,12 @@ type Options struct {
 	// without batching — it only changes how many probes the backend runs.
 	// Default off.
 	BatchValidation bool
+	// Trace records a span tree for the round — one span per pipeline
+	// phase (related → enumerate → decompose → schedule → assemble) with
+	// per-validation-batch child spans under the scheduler — and attaches
+	// it as Report.Trace. Default off; untraced rounds carry a nil span
+	// everywhere and pay nothing.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +176,10 @@ type Report struct {
 	Cancelled bool
 	// Elapsed is the wall-clock duration of the round.
 	Elapsed time.Duration
+	// Trace is the round's span tree when Options.Trace was set: phase
+	// durations, validation batches with their ExecStats, cache activity
+	// and memory peaks as span attributes. Nil on untraced rounds.
+	Trace *obs.Span
 }
 
 // CacheCounters summarises what a session's filter-outcome cache did for
@@ -387,13 +398,40 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	opts = opts.withDefaults()
 	report := &Report{Spec: spec, Policy: string(opts.Policy), Parallelism: opts.Parallelism}
 	start := time.Now()
-	defer func() { report.Elapsed = time.Since(start) }()
+	// The round trace is opt-in: every span below hangs off this root,
+	// and with Trace unset the nil root makes each Child/SetAttr/End a
+	// no-op, so untraced rounds pay nothing.
+	var trace *obs.Span
+	if opts.Trace {
+		trace = obs.NewSpan("round")
+		trace.SetAttr("policy", string(opts.Policy))
+		trace.SetAttr("parallelism", opts.Parallelism)
+		report.Trace = trace
+	}
+	defer func() {
+		report.Elapsed = time.Since(start)
+		if trace != nil {
+			trace.SetAttr("validations", report.Validations)
+			trace.SetAttr("rowsScanned", report.Cost.RowsScanned)
+			trace.SetAttr("peakIntermediateBytes", report.Cost.PeakIntermediateBytes)
+			trace.SetAttr("scratchBytes", report.Cost.ScratchBytes)
+			if report.TimedOut {
+				trace.SetAttr("timedOut", true)
+			}
+			if report.Cancelled {
+				trace.SetAttr("cancelled", true)
+			}
+			trace.End()
+		}
+		recordRound(report)
+	}()
 
 	executor, err := e.Executor(opts.Executor)
 	if err != nil {
 		return report, fmt.Errorf("discovery: %w", err)
 	}
 	report.Executor = executor.ExecutorName()
+	trace.SetAttr("executor", report.Executor)
 
 	// The time budget bounds the whole round — including candidate
 	// enumeration and filter decomposition, not just the validation loop —
@@ -422,7 +460,9 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	if err2, dead := interrupted(); dead {
 		return report, err2
 	}
+	spRelated := trace.Child("related")
 	related, err := e.RelatedColumns(spec)
+	spRelated.End()
 	report.Related = related
 	if err != nil {
 		return report, err
@@ -431,11 +471,14 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		emit(Event{Kind: EventRelated, Related: related})
 	}
 
+	spEnum := trace.Child("enumerate")
 	candidates, err := graphx.Enumerate(e.graph, related, graphx.EnumerateOptions{
 		MaxTables:           opts.MaxTables,
 		MaxCandidates:       opts.MaxCandidates,
 		RequireUsefulLeaves: true,
 	})
+	spEnum.SetAttr("candidates", len(candidates))
+	spEnum.End()
 	if err != nil {
 		return report, fmt.Errorf("discovery: %w", err)
 	}
@@ -455,6 +498,7 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	// leave unchanged), it is read-only during scheduling, and building its
 	// dependency relation is quadratic in the number of filters — the
 	// dominant fixed cost of a fully cached round.
+	spDecompose := trace.Child("decompose")
 	var set *filter.Set
 	if sess != nil {
 		set = sess.lookupSet(candidates)
@@ -462,13 +506,18 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 	if set == nil {
 		set, err = filter.DecomposeContext(ctx, candidates)
 		if err != nil {
+			spDecompose.End()
 			err, _ := interrupted()
 			return report, err
 		}
 		if sess != nil {
 			sess.storeSet(candidates, set)
 		}
+	} else {
+		spDecompose.SetAttr("cachedSet", true)
 	}
+	spDecompose.SetAttr("filters", set.NumFilters())
+	spDecompose.End()
 	report.FiltersGenerated = set.NumFilters()
 	if emit != nil {
 		emit(Event{Kind: EventFilters, Progress: Progress{
@@ -478,7 +527,9 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		}})
 	}
 
+	spEstimator := trace.Child("estimator")
 	estimator, err := e.estimator(ctx, opts, executor, spec, set)
+	spEstimator.End()
 	if err != nil {
 		if err2, dead := interrupted(); dead {
 			return report, err2
@@ -572,7 +623,25 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		Estimator: estimator,
 		Options:   schedOpts,
 	}
-	res, err := runner.RunContext(ctx)
+	// The schedule span rides the context so the scheduler's worker pool
+	// can hang one child span per validation batch under it.
+	spSchedule := trace.Child("schedule")
+	res, err := runner.RunContext(obs.ContextWithSpan(ctx, spSchedule))
+	spSchedule.SetAttr("validations", res.Validations)
+	spSchedule.SetAttr("implied", res.Implied)
+	spSchedule.SetAttr("confirmed", len(res.Confirmed))
+	spSchedule.SetAttr("pruned", len(res.Pruned))
+	if res.CacheHits+res.CacheMisses+res.CacheStores > 0 {
+		spSchedule.SetAttr("cacheHits", res.CacheHits)
+		spSchedule.SetAttr("cacheMisses", res.CacheMisses)
+		spSchedule.SetAttr("cacheStores", res.CacheStores)
+	}
+	spSchedule.SetAttr("rowsScanned", res.Cost.RowsScanned)
+	spSchedule.SetAttr("blocksPruned", res.Cost.BlocksPruned)
+	spSchedule.SetAttr("zonesPruned", res.Cost.ZonesPruned)
+	spSchedule.SetAttr("peakIntermediateBytes", res.Cost.PeakIntermediateBytes)
+	spSchedule.SetAttr("scratchBytes", res.Cost.ScratchBytes)
+	spSchedule.End()
 	report.Validations = res.Validations
 	report.Implied = res.Implied
 	report.Cost = res.Cost
@@ -592,6 +661,11 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 
 	// Assemble final mappings, simplest (fewest tables) first — also after
 	// cancellation or timeout, so interrupted rounds report partial results.
+	spAssemble := trace.Child("assemble")
+	defer func() {
+		spAssemble.SetAttr("mappings", len(report.Mappings))
+		spAssemble.End()
+	}()
 	confirmed := append([]int(nil), res.Confirmed...)
 	slices.SortFunc(confirmed, func(i, j int) int {
 		a, b := set.Candidates[i], set.Candidates[j]

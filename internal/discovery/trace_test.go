@@ -1,0 +1,145 @@
+package discovery
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"prism/internal/obs"
+)
+
+// TestDiscoverTrace pins the round-trace contract: with Options.Trace the
+// report carries a span tree covering every phase, the schedule span has
+// per-batch validate children annotated with executor stats, and the
+// root's final attributes agree with the report counters.
+func TestDiscoverTrace(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	report, err := e.Discover(context.Background(), paperSpec(t), Options{Trace: true})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	trace := report.Trace
+	if trace == nil {
+		t.Fatal("Options.Trace set but Report.Trace is nil")
+	}
+	if trace.Name != "round" {
+		t.Errorf("root span = %q, want \"round\"", trace.Name)
+	}
+	if trace.Duration <= 0 {
+		t.Error("root span has no duration; End was not called")
+	}
+	for _, phase := range []string{"related", "enumerate", "decompose", "schedule", "assemble"} {
+		sp := trace.Find(phase)
+		if sp == nil {
+			t.Errorf("phase span %q missing", phase)
+			continue
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("phase span %q has no duration", phase)
+		}
+	}
+	if got := trace.Find("enumerate").Attr("candidates"); got != report.CandidatesEnumerated {
+		t.Errorf("enumerate candidates attr = %v, report says %d", got, report.CandidatesEnumerated)
+	}
+	if got := trace.Attr("validations"); got != report.Validations {
+		t.Errorf("root validations attr = %v, report says %d", got, report.Validations)
+	}
+	if got := trace.Attr("rowsScanned"); got != report.Cost.RowsScanned {
+		t.Errorf("root rowsScanned attr = %v, report says %d", got, report.Cost.RowsScanned)
+	}
+
+	// The schedule span fans out into per-batch validate children carrying
+	// executor stats.
+	sched := trace.Find("schedule")
+	validates := 0
+	rows := 0
+	for _, c := range sched.Children {
+		if c.Name != "validate" {
+			continue
+		}
+		validates++
+		if n, ok := c.Attr("filters").(int); !ok || n <= 0 {
+			t.Fatalf("validate span without a filters attr: %v", c.Attrs)
+		}
+		if n, ok := c.Attr("rowsScanned").(int); ok {
+			rows += n
+		}
+	}
+	if validates == 0 {
+		t.Fatal("schedule span has no validate children")
+	}
+	if rows != report.Cost.RowsScanned {
+		t.Errorf("validate spans sum rowsScanned=%d, report says %d", rows, report.Cost.RowsScanned)
+	}
+
+	// Memory accounting reached the trace (the columnar executor always
+	// uses some scratch).
+	if v, ok := trace.Attr("scratchBytes").(int); !ok || v <= 0 {
+		t.Errorf("root scratchBytes attr = %v, want > 0", trace.Attr("scratchBytes"))
+	}
+
+	// The NDJSON dump is one valid JSON object per line with parent links.
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var row struct {
+			ID     int    `json:"id"`
+			Parent int    `json:"parent"`
+			Name   string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("NDJSON line %d: %v", lines, err)
+		}
+		if lines == 1 && (row.Name != "round" || row.Parent != 0) {
+			t.Errorf("first NDJSON line should be the root: %s", sc.Text())
+		}
+	}
+	if lines < 6 {
+		t.Errorf("NDJSON dump has %d spans, want the root plus all phases", lines)
+	}
+}
+
+// TestDiscoverTraceOffIsNil pins that untraced rounds (the default) carry
+// no trace and pay no span cost.
+func TestDiscoverTraceOffIsNil(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	report, err := e.Discover(context.Background(), paperSpec(t), Options{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if report.Trace != nil {
+		t.Fatalf("Options.Trace unset but Report.Trace = %v", report.Trace)
+	}
+}
+
+// TestTraceDoesNotChangeMappings pins the acceptance criterion that
+// instrumentation must not change the discovered mapping set.
+func TestTraceDoesNotChangeMappings(t *testing.T) {
+	e := NewEngine(smallMondial(t))
+	plain, err := e.Discover(context.Background(), paperSpec(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Default.Disable()
+	defer obs.Default.Enable()
+	traced, err := e.Discover(context.Background(), paperSpec(t), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Mappings) != len(traced.Mappings) {
+		t.Fatalf("mapping count changed under tracing: %d vs %d", len(plain.Mappings), len(traced.Mappings))
+	}
+	for i := range plain.Mappings {
+		if plain.Mappings[i].SQL != traced.Mappings[i].SQL {
+			t.Fatalf("mapping %d changed under tracing:\n%s\nvs\n%s", i, plain.Mappings[i].SQL, traced.Mappings[i].SQL)
+		}
+	}
+}

@@ -298,17 +298,41 @@ type ExecStats struct {
 	TerminatedEarly   bool // stopped due to Limit
 	AbortedTooLarge   bool // stopped due to MaxIntermediate
 	PredicateFiltered int  // base rows removed by pushed-down predicates
+
+	// Pruning counters (columnar executor): work skipped without being
+	// scanned. ZonesPruned counts whole-table zone-map vetoes,
+	// BlocksPruned individual blocks excluded by their zone maps.
+	BlocksPruned int
+	ZonesPruned  int
+
+	// Memory accounting: PeakIntermediateBytes is the largest
+	// materialised intermediate row set of any single join step, and
+	// ScratchBytes the pooled per-execution scratch footprint. Both are
+	// high-water marks, so Add takes the max rather than the sum —
+	// accumulated over a round they report the round's peak, not a
+	// meaningless total.
+	PeakIntermediateBytes int
+	ScratchBytes          int
 }
 
-// Add accumulates another execution's stats into s.
+// Add accumulates another execution's stats into s. Work counters sum;
+// the memory fields are peaks and take the max.
 func (s *ExecStats) Add(o ExecStats) {
 	s.RowsScanned += o.RowsScanned
 	s.IntermediateRows += o.IntermediateRows
 	s.JoinsExecuted += o.JoinsExecuted
 	s.ResultRows += o.ResultRows
 	s.PredicateFiltered += o.PredicateFiltered
+	s.BlocksPruned += o.BlocksPruned
+	s.ZonesPruned += o.ZonesPruned
 	s.TerminatedEarly = s.TerminatedEarly || o.TerminatedEarly
 	s.AbortedTooLarge = s.AbortedTooLarge || o.AbortedTooLarge
+	if o.PeakIntermediateBytes > s.PeakIntermediateBytes {
+		s.PeakIntermediateBytes = o.PeakIntermediateBytes
+	}
+	if o.ScratchBytes > s.ScratchBytes {
+		s.ScratchBytes = o.ScratchBytes
+	}
 }
 
 // Result is the output of a plan execution.

@@ -18,6 +18,7 @@ import (
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/mem"
+	"prism/internal/obs"
 	"prism/internal/sched"
 	"prism/internal/workload"
 )
@@ -118,6 +119,10 @@ type Config struct {
 	// truth computation ("" = the engine default, columnar). Validation
 	// counts are identical across backends; wall-clock times are not.
 	Executor string
+	// Trace enables round tracing (discovery.Options.Trace) for every
+	// discovery round of the suite; the Runner keeps the last round's span
+	// tree in LastTrace for the caller to dump.
+	Trace bool
 	// Database, when non-nil, is used as the source database directly —
 	// typically one restored from an engine snapshot — instead of
 	// generating Mondial from Config.Mondial. It must be a Mondial-shaped
@@ -168,6 +173,9 @@ type Runner struct {
 	Exec   exec.Executor
 	Engine *discovery.Engine
 	Gen    *workload.Generator
+	// LastTrace is the span tree of the most recent traced round (nil
+	// until a round runs with Config.Trace set).
+	LastTrace *obs.Span
 }
 
 // NewRunner prepares the experiment environment.
@@ -229,7 +237,11 @@ func (r *Runner) sweepLevel(ctx context.Context, level workload.Level) (levelMet
 			MaxTables:   r.Config.MaxTables,
 			Parallelism: r.Config.Parallelism,
 			Executor:    r.Config.Executor,
+			Trace:       r.Config.Trace,
 		})
+		if report != nil && report.Trace != nil {
+			r.LastTrace = report.Trace
+		}
 		if err != nil {
 			m.failures++
 			continue
@@ -455,7 +467,11 @@ func (r *Runner) RunTable1(ctx context.Context) (*Table, error) {
 		Executor:       r.Config.Executor,
 		IncludeResults: true,
 		ResultLimit:    5,
+		Trace:          r.Config.Trace,
 	})
+	if report != nil && report.Trace != nil {
+		r.LastTrace = report.Trace
+	}
 	if err != nil {
 		return nil, err
 	}

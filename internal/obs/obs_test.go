@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("prism_test_total", "a test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters are monotonic; negative deltas are dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("prism_test_gauge", "a test gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("SetMax = %d, want 11", got)
+	}
+}
+
+func TestRegistrationIsMemoized(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("prism_memo_total", "memoized")
+	b := r.Counter("prism_memo_total", "memoized")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	t1 := r.Counter("prism_memo_total", "memoized", Label{Key: "tenant", Value: "a"})
+	t2 := r.Counter("prism_memo_total", "memoized", Label{Key: "tenant", Value: "b"})
+	if t1 == t2 || t1 == a {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	// Label order must not mint a new series.
+	x := r.Gauge("prism_memo_gauge", "", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	y := r.Gauge("prism_memo_gauge", "", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if x != y {
+		t.Fatal("label order minted a new series")
+	}
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("prism_disabled_total", "")
+	g := r.Gauge("prism_disabled_gauge", "")
+	h := r.Histogram("prism_disabled_ms", "", 8)
+	r.Disable()
+	c.Inc()
+	g.Set(42)
+	g.SetMax(42)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled registry still recorded updates")
+	}
+	r.Enable()
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not record")
+	}
+}
+
+// TestHotPathAllocs is the instrumentation cost guard: counter and
+// gauge updates allocate nothing whether the registry is enabled or
+// disabled, and the nil instruments (untraced spans, unregistered
+// counters) are equally free. This is what keeps the warm Exists probe
+// at 0 allocs/op with observability threaded through the stack.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("prism_alloc_total", "")
+	g := r.Gauge("prism_alloc_gauge", "")
+	check := func(name string, f func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(200, f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+	check("counter enabled", func() { c.Add(1) })
+	check("gauge enabled", func() { g.SetMax(5) })
+	r.Disable()
+	check("counter disabled", func() { c.Add(1) })
+	check("gauge disabled", func() { g.Set(1) })
+	var nilC *Counter
+	var nilG *Gauge
+	var nilS *Span
+	check("nil counter", func() { nilC.Add(1) })
+	check("nil gauge", func() { nilG.Set(1) })
+	check("nil span", func() {
+		sp := nilS.Child("x")
+		sp.SetAttr("k", 1)
+		sp.End()
+	})
+	check("span from bare context", func() {
+		_ = SpanFromContext(context.Background())
+	})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("prism_hist_ms", "", 100)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should report NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	// The window slides: after 100 more observations of 1000 the window
+	// holds only large values, but the lifetime count keeps growing.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1000 {
+		t.Fatalf("post-slide p50 = %v, want 1000", got)
+	}
+	if got := h.Count(); got != 200 {
+		t.Fatalf("lifetime count = %d, want 200", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("prism_rounds_total", "Discovery rounds completed.").Add(3)
+	r.Gauge("prism_queue_depth", "Queued requests.", Label{Key: "class", Value: "batch"}).Set(2)
+	h := r.Histogram("prism_round_duration_ms", "Round wall time.", 16)
+	h.Observe(10)
+	h.Observe(20)
+	r.RegisterCollector(func() []Sample {
+		return []Sample{{
+			Name: "prism_admission_in_flight", Help: "In-flight rounds.", Type: TypeGauge,
+			Labels: []Label{{Key: "tenant", Value: `we"ird\`}}, Value: 1,
+		}}
+	})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE prism_rounds_total counter",
+		"prism_rounds_total 3",
+		"# TYPE prism_queue_depth gauge",
+		`prism_queue_depth{class="batch"} 2`,
+		"# TYPE prism_round_duration_ms summary",
+		`prism_round_duration_ms{quantile="0.5"} 10`,
+		`prism_round_duration_ms{quantile="0.99"} 20`,
+		"prism_round_duration_ms_sum 30",
+		"prism_round_duration_ms_count 2",
+		`prism_admission_in_flight{tenant="we\"ird\\"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if err := checkPrometheusText(text); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+}
+
+// checkPrometheusText is a minimal exposition-format validator: every
+// non-comment line must be `name{labels} value` with a parsable value,
+// and every sample must be preceded by a TYPE line for its family.
+func checkPrometheusText(text string) error {
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return errLine(line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_sum", "_count"} {
+			if t := strings.TrimSuffix(name, suf); t != name && typed[t] == TypeSummary {
+				base = t
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return errLine("untyped sample: " + line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if val != "NaN" && val != "+Inf" && val != "-Inf" {
+			if _, err := jsonNumber(val); err != nil {
+				return errLine(line)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+type errLine string
+
+func (e errLine) Error() string { return "bad exposition line: " + string(e) }
+
+func jsonNumber(s string) (float64, error) {
+	var f float64
+	err := json.Unmarshal([]byte(s), &f)
+	return f, err
+}
+
+func TestSpanTreeConcurrent(t *testing.T) {
+	root := NewSpan("round")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Child("validate")
+			sp.SetAttr("batch", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children) != 32 {
+		t.Fatalf("children = %d, want 32", len(root.Children))
+	}
+	if root.Duration <= 0 {
+		t.Fatal("End did not record a duration")
+	}
+	d := root.Duration
+	root.End()
+	if root.Duration != d {
+		t.Fatal("End is not idempotent")
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	root := NewSpan("round")
+	for i := 0; i < maxSpanChildren+10; i++ {
+		root.Child("v").End()
+	}
+	if len(root.Children) != maxSpanChildren {
+		t.Fatalf("children = %d, want cap %d", len(root.Children), maxSpanChildren)
+	}
+	if root.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", root.Dropped)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("bare context should carry no span")
+	}
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("nil span should not wrap the context")
+	}
+	s := NewSpan("round")
+	if got := SpanFromContext(ContextWithSpan(ctx, s)); got != s {
+		t.Fatal("span did not round-trip through the context")
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	root := NewSpan("round")
+	enum := root.Child("enumerate")
+	enum.SetAttr("candidates", 12)
+	enum.End()
+	sched := root.Child("schedule")
+	sched.Child("validate").End()
+	sched.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := root.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	type line struct {
+		ID         int            `json:"id"`
+		Parent     int            `json:"parent"`
+		Name       string         `json:"name"`
+		DurationNs int64          `json:"durationNs"`
+		Attrs      map[string]any `json:"attrs"`
+	}
+	var parsed []line
+	for _, l := range lines {
+		var v line
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		parsed = append(parsed, v)
+	}
+	if parsed[0].Name != "round" || parsed[0].Parent != 0 || parsed[0].ID != 1 {
+		t.Fatalf("bad root line: %+v", parsed[0])
+	}
+	if parsed[1].Name != "enumerate" || parsed[1].Parent != 1 {
+		t.Fatalf("bad enumerate line: %+v", parsed[1])
+	}
+	if parsed[1].Attrs["candidates"] != float64(12) {
+		t.Fatalf("enumerate attrs = %v", parsed[1].Attrs)
+	}
+	if parsed[3].Name != "validate" || parsed[3].Parent != parsed[2].ID {
+		t.Fatalf("bad validate line: %+v", parsed[3])
+	}
+	// A nil span writes nothing.
+	var nilSpan *Span
+	var empty bytes.Buffer
+	if err := nilSpan.WriteNDJSON(&empty); err != nil || empty.Len() != 0 {
+		t.Fatalf("nil span wrote %q (err %v)", empty.String(), err)
+	}
+}
+
+func TestSpanFind(t *testing.T) {
+	root := NewSpan("round")
+	root.Child("enumerate").End()
+	s := root.Child("schedule")
+	v := s.Child("validate")
+	v.End()
+	s.End()
+	if got := root.Find("validate"); got != v {
+		t.Fatal("Find missed a nested span")
+	}
+	if got := root.Find("nope"); got != nil {
+		t.Fatal("Find invented a span")
+	}
+}
+
+// TestNoGoroutineLeak pins the registry's shutdown story: the registry
+// and encoder own no goroutines, so heavy concurrent use followed by
+// disable leaves the goroutine count where it started.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("prism_leak_total", "")
+			h := r.Histogram("prism_leak_ms", "", 32)
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				h.Observe(float64(j))
+				var buf bytes.Buffer
+				_ = r.WritePrometheus(&buf)
+			}
+		}(i)
+	}
+	wg.Wait()
+	r.Disable()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// GET /api/v1/metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes every registered metric and collector sample
+// in the Prometheus text exposition format: families sorted by name,
+// each preceded by its # HELP and # TYPE lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+
+	// Group samples into families. Summary child series (_sum/_count)
+	// belong to their parent family and must stay adjacent to it.
+	type fam struct {
+		name    string
+		help    string
+		typ     string
+		samples []Sample
+	}
+	byName := make(map[string]*fam)
+	var order []string
+	famName := func(s Sample) string {
+		if s.Type == TypeSummary {
+			return s.Name
+		}
+		for _, suffix := range []string{"_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suffix)
+			if base != s.Name {
+				if f, ok := byName[base]; ok && f.typ == TypeSummary {
+					return base
+				}
+			}
+		}
+		return s.Name
+	}
+	for _, s := range samples {
+		name := famName(s)
+		f := byName[name]
+		if f == nil {
+			f = &fam{name: name, help: s.Help, typ: s.Type}
+			if f.typ == "" {
+				f.typ = TypeGauge
+			}
+			byName[name] = f
+			order = append(order, name)
+		}
+		f.samples = append(f.samples, s)
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, name := range order {
+		f := byName[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(s.Name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -29,6 +29,7 @@ import (
 	"prism/internal/constraint"
 	"prism/internal/exec"
 	"prism/internal/filter"
+	"prism/internal/obs"
 	"prism/internal/rowset"
 )
 
@@ -497,12 +498,21 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	// singletons keep the plain ValidateContext path — the batch call would
 	// add bookkeeping for an identical single probe.
 	batchSingletons := opts.Batching && len(r.Spec.Samples) > 1
+	// On traced rounds each dispatched batch hangs a "validate" span under
+	// the round's schedule span; untraced rounds carry a nil parent and
+	// every span call below is a no-op.
+	traceParent := obs.SpanFromContext(ctx)
 	for w := 0; w < parallelism; w++ {
 		go func() {
 			pool.liveWorkers.Add(1)
 			defer pool.liveWorkers.Add(-1)
 			for batch := range jobs {
 				pool.active.Add(1)
+				sp := traceParent.Child("validate")
+				if sp != nil {
+					sp.SetAttr("filters", len(batch))
+					sp.SetAttr("plan", r.Set.Filters[batch[0]].PlanFingerprint())
+				}
 				out := outcome{idxs: batch}
 				if len(batch) == 1 && !batchSingletons {
 					vr, err := validator.ValidateContext(runCtx, r.Set.Filters[batch[0]])
@@ -525,6 +535,29 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 						out.vrs[0].Cost = stats
 					}
 					out.err = err
+				}
+				if sp != nil {
+					passedCount := 0
+					var cost exec.ExecStats
+					for _, vr := range out.vrs {
+						if vr.Passed {
+							passedCount++
+						}
+						cost.Add(vr.Cost)
+					}
+					sp.SetAttr("passed", passedCount)
+					sp.SetAttr("rowsScanned", cost.RowsScanned)
+					sp.SetAttr("intermediateRows", cost.IntermediateRows)
+					if cost.BlocksPruned > 0 {
+						sp.SetAttr("blocksPruned", cost.BlocksPruned)
+					}
+					if cost.ZonesPruned > 0 {
+						sp.SetAttr("zonesPruned", cost.ZonesPruned)
+					}
+					if cost.PeakIntermediateBytes > 0 {
+						sp.SetAttr("peakIntermediateBytes", cost.PeakIntermediateBytes)
+					}
+					sp.End()
 				}
 				pool.active.Add(-1)
 				pool.completed.Add(1)

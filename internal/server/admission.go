@@ -8,6 +8,7 @@ package server
 // for scrapers (prism-loadtest, dashboards, the CI regression leg).
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net/http"
@@ -31,6 +32,7 @@ func (s *Server) init() {
 		s.admission = serve.NewController(s.Admission)
 		s.latencies = serve.NewLatencies(0)
 		s.started = time.Now()
+		s.initMetrics()
 	})
 }
 
@@ -71,6 +73,8 @@ func (s *Server) admitted(def serve.Priority, h http.HandlerFunc) http.HandlerFu
 			return
 		}
 		defer release()
+		// Stash the tenant so round handlers can label per-tenant metrics.
+		r = r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant))
 		start := time.Now()
 		h(w, r)
 		s.latencies.Observe(pri, time.Since(start))

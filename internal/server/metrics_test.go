@@ -1,0 +1,224 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"prism/api"
+	"prism/internal/obs"
+)
+
+// scrapeMetrics fetches path and parses the Prometheus text exposition
+// into series → value (series keys keep their label block verbatim).
+func scrapeMetrics(t *testing.T, h http.Handler, path string) (map[string]float64, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status=%d body=%s", path, rec.Code, rec.Body)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[cut+1:], "%g", &v); err != nil {
+			t.Fatalf("unparseable value in line %q: %v", line, err)
+		}
+		out[line[:cut]] = v
+	}
+	return out, rec
+}
+
+func getStats(t *testing.T, h http.Handler) api.StatsResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/v1/stats: status=%d", rec.Code)
+	}
+	var stats api.StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestMetricsStatsCrossCheck pins the no-drift contract: /api/v1/metrics
+// and /api/v1/stats read the same live sources, so after a quiesced round
+// the admission, pool, latency and stall values must be identical, and
+// the per-tenant aggregates must account the round to its tenant.
+func TestMetricsStatsCrossCheck(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	req := paperRequest()
+	req.Parallelism = 1
+	rec := postDiscover(t, h, req, map[string]string{api.TenantHeader: "acme-metrics"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("discover: status=%d body=%s", rec.Code, rec.Body)
+	}
+	var resp DiscoverResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Validations == 0 {
+		t.Fatalf("round validated nothing: %+v", resp)
+	}
+
+	metrics, mrec := scrapeMetrics(t, h, "/api/v1/metrics")
+	if got := mrec.Header().Get("Content-Type"); got != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, obs.ContentType)
+	}
+	stats := getStats(t, h)
+
+	// No rounds run between the two scrapes, so every shared source must
+	// agree exactly.
+	same := []struct {
+		series string
+		want   float64
+	}{
+		{"prism_serve_admitted_total", float64(stats.Admission.Admitted)},
+		{"prism_serve_shed_total", float64(stats.Admission.Shed)},
+		{"prism_serve_drained_total", float64(stats.Admission.Drained)},
+		{"prism_serve_inflight", float64(stats.Admission.InFlight)},
+		{"prism_serve_queue_depth", float64(stats.Admission.QueueDepth)},
+		{"prism_serve_stream_stalls_total", float64(stats.StreamStalls)},
+		{"prism_sched_completed_validations_total", float64(stats.Pool.CompletedValidations)},
+		{"prism_sched_live_workers", float64(stats.Pool.LiveWorkers)},
+		{"prism_sched_active_validations", float64(stats.Pool.ActiveValidations)},
+	}
+	for _, c := range same {
+		got, ok := metrics[c.series]
+		if !ok {
+			t.Errorf("series %s missing from /api/v1/metrics", c.series)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, metrics and stats drifted (stats: %v)", c.series, got, c.want)
+		}
+	}
+	for _, tn := range stats.Tenants {
+		key := fmt.Sprintf("prism_serve_tenant_admitted_total{tenant=%q}", tn.Tenant)
+		if got := metrics[key]; got != float64(tn.Admitted) {
+			t.Errorf("%s = %v, want %v", key, got, tn.Admitted)
+		}
+	}
+	for _, l := range stats.Latency {
+		key := fmt.Sprintf("prism_serve_latency_ms_count{priority=%q}", l.Priority)
+		if got := metrics[key]; got != float64(l.Count) {
+			t.Errorf("%s = %v, want %v", key, got, l.Count)
+		}
+	}
+
+	// The per-tenant round aggregates account the round we just ran.
+	if got := metrics[`prism_tenant_rounds_total{tenant="acme-metrics"}`]; got != 1 {
+		t.Errorf("prism_tenant_rounds_total{acme-metrics} = %v, want 1", got)
+	}
+	if got := metrics[`prism_tenant_validations_total{tenant="acme-metrics"}`]; got != float64(resp.Validations) {
+		t.Errorf("prism_tenant_validations_total{acme-metrics} = %v, want %d", got, resp.Validations)
+	}
+
+	// Library round counters from the process-default registry (shared
+	// across the test binary, hence >=).
+	if got := metrics["prism_rounds_total"]; got < 1 {
+		t.Errorf("prism_rounds_total = %v, want >= 1", got)
+	}
+	if got := metrics["prism_validations_total"]; got < float64(resp.Validations) {
+		t.Errorf("prism_validations_total = %v, want >= %d", got, resp.Validations)
+	}
+	if got := metrics["prism_rows_scanned_total"]; got <= 0 {
+		t.Errorf("prism_rows_scanned_total = %v, want > 0", got)
+	}
+}
+
+// TestMetricsCacheCountersMatchSession pins the cache satellite: the
+// filter-outcome cache counters a refine response reports are the exact
+// delta the prism_filter_cache_* series move by.
+func TestMetricsCacheCountersMatchSession(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	sr := createSession(t, h)
+	refinePath := "/api/v1/session/" + sr.SessionID + "/refine"
+
+	seed := SessionRefineRequest{
+		NumColumns:  3,
+		Samples:     [][]string{{"California || Nevada", "Lake Tahoe", ""}},
+		Metadata:    []string{"", "", "DataType=='decimal' AND MinValue>='0'"},
+		Parallelism: 1,
+	}
+	var cold DiscoverResponse
+	if rec := doJSON(t, h, http.MethodPost, refinePath, seed, &cold); rec.Code != http.StatusOK {
+		t.Fatalf("seed round: status=%d body=%s", rec.Code, rec.Body)
+	}
+
+	before, _ := scrapeMetrics(t, h, "/api/v1/metrics")
+	refine := SessionRefineRequest{
+		Delta:       &DeltaRequest{UpdateCells: []CellUpdateRequest{{Row: 0, Col: 2, Cell: "[400, 600]"}}},
+		Parallelism: 1,
+	}
+	var warm DiscoverResponse
+	if rec := doJSON(t, h, http.MethodPost, refinePath, refine, &warm); rec.Code != http.StatusOK {
+		t.Fatalf("refine round: status=%d body=%s", rec.Code, rec.Body)
+	}
+	after, _ := scrapeMetrics(t, h, "/api/v1/metrics")
+
+	if warm.Cache == nil || warm.Cache.Hits == 0 {
+		t.Fatalf("refine round reused nothing: %+v", warm.Cache)
+	}
+	deltas := map[string]int{
+		"prism_filter_cache_hits_total":   warm.Cache.Hits,
+		"prism_filter_cache_misses_total": warm.Cache.Misses,
+		"prism_filter_cache_stores_total": warm.Cache.Stores,
+	}
+	for series, want := range deltas {
+		if got := after[series] - before[series]; got != float64(want) {
+			t.Errorf("%s moved by %v over the refine round, response reported %d", series, got, want)
+		}
+	}
+}
+
+// TestMetricsLegacyAlias pins that /api/metrics is the same handler as
+// /api/v1/metrics behind the standard deprecation headers.
+func TestMetricsLegacyAlias(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	_, rec := scrapeMetrics(t, h, "/api/metrics")
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Errorf("Deprecation header = %q, want \"true\"", rec.Header().Get("Deprecation"))
+	}
+	if link := rec.Header().Get("Link"); !strings.Contains(link, api.PathPrefix) {
+		t.Errorf("Link header = %q, want a pointer at %s", link, api.PathPrefix)
+	}
+	if got := rec.Header().Get("Content-Type"); got != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, obs.ContentType)
+	}
+}
+
+// TestMetricsMethodNotAllowed pins the structured 405 of the endpoint.
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/v1/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /api/v1/metrics: status=%d, want 405", rec.Code)
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != api.CodeMethodNotAllowed {
+		t.Errorf("code = %q, want %q", apiErr.Code, api.CodeMethodNotAllowed)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"prism/internal/exec"
 	"prism/internal/explain"
 	"prism/internal/mem"
+	"prism/internal/obs"
 	"prism/internal/serve"
 )
 
@@ -77,6 +78,7 @@ type Server struct {
 	streamStalls atomic.Int64
 	started      time.Time
 	sessions     *sessionStore
+	obsReg       *obs.Registry
 	tmpl         *template.Template
 }
 
@@ -123,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/datasets", wrap(s.handleDatasets))
 		mux.HandleFunc(prefix+"/sample", wrap(s.handleSample))
 		mux.HandleFunc(prefix+"/stats", wrap(s.handleStats))
+		mux.HandleFunc(prefix+"/metrics", wrap(s.handleMetrics))
 		// Round-running endpoints pass the admission controller; one-shot
 		// discovers default to the normal class, session refine rounds (a
 		// human waiting) to interactive. The priority header can override.
@@ -457,6 +460,7 @@ func (s *Server) discover(ctx context.Context, req DiscoverRequest, withGraphs b
 	ctx, cancel := rd.requestContext(ctx)
 	defer cancel()
 	report, err := rd.eng.Discover(ctx, rd.spec, rd.opts)
+	s.recordRoundMetrics(ctx, report)
 	resp := s.discoverResponse(req, report, err, rd.spec, withGraphs)
 	if err != nil {
 		return resp, http.StatusUnprocessableEntity
@@ -556,6 +560,7 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 			mr := mappingResponse(*ev.Mapping)
 			out.Mapping = &mr
 		case discovery.EventDone:
+			s.recordRoundMetrics(ctx, ev.Report)
 			resp := s.discoverResponse(req, ev.Report, ev.Err, rd.spec, false)
 			out.Result = &resp
 		}

@@ -256,6 +256,7 @@ func (s *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
 	// responses carry the session identity and committed round count too —
 	// remote clients resync on them instead of re-applying their delta.
 	writeRoundError := func(status int, report *prism.Report, err error, spec *prism.Spec) {
+		s.recordRoundMetrics(ctx, report)
 		resp := s.discoverResponse(base, report, err, spec, false)
 		resp.SessionID = ss.id
 		resp.Round = ss.sess.Rounds()
@@ -299,6 +300,7 @@ func (s *Server) handleSessionRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.recordRoundMetrics(ctx, report)
 	resp := s.discoverResponse(base, report, nil, ss.sess.Spec(), false)
 	resp.SessionID = ss.id
 	resp.Round = ss.sess.Rounds()

@@ -50,6 +50,7 @@ import (
 	"prism/internal/graphx"
 	"prism/internal/lang"
 	"prism/internal/mem"
+	"prism/internal/obs"
 	"prism/internal/schema"
 	"prism/internal/sqlgen"
 	"prism/internal/value"
@@ -79,6 +80,10 @@ type (
 	Options = discovery.Options
 	// Report is the outcome of a discovery round.
 	Report = discovery.Report
+	// Span is one node of a round trace (Report.Trace, populated when
+	// Options.Trace is set): a named phase with duration, attributes and
+	// child spans. WriteNDJSON dumps the tree one span per line.
+	Span = obs.Span
 	// Mapping is one discovered schema mapping query.
 	Mapping = discovery.Mapping
 	// Policy selects the filter-scheduling policy.
