@@ -58,6 +58,62 @@ func TestRegistrationIsMemoized(t *testing.T) {
 	}
 }
 
+// TestLabelKeyInjective pins that the series-key encoding cannot merge
+// distinct label sets: delimiter characters inside a key or value (the
+// '=' and ',' the encoding itself uses) must not collide with the
+// boundaries between labels.
+func TestLabelKeyInjective(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("prism_inj_total", "", Label{Key: "a", Value: "b,c=d"})
+	b := r.Counter("prism_inj_total", "", Label{Key: "a", Value: "b"}, Label{Key: "c", Value: "d"})
+	if a == b {
+		t.Fatal("distinct label sets collided on one series key")
+	}
+	x := r.Counter("prism_inj_total", "", Label{Key: `a"`, Value: "b"})
+	y := r.Counter("prism_inj_total", "", Label{Key: "a", Value: `"b`})
+	if x == y {
+		t.Fatal("quote characters inside labels collided on one series key")
+	}
+}
+
+// TestGatherConcurrentRegister pins the scrape/register race: a scrape
+// must not read family keys or series maps concurrently with a
+// registration (per-tenant series are minted at request time, so a
+// /api/v1/metrics scrape can coincide with the first round of a new
+// tenant). Several goroutines scrape in a loop while the main goroutine
+// registers a stream of new series; before Gather snapshotted families
+// under the lock this was a -race report and, on the series map, a
+// fatal concurrent map read/write.
+func TestGatherConcurrentRegister(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Gather()
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		tenant := Label{Key: "tenant", Value: "t" + trimFloat(float64(i))}
+		r.Counter("prism_race_total", "", tenant).Inc()
+		r.Gauge("prism_race_gauge", "", tenant).Set(int64(i))
+		if i%100 == 0 {
+			r.Histogram("prism_race_ms", "", 8, tenant).Observe(float64(i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestDisabledIsNoOp(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("prism_disabled_total", "")
@@ -152,10 +208,19 @@ func TestWritePrometheus(t *testing.T) {
 	h.Observe(10)
 	h.Observe(20)
 	r.RegisterCollector(func() []Sample {
-		return []Sample{{
-			Name: "prism_admission_in_flight", Help: "In-flight rounds.", Type: TypeGauge,
-			Labels: []Label{{Key: "tenant", Value: `we"ird\`}}, Value: 1,
-		}}
+		return []Sample{
+			{
+				Name: "prism_admission_in_flight", Help: "In-flight rounds.", Type: TypeGauge,
+				Labels: []Label{{Key: "tenant", Value: `we"ird\`}}, Value: 1,
+			},
+			// A collector-produced summary with a _count child, the shape
+			// the serve latency collector emits.
+			{
+				Name: "prism_collected_ms", Help: "Collected latency.", Type: TypeSummary,
+				Labels: []Label{{Key: "quantile", Value: "0.5"}}, Value: 4,
+			},
+			{Name: "prism_collected_ms_count", Type: TypeSummary, Value: 9},
+		}
 	})
 
 	var buf bytes.Buffer
@@ -174,9 +239,23 @@ func TestWritePrometheus(t *testing.T) {
 		"prism_round_duration_ms_sum 30",
 		"prism_round_duration_ms_count 2",
 		`prism_admission_in_flight{tenant="we\"ird\\"} 1`,
+		`prism_collected_ms{quantile="0.5"} 4`,
+		"prism_collected_ms_count 9",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// _sum/_count are children of their summary family, never families of
+	// their own: a # TYPE line for them is invalid summary metadata that
+	// promtool lint rejects.
+	for _, banned := range []string{
+		"# TYPE prism_round_duration_ms_sum",
+		"# TYPE prism_round_duration_ms_count",
+		"# TYPE prism_collected_ms_count",
+	} {
+		if strings.Contains(text, banned) {
+			t.Errorf("exposition declares a child series as its own family: %q in:\n%s", banned, text)
 		}
 	}
 	if err := checkPrometheusText(text); err != nil {
@@ -344,6 +423,43 @@ func TestWriteNDJSON(t *testing.T) {
 	if err := nilSpan.WriteNDJSON(&empty); err != nil || empty.Len() != 0 {
 		t.Fatalf("nil span wrote %q (err %v)", empty.String(), err)
 	}
+}
+
+// TestWriteNDJSONConcurrentSetAttr pins that dumping a trace does not
+// race with attribute writes on still-live spans (workers finishing
+// validate spans while the CLI writes the -trace file): the dump must
+// clone Attrs under the span lock rather than alias the map into the
+// encoder.
+func TestWriteNDJSONConcurrentSetAttr(t *testing.T) {
+	root := NewSpan("round")
+	live := root.Child("validate")
+	live.SetAttr("batch", 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := root.WriteNDJSON(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50000; i++ {
+		live.SetAttr("rows", i)
+		live.SetAttr("k"+trimFloat(float64(i%17)), i)
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestSpanFind(t *testing.T) {

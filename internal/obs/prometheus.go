@@ -28,10 +28,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	byName := make(map[string]*fam)
 	var order []string
+	// The suffix check must run even for samples already stamped with the
+	// summary type: Gather stamps the family type onto every sample of a
+	// histogram, children included, so X_sum/X_count arrive typed as
+	// summaries and would otherwise become their own (invalid) families.
 	famName := func(s Sample) string {
-		if s.Type == TypeSummary {
-			return s.Name
-		}
 		for _, suffix := range []string{"_sum", "_count"} {
 			base := strings.TrimSuffix(s.Name, suffix)
 			if base != s.Name {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -101,7 +102,9 @@ func (r *Registry) Disable() { r.enabled.Store(false) }
 func (r *Registry) Enabled() bool { return r.enabled.Load() }
 
 // labelKey serializes a label set into a map key. Labels are sorted so
-// the same set in a different order names the same series.
+// the same set in a different order names the same series, and each
+// component is quoted so delimiter characters inside a key or value
+// cannot make two distinct label sets collide on one key.
 func labelKey(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -110,9 +113,9 @@ func labelKey(labels []Label) string {
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
 	var b strings.Builder
 	for _, l := range ls {
-		b.WriteString(l.Key)
+		b.WriteString(strconv.Quote(l.Key))
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		b.WriteString(strconv.Quote(l.Value))
 		b.WriteByte(',')
 	}
 	return b.String()
@@ -386,19 +389,34 @@ func trimFloat(f float64) string {
 // Gather returns every sample of the registry — static instruments in
 // registration order plus collector output — without formatting. The
 // encoder and the stats⇄metrics cross-check tests share it.
+//
+// Family keys and series maps are mutated by register() under r.mu, and
+// series registration happens at request time (e.g. the first round of
+// a new tenant), so everything read from a family is snapshotted while
+// the lock is held; only instrument.samples() — which reads atomics or
+// takes the instrument's own lock — runs after release.
 func (r *Registry) Gather() []Sample {
+	type famSnap struct {
+		name, help, typ string
+		series          []instrument
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.order))
+	fams := make([]famSnap, 0, len(r.order))
 	for _, name := range r.order {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		fs := famSnap{name: f.name, help: f.help, typ: f.typ,
+			series: make([]instrument, 0, len(f.keys))}
+		for _, key := range f.keys {
+			fs.series = append(fs.series, f.series[key])
+		}
+		fams = append(fams, fs)
 	}
 	collectors := append([]func() []Sample(nil), r.collectors...)
 	r.mu.Unlock()
 
 	var out []Sample
 	for _, f := range fams {
-		for _, key := range f.keys {
-			in := f.series[key]
+		for _, in := range f.series {
 			for _, s := range in.samples(f.name, labelsOf(in)) {
 				s.Help, s.Type = f.help, f.typ
 				out = append(out, s)

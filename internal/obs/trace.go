@@ -156,13 +156,23 @@ func (s *Span) WriteNDJSON(w io.Writer) error {
 	var walk func(sp *Span, parent int) error
 	walk = func(sp *Span, parent int) error {
 		sp.mu.Lock()
+		// Attrs is cloned, not aliased: encoding happens after the lock
+		// is released, and a concurrent SetAttr on a still-live span
+		// would race with json.Encode reading the map.
+		var attrs map[string]any
+		if len(sp.Attrs) > 0 {
+			attrs = make(map[string]any, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				attrs[k] = v
+			}
+		}
 		line := ndjsonSpan{
 			ID:         next,
 			Parent:     parent,
 			Name:       sp.Name,
 			Start:      sp.Start,
 			DurationNs: int64(sp.Duration),
-			Attrs:      sp.Attrs,
+			Attrs:      attrs,
 			Dropped:    sp.Dropped,
 		}
 		children := append([]*Span(nil), sp.Children...)

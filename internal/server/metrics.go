@@ -39,6 +39,37 @@ func tenantFrom(ctx context.Context) string {
 func (s *Server) initMetrics() {
 	s.obsReg = obs.NewRegistry()
 	s.obsReg.RegisterCollector(s.collectServe)
+	s.tenantSeen = make(map[string]struct{})
+}
+
+// maxTenantSeries caps how many distinct tenant label values the
+// per-tenant round series may use. Registry series are memoized for the
+// life of the process, and the tenant header is client-supplied, so
+// without a cap any client minting unique header values would grow
+// server memory and scrape cardinality without bound. Tenants beyond
+// the cap fold into tenantOverflow.
+const maxTenantSeries = 64
+
+// tenantOverflow is the tenant label value aggregating rounds from
+// tenants beyond the maxTenantSeries cardinality cap.
+const tenantOverflow = "other"
+
+// tenantLabelValue returns the metric label value for a tenant: the
+// tenant itself while fewer than maxTenantSeries distinct values have
+// been seen, tenantOverflow afterwards. A tenant admitted once keeps
+// its own series forever, so a scrape never sees a value move between
+// label sets.
+func (s *Server) tenantLabelValue(tenant string) string {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if _, ok := s.tenantSeen[tenant]; ok {
+		return tenant
+	}
+	if len(s.tenantSeen) >= maxTenantSeries {
+		return tenantOverflow
+	}
+	s.tenantSeen[tenant] = struct{}{}
+	return tenant
 }
 
 // handleMetrics serves GET /api/v1/metrics. The response concatenates
@@ -64,7 +95,7 @@ func (s *Server) recordRoundMetrics(ctx context.Context, report *prism.Report) {
 	if report == nil {
 		return
 	}
-	l := obs.Label{Key: "tenant", Value: tenantFrom(ctx)}
+	l := obs.Label{Key: "tenant", Value: s.tenantLabelValue(tenantFrom(ctx))}
 	s.obsReg.Counter("prism_tenant_rounds_total",
 		"Discovery rounds completed, by tenant.", l).Inc()
 	s.obsReg.Counter("prism_tenant_validations_total",

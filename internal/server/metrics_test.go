@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"prism"
 	"prism/api"
 	"prism/internal/obs"
 )
@@ -185,6 +187,45 @@ func TestMetricsCacheCountersMatchSession(t *testing.T) {
 		if got := after[series] - before[series]; got != float64(want) {
 			t.Errorf("%s moved by %v over the refine round, response reported %d", series, got, want)
 		}
+	}
+}
+
+// TestMetricsTenantCardinalityCap pins the bound on per-tenant series:
+// the tenant label is client-supplied, so a client minting unique
+// header values must not grow the registry (and the scrape output)
+// without bound — tenants beyond the cap fold into the "other" label,
+// while tenants seen before the cap keep their own series.
+func TestMetricsTenantCardinalityCap(t *testing.T) {
+	s := testServer(t)
+	s.Handler() // force init
+	report := &prism.Report{Validations: 1}
+	ctxFor := func(tenant string) context.Context {
+		return context.WithValue(context.Background(), tenantKey{}, tenant)
+	}
+	for i := 0; i < maxTenantSeries+25; i++ {
+		s.recordRoundMetrics(ctxFor(fmt.Sprintf("tenant-%03d", i)), report)
+	}
+	// A pre-cap tenant keeps its own series even after the cap is hit.
+	s.recordRoundMetrics(ctxFor("tenant-000"), report)
+
+	metrics, _ := scrapeMetrics(t, s.Handler(), "/api/v1/metrics")
+	var tenants int
+	for series := range metrics {
+		if strings.HasPrefix(series, "prism_tenant_rounds_total{") {
+			tenants++
+		}
+	}
+	if tenants != maxTenantSeries+1 { // capped tenants + the "other" fold
+		t.Errorf("distinct prism_tenant_rounds_total series = %d, want %d", tenants, maxTenantSeries+1)
+	}
+	if got := metrics[`prism_tenant_rounds_total{tenant="other"}`]; got != 25 {
+		t.Errorf(`prism_tenant_rounds_total{tenant="other"} = %v, want 25`, got)
+	}
+	if got := metrics[`prism_tenant_rounds_total{tenant="tenant-000"}`]; got != 2 {
+		t.Errorf(`prism_tenant_rounds_total{tenant="tenant-000"} = %v, want 2`, got)
+	}
+	if _, ok := metrics[fmt.Sprintf(`prism_tenant_rounds_total{tenant="tenant-%03d"}`, maxTenantSeries+5)]; ok {
+		t.Error("post-cap tenant minted its own series")
 	}
 }
 

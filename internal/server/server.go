@@ -79,6 +79,8 @@ type Server struct {
 	started      time.Time
 	sessions     *sessionStore
 	obsReg       *obs.Registry
+	tenantMu     sync.Mutex
+	tenantSeen   map[string]struct{}
 	tmpl         *template.Template
 }
 
