@@ -10,6 +10,7 @@ import (
 	"errors"
 
 	"prism/internal/exec"
+	"prism/internal/fault"
 	"prism/internal/serve"
 )
 
@@ -37,6 +38,11 @@ var (
 	// sentinel: the server is draining and admits no new rounds (HTTP
 	// 503, wire code "draining").
 	ErrDraining = serve.ErrDraining
+	// ErrInternal re-exports the sentinel for a bug caught inside
+	// prism — typically a recovered panic — that aborted one round
+	// while leaving the process healthy (HTTP 500, wire code
+	// "internal").
+	ErrInternal = fault.ErrInternal
 )
 
 // Wire error codes. The set is append-only within a version.
@@ -50,6 +56,7 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeOverloaded       = "overloaded"
 	CodeDraining         = "draining"
+	CodeInternal         = "internal"
 )
 
 // Error is the uniform structured error body of the JSON API:
@@ -101,6 +108,8 @@ func CodeForError(err error) string {
 		return CodeOverloaded
 	case errors.Is(err, serve.ErrDraining):
 		return CodeDraining
+	case errors.Is(err, fault.ErrInternal):
+		return CodeInternal
 	default:
 		return CodeBadRequest
 	}
@@ -124,6 +133,8 @@ func SentinelForCode(code string) error {
 		return serve.ErrOverloaded
 	case CodeDraining:
 		return serve.ErrDraining
+	case CodeInternal:
+		return fault.ErrInternal
 	default:
 		return nil
 	}

@@ -1,0 +1,31 @@
+package api
+
+// Health and readiness wire surface. Liveness (HealthzPath) answers 200
+// whenever the process can serve HTTP at all; readiness (ReadyzPath)
+// answers 200 only while the server should receive traffic and degrades
+// to 503 — with machine-readable reasons — during drain, after repeated
+// engine/snapshot/ingest failures, and under sustained load shedding.
+// Load balancers probe readyz; client.WithRetry's circuit breaker does
+// too before re-admitting traffic after trips.
+
+// HealthzPath and ReadyzPath are the probe endpoints, relative to
+// PathPrefix.
+const (
+	HealthzPath = "/healthz"
+	ReadyzPath  = "/readyz"
+)
+
+// HealthzResponse is the body of GET /api/v1/healthz (always status
+// 200 "ok" while the process is alive).
+type HealthzResponse struct {
+	Status string `json:"status"`
+}
+
+// ReadyzResponse is the body of GET /api/v1/readyz: HTTP 200 with
+// Ready true, or HTTP 503 with Ready false and the sorted degradation
+// reasons.
+type ReadyzResponse struct {
+	Ready bool `json:"ready"`
+	// Reasons lists why the server is not ready; empty when it is.
+	Reasons []string `json:"reasons,omitempty"`
+}

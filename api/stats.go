@@ -106,4 +106,11 @@ type StatsResponse struct {
 	// StreamStalls counts streaming rounds cancelled because their
 	// consumer could not keep up (backpressure).
 	StreamStalls int64 `json:"streamStalls"`
+	// Ready mirrors GET /api/v1/readyz: whether the server should
+	// receive traffic, with the degradation reasons when it should not.
+	Ready        bool     `json:"ready"`
+	ReadyReasons []string `json:"readyReasons,omitempty"`
+	// Panics counts handler panics recovered into structured internal
+	// errors since the server started.
+	Panics int64 `json:"panics"`
 }

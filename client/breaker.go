@@ -1,0 +1,166 @@
+package client
+
+// The retry policy's circuit breaker. Bounded retries stop one request
+// from hammering a shedding server; they do nothing about a fleet of
+// requests each burning its full retry budget against a server that
+// readyz already says should receive no traffic. The breaker watches
+// consecutive shed/draining answers, opens after a threshold — failing
+// further exchanges fast with ErrCircuitOpen — and after a cooldown
+// probes GET /api/v1/readyz (half-open) before letting traffic through
+// again.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports that the client's circuit breaker is open: the
+// server answered the last breakerThreshold exchanges with 429/503 and
+// its readiness probe has not yet come back healthy, so the exchange was
+// failed locally without touching the wire. Callers should back off or
+// route elsewhere; errors.Is(err, client.ErrCircuitOpen) identifies it.
+var ErrCircuitOpen = errors.New("circuit open: server is shedding or unready")
+
+const (
+	// defaultBreakerThreshold is the consecutive 429/503 count that opens
+	// the breaker installed by WithRetry.
+	defaultBreakerThreshold = 5
+	// defaultBreakerCooldown is how long the breaker stays open before a
+	// half-open readiness probe may close it again.
+	defaultBreakerCooldown = 5 * time.Second
+	// breakerProbeTimeout bounds one half-open readyz probe so a wedged
+	// server cannot park callers on the probe itself.
+	breakerProbeTimeout = 2 * time.Second
+)
+
+// breaker is the circuit state. The zero value is unusable; construct
+// via WithRetry or WithCircuitBreaker. All methods are safe for
+// concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, nil meaning time.Now; tests pin it.
+	now func() time.Time
+
+	// failures counts consecutive shed/draining exchanges; the circuit is
+	// open while failures >= threshold.
+	failures  int
+	openUntil time.Time
+	// probing is true while one caller runs the half-open readyz probe;
+	// concurrent callers fail fast instead of stampeding the probe.
+	probing bool
+}
+
+func (b *breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// allow gates one exchange. Closed circuit: nil. Open and cooling: a
+// fast ErrCircuitOpen. Cooldown expired: the calling goroutine runs
+// probe (a readyz check) half-open — success closes the circuit and
+// admits the exchange, failure re-opens it for another cooldown.
+func (b *breaker) allow(ctx context.Context, probe func(context.Context) bool) error {
+	b.mu.Lock()
+	if b.failures < b.threshold {
+		b.mu.Unlock()
+		return nil
+	}
+	now := b.clock()
+	if now.Before(b.openUntil) {
+		wait := b.openUntil.Sub(now)
+		b.mu.Unlock()
+		return fmt.Errorf("%w (probe in %v)", ErrCircuitOpen, wait.Round(time.Millisecond))
+	}
+	if b.probing {
+		b.mu.Unlock()
+		return fmt.Errorf("%w (readiness probe in flight)", ErrCircuitOpen)
+	}
+	b.probing = true
+	b.mu.Unlock()
+
+	ready := probe(ctx)
+
+	b.mu.Lock()
+	b.probing = false
+	if ready {
+		b.failures = 0
+		b.mu.Unlock()
+		return nil
+	}
+	b.openUntil = b.clock().Add(b.cooldown)
+	b.mu.Unlock()
+	return fmt.Errorf("%w (server still not ready)", ErrCircuitOpen)
+}
+
+// record feeds one completed exchange's status into the circuit: 429
+// (shed) and 503 (draining/degraded) count as consecutive failures, any
+// other status proves the server is answering and resets the streak.
+// Transport-level failures are not recorded — the breaker tracks the
+// server's admission verdicts, not the network.
+func (b *breaker) record(status int) {
+	failure := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failure {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures == b.threshold {
+		b.openUntil = b.clock().Add(b.cooldown)
+	}
+}
+
+// WithCircuitBreaker installs (or retunes) the client's circuit breaker:
+// threshold consecutive shed/draining answers open the circuit for
+// cooldown, after which one readiness probe must pass before exchanges
+// flow again. WithRetry installs a default breaker (threshold 5,
+// cooldown 5s); this option overrides it, and also works without a
+// retry policy for callers that want fail-fast without retries.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold < 1 {
+			threshold = 1
+		}
+		if cooldown <= 0 {
+			cooldown = defaultBreakerCooldown
+		}
+		c.breaker = &breaker{threshold: threshold, cooldown: cooldown}
+	}
+}
+
+// breakerAllow asks the breaker (when installed) whether the exchange
+// may proceed, running the half-open readyz probe as needed.
+func (c *Client) breakerAllow(ctx context.Context, method, path string) error {
+	if c.breaker == nil {
+		return nil
+	}
+	if err := c.breaker.allow(ctx, c.probeReady); err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// breakerRecord feeds one exchange status to the breaker when installed.
+func (c *Client) breakerRecord(status int) {
+	if c.breaker != nil {
+		c.breaker.record(status)
+	}
+}
+
+// probeReady is the half-open probe: one bounded readyz exchange,
+// bypassing retry and the breaker itself.
+func (c *Client) probeReady(ctx context.Context) bool {
+	ctx, cancel := context.WithTimeout(ctx, breakerProbeTimeout)
+	defer cancel()
+	r, err := c.Readyz(ctx)
+	return err == nil && r.Ready
+}

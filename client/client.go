@@ -39,10 +39,11 @@ import (
 
 // Client talks to one Prism server. It is safe for concurrent use.
 type Client struct {
-	base   string
-	httpc  *http.Client
-	header http.Header
-	retry  retryPolicy
+	base    string
+	httpc   *http.Client
+	header  http.Header
+	retry   retryPolicy
+	breaker *breaker
 }
 
 // Option customises New.
@@ -93,10 +94,14 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (in
 		}
 	}
 	for attempt := 0; ; attempt++ {
+		if err := c.breakerAllow(ctx, method, path); err != nil {
+			return 0, nil, err
+		}
 		status, raw, header, err := c.exchange(ctx, method, path, payload)
 		if err != nil {
 			return status, raw, err
 		}
+		c.breakerRecord(status)
 		if !c.retry.retryable(status, attempt) {
 			return status, raw, nil
 		}
@@ -285,6 +290,9 @@ func (c *Client) DiscoverStream(ctx context.Context, req api.DiscoverRequest) (<
 	}
 	var resp *http.Response
 	for attempt := 0; ; attempt++ {
+		if err := c.breakerAllow(ctx, http.MethodPost, "/discover/stream"); err != nil {
+			return nil, err
+		}
 		httpReq, err := c.newRequest(ctx, http.MethodPost, "/discover/stream", bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
@@ -293,6 +301,7 @@ func (c *Client) DiscoverStream(ctx context.Context, req api.DiscoverRequest) (<
 		if err != nil {
 			return nil, fmt.Errorf("client: POST /discover/stream: %w", err)
 		}
+		c.breakerRecord(resp.StatusCode)
 		if resp.StatusCode == http.StatusOK {
 			break
 		}
@@ -339,13 +348,17 @@ func (c *Client) DiscoverStream(ctx context.Context, req api.DiscoverRequest) (<
 			}
 		}
 		// The stream ended without a done event: the connection dropped or
-		// the context was cancelled mid-round.
+		// the context was cancelled mid-round. A caller-side cancellation
+		// surfaces as the context error; anything else is a truncation the
+		// caller did not ask for and wraps the typed ErrStreamTruncated.
 		err := scanner.Err()
 		if err == nil {
 			err = io.ErrUnexpectedEOF
 		}
 		if ctx.Err() != nil {
 			err = ctx.Err()
+		} else {
+			err = fmt.Errorf("%w: %v", ErrStreamTruncated, err)
 		}
 		emit(ctx, out, StreamEvent{Kind: prism.EventDone,
 			Err: fmt.Errorf("client: stream ended early: %w", err)})

@@ -1,0 +1,65 @@
+package client
+
+// The client view of the server's liveness/readiness probes
+// (GET /api/v1/healthz, GET /api/v1/readyz) and the typed sentinel for a
+// stream that ended without its done event. Probe exchanges bypass the
+// retry policy and circuit breaker: they are the signal those mechanisms
+// consume, so they must reach the wire even while the breaker is open.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"prism/api"
+)
+
+// ErrStreamTruncated reports that a DiscoverStream NDJSON stream ended
+// before the server sent its done event: the connection dropped, a proxy
+// cut the body, or the server died mid-round. The final EventDone of the
+// stream wraps it, so callers can distinguish a truncated round (retry
+// it) from a round that finished with an error (inspect it):
+//
+//	if errors.Is(ev.Err, client.ErrStreamTruncated) { ... }
+var ErrStreamTruncated = errors.New("stream truncated before done event")
+
+// Healthz probes liveness (GET /api/v1/healthz). It returns nil when the
+// server process answered at all — readiness questions belong to Readyz.
+func (c *Client) Healthz(ctx context.Context) error {
+	status, raw, _, err := c.exchange(ctx, http.MethodGet, api.HealthzPath, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return decodeError(status, raw)
+	}
+	return nil
+}
+
+// Readyz probes readiness (GET /api/v1/readyz). Both answers are
+// non-error returns: a ready server yields {Ready: true}, a degraded one
+// (503) yields {Ready: false} with the reasons — draining, repeated
+// engine/snapshot failures, sustained shed. The error is non-nil only
+// for transport failures or a body that is not a readiness response.
+func (c *Client) Readyz(ctx context.Context) (*api.ReadyzResponse, error) {
+	status, raw, _, err := c.exchange(ctx, http.MethodGet, api.ReadyzPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	// A structured API error (405, a proxy, a non-Prism server) is not a
+	// readiness verdict; only the readyz body itself may say "not ready".
+	var e api.Error
+	if jerr := json.Unmarshal(raw, &e); jerr == nil && e.Message != "" {
+		e.HTTPStatus = status
+		return nil, &e
+	}
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return nil, decodeError(status, raw)
+	}
+	var out api.ReadyzResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, decodeError(status, raw)
+	}
+	return &out, nil
+}

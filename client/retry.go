@@ -56,6 +56,14 @@ type retryPolicy struct {
 // the policy is safe for non-idempotent discover rounds. Draining (503)
 // is not retried: the process is going away, and its replacement gets the
 // fresh request instead.
+//
+// WithRetry also installs a circuit breaker (unless WithCircuitBreaker
+// configured one explicitly): after 5 consecutive shed/draining answers
+// the client stops touching the wire, fails exchanges fast with
+// ErrCircuitOpen, and reopens only after GET /api/v1/readyz reports the
+// server healthy again. Retrying and readiness are two views of the same
+// signal — a client worth retrying with is a client that also stops
+// hammering a server that says it is not ready.
 func WithRetry(maxAttempts int, backoff time.Duration) Option {
 	return func(c *Client) {
 		if maxAttempts < 1 {
@@ -65,6 +73,9 @@ func WithRetry(maxAttempts int, backoff time.Duration) Option {
 			backoff = 500 * time.Millisecond
 		}
 		c.retry = retryPolicy{attempts: maxAttempts, backoff: backoff}
+		if c.breaker == nil {
+			c.breaker = &breaker{threshold: defaultBreakerThreshold, cooldown: defaultBreakerCooldown}
+		}
 	}
 }
 

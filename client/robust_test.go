@@ -1,0 +1,209 @@
+package client
+
+// Robustness tests: the typed stream-truncation sentinel (driven by the
+// server.stream.cut fault point against a real server), the health and
+// readiness probes, and the retry policy's circuit breaker.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"prism"
+	"prism/internal/fault"
+)
+
+// TestStreamTruncatedFaultInjected arms the server-side stream-cut fault
+// so the NDJSON stream drops after two events without a done event, and
+// asserts the final client event wraps the typed ErrStreamTruncated.
+func TestStreamTruncatedFaultInjected(t *testing.T) {
+	ts := newTestSetup(t)
+	if err := fault.Arm("server.stream.cut", fault.Injection{Skip: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.DisarmAll()
+
+	events, err := ts.c.DiscoverStream(context.Background(), paperGridRequest())
+	if err != nil {
+		t.Fatalf("DiscoverStream: %v", err)
+	}
+	var last StreamEvent
+	n := 0
+	for ev := range events {
+		last = ev
+		n++
+	}
+	if last.Kind != prism.EventDone {
+		t.Fatalf("stream ended with kind %v after %d events, want EventDone", last.Kind, n)
+	}
+	if !errors.Is(last.Err, ErrStreamTruncated) {
+		t.Fatalf("final event error = %v, want errors.Is(_, ErrStreamTruncated)", last.Err)
+	}
+}
+
+// TestStreamCancellationNotTruncated pins the distinction: a stream the
+// caller cancels ends with the context error, not ErrStreamTruncated.
+func TestStreamCancellationNotTruncated(t *testing.T) {
+	ts := newTestSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	events, err := ts.c.DiscoverStream(ctx, paperGridRequest())
+	if err != nil {
+		t.Fatalf("DiscoverStream: %v", err)
+	}
+	cancel()
+	var last StreamEvent
+	for ev := range events {
+		last = ev
+	}
+	if errors.Is(last.Err, ErrStreamTruncated) {
+		t.Fatalf("caller cancellation reported as truncation: %v", last.Err)
+	}
+}
+
+// TestHealthzReadyz probes a healthy server: healthz answers, readyz
+// reports ready with no reasons, and stats mirrors the verdict.
+func TestHealthzReadyz(t *testing.T) {
+	ts := newTestSetup(t)
+	ctx := context.Background()
+	if err := ts.c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	r, err := ts.c.Readyz(ctx)
+	if err != nil {
+		t.Fatalf("Readyz: %v", err)
+	}
+	if !r.Ready || len(r.Reasons) != 0 {
+		t.Fatalf("Readyz = %+v, want ready with no reasons", r)
+	}
+	stats, err := ts.c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !stats.Ready {
+		t.Fatalf("stats.Ready = false on a healthy server (reasons %v)", stats.ReadyReasons)
+	}
+}
+
+// TestReadyzNotReady decodes a degraded 503 readiness body as a
+// non-error verdict with its reasons.
+func TestReadyzNotReady(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"ready":false,"reasons":["draining"]}`))
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Readyz(context.Background())
+	if err != nil {
+		t.Fatalf("Readyz on degraded server: %v", err)
+	}
+	if r.Ready || len(r.Reasons) != 1 || r.Reasons[0] != "draining" {
+		t.Fatalf("Readyz = %+v, want not ready with reason draining", r)
+	}
+}
+
+// TestCircuitBreakerOpensAndRecovers drives the full circuit: threshold
+// consecutive sheds open it (exchanges then fail fast with no wire
+// traffic), a half-open readyz probe against a still-unready server
+// re-opens it, and the probe closes it once the server recovers.
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	unready := true
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		down := unready
+		hits++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/api/v1/readyz" {
+			if down {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(`{"ready":false,"reasons":["overloaded"]}`))
+			} else {
+				w.Write([]byte(`{"ready":true}`))
+			}
+			return
+		}
+		if down {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"server overloaded","code":"overloaded"}`))
+			return
+		}
+		w.Write([]byte(`{"datasets":["mondial"]}`))
+	}))
+	defer srv.Close()
+	wireHits := func() int { mu.Lock(); defer mu.Unlock(); return hits }
+
+	const cooldown = 50 * time.Millisecond
+	c, err := New(srv.URL, WithCircuitBreaker(3, cooldown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Three consecutive sheds reach the threshold and open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Datasets(ctx); err == nil {
+			t.Fatalf("exchange %d against shedding server succeeded", i)
+		}
+	}
+	before := wireHits()
+	if _, err := c.Datasets(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit returned %v, want ErrCircuitOpen", err)
+	}
+	if wireHits() != before {
+		t.Fatal("open circuit still touched the wire")
+	}
+
+	// Cooldown expires but the half-open probe finds the server unready:
+	// the circuit re-opens (the probe itself is the only wire traffic).
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if _, err := c.Datasets(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open against unready server returned %v, want ErrCircuitOpen", err)
+	}
+
+	// Server recovers; after the next cooldown the probe passes and the
+	// exchange flows.
+	mu.Lock()
+	unready = false
+	mu.Unlock()
+	time.Sleep(cooldown + 20*time.Millisecond)
+	ds, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatalf("exchange after recovery: %v", err)
+	}
+	if len(ds) != 1 || ds[0] != "mondial" {
+		t.Fatalf("datasets after recovery = %v", ds)
+	}
+}
+
+// TestBreakerSuccessResetsStreak pins that any non-shed answer resets
+// the consecutive-failure count — intermittent shedding below the
+// threshold never opens the circuit.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Minute}
+	b.record(http.StatusTooManyRequests)
+	b.record(http.StatusOK)
+	b.record(http.StatusTooManyRequests)
+	if err := b.allow(context.Background(), nil); err != nil {
+		t.Fatalf("circuit opened below threshold: %v", err)
+	}
+	b.record(http.StatusServiceUnavailable)
+	err := b.allow(context.Background(), func(context.Context) bool {
+		t.Fatal("probe ran while the circuit was cooling")
+		return false
+	})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow at threshold returned %v, want ErrCircuitOpen", err)
+	}
+}

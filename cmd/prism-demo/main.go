@@ -31,9 +31,16 @@ import (
 
 	"prism"
 	"prism/internal/dataset"
+	"prism/internal/obs"
 	"prism/internal/serve"
 	"prism/internal/server"
 )
+
+// metricSnapshotRebuilds counts corrupt or unreadable engine snapshots
+// that were discarded and rebuilt from the generator (the default
+// degradation; -strict-snapshot turns them back into startup failures).
+var metricSnapshotRebuilds = obs.Default.Counter("prism_snapshot_rebuilds_total",
+	"Corrupt engine snapshots discarded and rebuilt from the dataset generator.")
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -45,6 +52,7 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission: max wait in the queue before shedding (0 = 5s)")
 	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-round validation parallelism requests (0 = 4×GOMAXPROCS)")
 	snapshotDir := flag.String("snapshot", "", "engine snapshot directory: <dir>/<db>.snap is loaded instead of regenerating; snapshots missing there are written after the first build (delete stale files when changing -big)")
+	strictSnapshot := flag.Bool("strict-snapshot", false, "treat a corrupt snapshot as a fatal startup error instead of rebuilding from the generator and rewriting it")
 	big := flag.Bool("big", false, "serve the million-row scaled variants of the bundled datasets")
 	debugAddr := flag.String("debug-addr", "", "listen address for the net/http/pprof debug endpoints (disabled when empty; keep it private — bind to localhost)")
 	flag.Parse()
@@ -67,7 +75,7 @@ func main() {
 	if *big || *snapshotDir != "" {
 		for _, name := range prism.DatasetNames() {
 			s.Registry.RegisterOpener(name, func() (*prism.Engine, error) {
-				return openDataset(name, *big, *snapshotDir)
+				return openDataset(name, *big, *snapshotDir, *strictSnapshot)
 			})
 		}
 	}
@@ -95,7 +103,14 @@ func main() {
 // (best effort) after building from scratch. Engines are built lazily by
 // the registry, so a server with warm snapshots starts serving a dataset
 // after one file read instead of a full generate-and-analyze.
-func openDataset(name string, big bool, dir string) (*prism.Engine, error) {
+//
+// A snapshot that exists but fails to load (torn write, version drift,
+// corruption) degrades gracefully by default: warn, count the rebuild in
+// obs, regenerate from the generator and rewrite the snapshot. With
+// strict set (-strict-snapshot) the error stands — surfacing on the
+// dataset's first open, since engines build lazily — for operators who
+// would rather investigate than serve regenerated data silently.
+func openDataset(name string, big bool, dir string, strict bool) (*prism.Engine, error) {
 	var path string
 	if dir != "" {
 		path = filepath.Join(dir, name+".snap")
@@ -106,9 +121,11 @@ func openDataset(name string, big bool, dir string) (*prism.Engine, error) {
 			log.Printf("prism-demo: %s: loaded snapshot %s in %v", name, path, time.Since(start).Round(time.Millisecond))
 			return eng, nil
 		case !errors.Is(err, fs.ErrNotExist):
-			// A corrupt or mismatched snapshot is an operator problem;
-			// refuse to serve silently-regenerated data instead.
-			return nil, err
+			if strict {
+				return nil, err
+			}
+			metricSnapshotRebuilds.Inc()
+			log.Printf("prism-demo: %s: snapshot %s unusable (%v); rebuilding from generator", name, path, err)
 		}
 	}
 	eng, err := buildDataset(name, big)

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenDatasetRebuildsCorruptSnapshot pins the graceful degradation:
+// a corrupt snapshot is discarded, the engine rebuilt from the
+// generator, and a fresh snapshot rewritten in its place — while strict
+// mode keeps the old refuse-to-start behavior.
+func TestOpenDatasetRebuildsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nba.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := openDataset("nba", false, dir, true); err == nil {
+		t.Fatal("strict mode accepted a corrupt snapshot")
+	}
+
+	before := metricSnapshotRebuilds.Value()
+	eng, err := openDataset("nba", false, dir, false)
+	if err != nil {
+		t.Fatalf("graceful mode failed on a corrupt snapshot: %v", err)
+	}
+	if eng == nil {
+		t.Fatal("graceful mode returned no engine")
+	}
+	if got := metricSnapshotRebuilds.Value(); got != before+1 {
+		t.Fatalf("rebuild counter = %d, want %d", got, before+1)
+	}
+
+	// The corrupt file must have been replaced by a loadable snapshot.
+	if _, err := openDataset("nba", false, dir, true); err != nil {
+		t.Fatalf("rewritten snapshot does not load strictly: %v", err)
+	}
+}

@@ -58,6 +58,9 @@ const maskSetLimit = 64
 // (MaxIntermediate, Interrupt) are honoured; each set carries its own
 // predicates.
 func (e *Executor) ExistsBatch(p exec.Plan, sets []exec.PredicateSet, opts exec.ExecOptions) ([]exec.Verdict, exec.ExecStats, error) {
+	if err := faultBatch.Hit(); err != nil {
+		return nil, exec.ExecStats{}, err
+	}
 	if len(sets) == 0 {
 		return []exec.Verdict{}, exec.ExecStats{}, nil
 	}

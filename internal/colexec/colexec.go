@@ -456,6 +456,9 @@ func (e *Executor) Execute(p exec.Plan) (*exec.Result, error) {
 
 // ExecuteWith implements exec.Executor.
 func (e *Executor) ExecuteWith(p exec.Plan, opts exec.ExecOptions) (*exec.Result, error) {
+	if err := faultExec.Hit(); err != nil {
+		return nil, err
+	}
 	st := e.getState()
 	defer e.putState(st)
 	res := &exec.Result{}
@@ -494,6 +497,9 @@ func (e *Executor) ExecuteWith(p exec.Plan, opts exec.ExecOptions) (*exec.Result
 // nothing: the projection tuple is pooled scratch and no Result is built,
 // which keeps the warm validation probe allocation-free.
 func (e *Executor) Exists(p exec.Plan, opts exec.ExecOptions) (bool, exec.ExecStats, error) {
+	if err := faultScan.Hit(); err != nil {
+		return false, exec.ExecStats{}, err
+	}
 	st := e.getState()
 	defer e.putState(st)
 	opts.Limit = 1

@@ -30,6 +30,9 @@ type csvTable struct {
 // LoadCSVFile ingests a single CSV file as a one-table database. The
 // first record is the header; column types are inferred (see inferKind).
 func LoadCSVFile(path string) (*mem.Database, error) {
+	if err := faultCSV.Hit(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
 	t, err := readCSVFile(path)
 	if err != nil {
 		return nil, err
@@ -42,6 +45,9 @@ func LoadCSVFile(path string) (*mem.Database, error) {
 // across the tables. Files are loaded in sorted name order so the
 // resulting schema — and everything derived from it — is deterministic.
 func LoadCSVDir(dir string) (*mem.Database, error) {
+	if err := faultCSV.Hit(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", dir, err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)

@@ -85,6 +85,9 @@ const sqliteMagic = "SQLite format 3\x00"
 // The source's Name is the path's base name without extension,
 // lower-cased — the same convention the registry uses for generators.
 func FromFile(path string) (Source, error) {
+	if err := faultOpen.Hit(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
 	info, err := os.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)

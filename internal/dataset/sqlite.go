@@ -35,6 +35,9 @@ import (
 // cannot be represented as its declared prism kind degrades to Text
 // rather than aborting the load.
 func LoadSQLite(path string) (*mem.Database, error) {
+	if err := faultSQLite.Hit(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)

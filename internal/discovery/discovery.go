@@ -18,6 +18,7 @@ import (
 	"prism/internal/bayes"
 	"prism/internal/constraint"
 	"prism/internal/exec"
+	"prism/internal/fault"
 	"prism/internal/filter"
 	"prism/internal/graphx"
 	"prism/internal/mem"
@@ -58,6 +59,12 @@ type Options struct {
 	// seconds per round (the default here as well). Zero keeps the default;
 	// use a negative value for "no limit".
 	TimeLimit time.Duration
+	// WatchdogGrace is how long past TimeLimit the round waits for a
+	// wedged validation — one that ignores context cancellation — before
+	// abandoning it and returning the partial report as timed out
+	// (sched.Options.WatchdogGrace). 0 picks TimeLimit/10 clamped to
+	// [100ms, 5s].
+	WatchdogGrace time.Duration
 	// Now injects a clock for tests.
 	Now func() time.Time
 	// Policy selects the scheduling policy (default PolicyBayes).
@@ -393,8 +400,30 @@ var errTimeBudget = errors.New("discovery: time budget exhausted")
 
 // run is the shared implementation of Discover, DiscoverStream and session
 // rounds; emit is nil for the non-streaming path, sess is nil outside a
-// session.
-func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event), sess *Session) (*Report, error) {
+// session. It is the round-level panic barrier: a panic anywhere in the
+// pipeline outside the validation workers (which recover on their own
+// goroutines) aborts this round with an ErrInternal-wrapped error and a
+// partial report, leaving the engine and other rounds untouched.
+func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event), sess *Session) (report *Report, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			metricRoundPanics.Inc()
+			if report == nil {
+				report = &Report{Spec: spec, Policy: string(opts.Policy)}
+			}
+			err = fmt.Errorf("discovery: round panic: %v: %w", rec, fault.ErrInternal)
+		}
+	}()
+	if ferr := faultRound.Hit(); ferr != nil {
+		return &Report{Spec: spec, Policy: string(opts.Policy)}, fmt.Errorf("discovery: %w", ferr)
+	}
+	return e.roundBody(ctx, spec, opts, emit, sess)
+}
+
+// roundBody is the round pipeline proper. On panic its defers still run
+// (the trace is closed and the partial report is folded into metrics)
+// before run's recover converts the panic to an error.
+func (e *Engine) roundBody(ctx context.Context, spec *constraint.Spec, opts Options, emit func(Event), sess *Session) (*Report, error) {
 	opts = opts.withDefaults()
 	report := &Report{Spec: spec, Policy: string(opts.Policy), Parallelism: opts.Parallelism}
 	start := time.Now()
@@ -581,10 +610,11 @@ func (e *Engine) run(ctx context.Context, spec *constraint.Spec, opts Options, e
 		}
 	}
 	schedOpts := sched.Options{
-		TimeLimit:   opts.TimeLimit,
-		Now:         opts.Now,
-		Parallelism: opts.Parallelism,
-		Batching:    opts.BatchValidation,
+		TimeLimit:     opts.TimeLimit,
+		WatchdogGrace: opts.WatchdogGrace,
+		Now:           opts.Now,
+		Parallelism:   opts.Parallelism,
+		Batching:      opts.BatchValidation,
 	}
 	if sess != nil {
 		// Keys bind each filter to the round's constraints and the current

@@ -1,0 +1,20 @@
+package discovery
+
+// Robustness seams of the round pipeline: the round-level fault point
+// and the panic counter behind run's recover barrier.
+
+import (
+	"prism/internal/fault"
+	"prism/internal/obs"
+)
+
+var (
+	// faultRound fires at round entry, before any pipeline phase.
+	// Armed with ModePanic it exercises the round-level panic barrier;
+	// with ModeError it makes rounds fail with a typed error.
+	faultRound = fault.Register("discovery.round")
+
+	metricRoundPanics = obs.Default.Counter("prism_panics_recovered_total",
+		"Panics caught and converted to internal errors, by recovery site.",
+		obs.Label{Key: "site", Value: "discovery.round"})
+)

@@ -1,0 +1,15 @@
+package mem
+
+// Fault points of the snapshot codec, hit once per encode/decode. The
+// write point also offers a short-write wrapper so the file layer can
+// exercise torn writes through the same seam.
+
+import "prism/internal/fault"
+
+var (
+	// faultSnapshotEncode fires at WriteSnapshot entry; armed with
+	// ModeShortWrite its Writer wrapper truncates the body write.
+	faultSnapshotEncode = fault.Register("snapshot.encode")
+	// faultSnapshotDecode fires at ReadSnapshot entry.
+	faultSnapshotDecode = fault.Register("snapshot.decode")
+)

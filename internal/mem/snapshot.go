@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"prism/internal/fault"
 	"prism/internal/schema"
 	"prism/internal/value"
 )
@@ -51,6 +52,10 @@ var (
 // statistics and the inverted index: a ReadSnapshot of the result is
 // query-ready without further preprocessing.
 func (db *Database) WriteSnapshot(w io.Writer) error {
+	if err := faultSnapshotEncode.Hit(); err != nil {
+		return fmt.Errorf("mem: writing snapshot: %w", err)
+	}
+	w = faultSnapshotEncode.Writer(w)
 	db.Analyze()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -92,6 +97,14 @@ func (db *Database) WriteSnapshot(w io.Writer) error {
 // database is analyzed (statistics and indexes restored, not recomputed)
 // and carries the original data version.
 func ReadSnapshot(r io.Reader) (*Database, error) {
+	if err := faultSnapshotDecode.Hit(); err != nil {
+		if errors.Is(err, fault.ErrInjected) {
+			// Injected decode failures present as corruption so callers
+			// exercise their real degraded path.
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+		return nil, fmt.Errorf("mem: reading snapshot: %w", err)
+	}
 	header := make([]byte, len(snapshotMagic)+12)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, fmt.Errorf("%w: short header: %v", ErrSnapshotCorrupt, err)

@@ -28,6 +28,7 @@ import (
 	"prism/internal/bayes"
 	"prism/internal/constraint"
 	"prism/internal/exec"
+	"prism/internal/fault"
 	"prism/internal/filter"
 	"prism/internal/obs"
 	"prism/internal/rowset"
@@ -201,6 +202,14 @@ type Options struct {
 	// the count can overshoot by up to P−1, since validations already in
 	// flight when the cap is reached still complete and are recorded.
 	MaxValidations int
+	// WatchdogGrace is how long past TimeLimit the run waits for
+	// in-flight validations before abandoning them and returning the
+	// partial result as timed out. Context cancellation already
+	// interrupts well-behaved executors at the deadline; the watchdog
+	// exists for the ones that wedge without polling their context.
+	// 0 picks a default of TimeLimit/10 clamped to [100ms, 5s];
+	// effective only with a TimeLimit under the real clock.
+	WatchdogGrace time.Duration
 	// Parallelism is the number of filter validations kept in flight at
 	// once (default 1, the paper's sequential greedy loop). With P > 1 the
 	// scheduler still selects filters in exactly the policy's priority
@@ -514,28 +523,44 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 					sp.SetAttr("plan", r.Set.Filters[batch[0]].PlanFingerprint())
 				}
 				out := outcome{idxs: batch}
-				if len(batch) == 1 && !batchSingletons {
-					vr, err := validator.ValidateContext(runCtx, r.Set.Filters[batch[0]])
-					out.vrs = []filter.ValidationResult{vr}
-					out.err = err
-				} else {
-					fs := make([]*filter.Filter, len(batch))
-					for k, idx := range batch {
-						fs[k] = r.Set.Filters[idx]
-					}
-					passed, stats, err := validator.ValidateBatchContext(runCtx, fs)
-					if err == nil {
-						out.vrs = make([]filter.ValidationResult, len(batch))
-						for k := range batch {
-							out.vrs[k].Passed = passed[k]
+				// A panic below — an executor bug, or an injected one —
+				// must kill only this round, not the process: recover it
+				// into an ErrInternal-wrapped outcome and keep the worker
+				// alive for the pool accounting and channel protocol.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							metricPanics.Inc()
+							out.err = fmt.Errorf("validation panic: %v: %w", rec, fault.ErrInternal)
 						}
-						// The shared scan's cost is attributed to the batch's
-						// first member; splitting it would double-count work
-						// the backend did once.
-						out.vrs[0].Cost = stats
+					}()
+					if err := faultValidate.Hit(); err != nil {
+						out.err = err
+						return
 					}
-					out.err = err
-				}
+					if len(batch) == 1 && !batchSingletons {
+						vr, err := validator.ValidateContext(runCtx, r.Set.Filters[batch[0]])
+						out.vrs = []filter.ValidationResult{vr}
+						out.err = err
+					} else {
+						fs := make([]*filter.Filter, len(batch))
+						for k, idx := range batch {
+							fs[k] = r.Set.Filters[idx]
+						}
+						passed, stats, err := validator.ValidateBatchContext(runCtx, fs)
+						if err == nil {
+							out.vrs = make([]filter.ValidationResult, len(batch))
+							for k := range batch {
+								out.vrs[k].Passed = passed[k]
+							}
+							// The shared scan's cost is attributed to the batch's
+							// first member; splitting it would double-count work
+							// the backend did once.
+							out.vrs[0].Cost = stats
+						}
+						out.err = err
+					}
+				}()
 				if sp != nil {
 					passedCount := 0
 					var cost exec.ExecStats
@@ -575,6 +600,24 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		}
 		inFlightCount++
 		jobs <- batch
+	}
+
+	// The watchdog is the last line of defence for executors that wedge
+	// without polling their context: once the time budget plus a grace
+	// window has passed, the round returns its partial result as timed
+	// out and abandons the in-flight validations. Abandoned workers
+	// cannot block forever — the results channel buffers one outcome per
+	// worker and the closed jobs channel ends their loop — so they drain
+	// on their own once the wedged call returns.
+	var watchdogC <-chan time.Time
+	if realClock && opts.TimeLimit > 0 {
+		grace := opts.WatchdogGrace
+		if grace <= 0 {
+			grace = defaultWatchdogGrace(opts.TimeLimit)
+		}
+		watchdog := time.NewTimer(opts.TimeLimit + grace)
+		defer watchdog.Stop()
+		watchdogC = watchdog.C
 	}
 
 	stopping := false
@@ -629,7 +672,18 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 			// candidates, so the latter should not happen).
 			break
 		}
-		d := <-results
+		var d outcome
+		select {
+		case d = <-results:
+		case <-watchdogC:
+			// A validation wedged past TimeLimit+grace. Return the
+			// partial result as timed out; the outcomes of abandoned
+			// validations are unknown and discarded.
+			metricWatchdog.Inc()
+			res.TimedOut = true
+			stop()
+			goto finish
+		}
 		for _, idx := range d.idxs {
 			inFlight.Remove(int32(idx))
 		}
@@ -653,6 +707,7 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		}
 	}
 
+finish:
 	res.Validations = sess.Executed
 	res.Implied = sess.Implied
 	res.Cost = sess.Cost

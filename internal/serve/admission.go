@@ -306,6 +306,12 @@ func (c *Controller) shedLocked(tenant string) {
 // QueueTimeout, with ErrDraining when the controller is draining, and with
 // ctx.Err() when the caller gives up first.
 func (c *Controller) Admit(ctx context.Context, tenant string, pri Priority) (release func(), err error) {
+	if err := faultAdmit.Hit(); err != nil {
+		// Injected before any counter moves: an injected admission
+		// failure reads as a shed to the caller without skewing the
+		// admitted/shed accounting the stats tests pin.
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
 	if pri < 0 || pri >= numPriorities {
 		pri = PriorityNormal
 	}

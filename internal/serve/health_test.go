@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthStartsReady(t *testing.T) {
+	h := NewHealth(HealthConfig{})
+	if ready, reasons := h.Ready(); !ready || len(reasons) != 0 {
+		t.Fatalf("fresh tracker not ready: %v", reasons)
+	}
+}
+
+func TestHealthDrainingIsOneWay(t *testing.T) {
+	h := NewHealth(HealthConfig{})
+	h.SetDraining()
+	ready, reasons := h.Ready()
+	if ready || len(reasons) != 1 || reasons[0] != "draining" {
+		t.Fatalf("Ready() = %v, %v; want not ready with reason draining", ready, reasons)
+	}
+	// Nothing recovers a draining server.
+	h.ReportSuccess("engine")
+	if ready, _ := h.Ready(); ready {
+		t.Fatal("draining tracker recovered")
+	}
+}
+
+func TestHealthSourceFailuresDegradeAndRecover(t *testing.T) {
+	h := NewHealth(HealthConfig{FailureThreshold: 3})
+	h.ReportFailure("engine")
+	h.ReportFailure("engine")
+	if ready, _ := h.Ready(); !ready {
+		t.Fatal("degraded below the failure threshold")
+	}
+	h.ReportFailure("engine")
+	ready, reasons := h.Ready()
+	if ready || len(reasons) != 1 || !strings.Contains(reasons[0], "engine") {
+		t.Fatalf("Ready() = %v, %v; want engine degradation", ready, reasons)
+	}
+	// Failures keep counting while degraded; one success clears all.
+	h.ReportFailure("engine")
+	h.ReportSuccess("engine")
+	if ready, reasons := h.Ready(); !ready || len(reasons) != 0 {
+		t.Fatalf("one success did not recover readiness: %v", reasons)
+	}
+}
+
+func TestHealthSustainedShedDegrades(t *testing.T) {
+	now := time.Unix(1000, 0)
+	h := NewHealth(HealthConfig{
+		ShedWindow: 10 * time.Second, ShedRateThreshold: 0.75,
+		MinWindowRequests: 20, Now: func() time.Time { return now },
+	})
+	// 19 sheds: below the minimum sample size, still ready.
+	for i := 0; i < 19; i++ {
+		h.ObserveAdmission(true)
+	}
+	if ready, _ := h.Ready(); !ready {
+		t.Fatal("degraded below MinWindowRequests")
+	}
+	// 20th shed crosses both the sample floor and the rate threshold.
+	h.ObserveAdmission(true)
+	ready, reasons := h.Ready()
+	if ready || len(reasons) != 1 || !strings.Contains(reasons[0], "shedding") {
+		t.Fatalf("Ready() = %v, %v; want shed-rate degradation", ready, reasons)
+	}
+	// Mixed traffic below the rate threshold is ready again once time
+	// moves past the shed burst.
+	now = now.Add(11 * time.Second)
+	for i := 0; i < 30; i++ {
+		h.ObserveAdmission(i%4 == 0) // 25% shed
+	}
+	if ready, reasons := h.Ready(); !ready {
+		t.Fatalf("25%% shed rate read as degraded: %v", reasons)
+	}
+	// The window slides: old buckets expire without new traffic.
+	now = now.Add(11 * time.Second)
+	if ready, _ := h.Ready(); !ready {
+		t.Fatal("expired window still degraded")
+	}
+}

@@ -1,0 +1,18 @@
+package serve
+
+// Fault points of the serving tier, hit once per admission decision /
+// wired into the sink's writer.
+
+import "prism/internal/fault"
+
+var (
+	// faultAdmit fires at Controller.Admit entry, before any counter
+	// moves, so an injected admission failure never skews the
+	// admitted/shed accounting.
+	faultAdmit = fault.Register("serve.admit")
+	// faultSinkWrite wraps every sink's consumer writer; armed with
+	// ModeShortWrite it tears a streamed frame mid-write (the transport
+	// failure a stalled or dropped consumer produces), and with
+	// ModeError Hit fails the pump's next write.
+	faultSinkWrite = fault.Register("serve.sink.write")
+)

@@ -65,7 +65,7 @@ type Sink struct {
 func NewSink(w io.Writer, opts SinkOptions) *Sink {
 	s := &Sink{
 		opts:    opts.withDefaults(),
-		w:       w,
+		w:       faultSinkWrite.Writer(w),
 		stalled: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -85,6 +85,11 @@ func (s *Sink) pump() {
 		}
 		if s.opts.SetWriteDeadline != nil {
 			_ = s.opts.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		if err := faultSinkWrite.Hit(); err != nil {
+			s.err.CompareAndSwap(nil, &err)
+			s.markStalled()
+			continue
 		}
 		if _, err := s.w.Write(payload); err != nil {
 			s.err.CompareAndSwap(nil, &err)

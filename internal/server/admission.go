@@ -31,6 +31,7 @@ func (s *Server) init() {
 		}
 		s.admission = serve.NewController(s.Admission)
 		s.latencies = serve.NewLatencies(0)
+		s.health = serve.NewHealth(s.Health)
 		s.started = time.Now()
 		s.initMetrics()
 	})
@@ -68,6 +69,10 @@ func (s *Server) admitted(def serve.Priority, h http.HandlerFunc) http.HandlerFu
 			pri = p
 		}
 		release, err := s.admission.Admit(r.Context(), tenant, pri)
+		// Feed the readiness shed-rate window: a server shedding most of
+		// its traffic for a sustained stretch should fail readyz so load
+		// balancers route around it.
+		s.health.ObserveAdmission(err != nil)
 		if err != nil {
 			s.writeAdmissionError(w, err)
 			return
@@ -121,7 +126,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Draining:      snap.Draining,
 		},
 		StreamStalls: s.streamStalls.Load(),
+		Panics:       s.panics.Load(),
 	}
+	resp.Ready, resp.ReadyReasons = s.health.Ready()
 	for _, t := range snap.Tenants {
 		resp.Tenants = append(resp.Tenants, api.TenantStats{
 			Tenant:   t.Tenant,

@@ -133,7 +133,16 @@ func (s *Server) collectServe() []obs.Sample {
 		counter("prism_serve_drained_total", "Rounds drained during shutdown.", snap.Drained),
 		counter("prism_serve_stream_stalls_total",
 			"Streaming rounds cancelled because the consumer stalled.", s.streamStalls.Load()),
+		counter("prism_serve_panics_total",
+			"Handler panics recovered into structured internal errors.", s.panics.Load()),
 	}
+	ready, _ := s.health.Ready()
+	readyVal := 0.0
+	if ready {
+		readyVal = 1
+	}
+	out = append(out, gauge("prism_ready",
+		"Whether the server passes its readiness probe (1 ready, 0 degraded).", readyVal))
 	for _, t := range snap.Tenants {
 		l := obs.Label{Key: "tenant", Value: t.Tenant}
 		out = append(out,

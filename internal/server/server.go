@@ -20,6 +20,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -71,10 +72,15 @@ type Server struct {
 	// round cancelled — only its own round (defaults 64 events, 10s).
 	StreamBuffer       int
 	StreamWriteTimeout time.Duration
+	// Health tunes the readiness tracker behind GET /api/v1/readyz
+	// (zero fields take the serve package defaults).
+	Health serve.HealthConfig
 
 	initOnce     sync.Once
 	admission    *serve.Controller
 	latencies    *serve.Latencies
+	health       *serve.Health
+	panics       atomic.Int64
 	streamStalls atomic.Int64
 	started      time.Time
 	sessions     *sessionStore
@@ -103,8 +109,22 @@ func (s *Server) RegisterDatabase(name string, db *mem.Database) {
 	s.Registry.RegisterDatabase(name, db)
 }
 
+// engine resolves a registry engine and feeds the readiness tracker:
+// a registered engine that fails to build (snapshot corruption, a bad
+// ingest) is a server-side failure that should eventually flip readyz,
+// while an unknown database name is a client mistake and counts for
+// nothing.
 func (s *Server) engine(name string) (*prism.Engine, error) {
-	return s.Registry.Get(name)
+	eng, err := s.Registry.Get(name)
+	if s.health != nil {
+		switch {
+		case err == nil:
+			s.health.ReportSuccess("engine")
+		case !errors.Is(err, prism.ErrUnknownDatabase):
+			s.health.ReportFailure("engine")
+		}
+	}
+	return eng, err
 }
 
 // Handler returns the HTTP handler of the demo. The JSON API is mounted
@@ -114,8 +134,8 @@ func (s *Server) engine(name string) (*prism.Engine, error) {
 func (s *Server) Handler() http.Handler {
 	s.init()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/discover", s.admitted(serve.PriorityNormal, s.handleDiscoverForm))
+	mux.HandleFunc("/", s.recovered(s.handleIndex))
+	mux.HandleFunc("/discover", s.recovered(s.admitted(serve.PriorityNormal, s.handleDiscoverForm)))
 	// Method-less fallbacks so wrong-method requests get the structured
 	// JSON 405 like every other API endpoint, not net/http's text page.
 	methodNotAllowed := func(allowed string) http.HandlerFunc {
@@ -124,6 +144,8 @@ func (s *Server) Handler() http.Handler {
 		}
 	}
 	mount := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
+		mux.HandleFunc(prefix+api.HealthzPath, wrap(s.handleHealthz))
+		mux.HandleFunc(prefix+api.ReadyzPath, wrap(s.handleReadyz))
 		mux.HandleFunc(prefix+"/datasets", wrap(s.handleDatasets))
 		mux.HandleFunc(prefix+"/sample", wrap(s.handleSample))
 		mux.HandleFunc(prefix+"/stats", wrap(s.handleStats))
@@ -141,8 +163,12 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/session/{id}", wrap(methodNotAllowed("GET or DELETE")))
 		mux.HandleFunc(prefix+"/session/{id}/refine", wrap(methodNotAllowed("POST")))
 	}
-	mount(api.PathPrefix, func(h http.HandlerFunc) http.HandlerFunc { return h })
-	mount(api.LegacyPathPrefix, deprecatedRoute)
+	// Every route sits behind the panic barrier: a panicking handler
+	// answers a structured 500 and the process keeps serving.
+	mount(api.PathPrefix, s.recovered)
+	mount(api.LegacyPathPrefix, func(h http.HandlerFunc) http.HandlerFunc {
+		return deprecatedRoute(s.recovered(h))
+	})
 	return mux
 }
 
@@ -179,7 +205,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	// Stop admitting new rounds before the listener closes: queued
 	// requests are flushed with an immediate 503 (draining) and new
 	// arrivals fail fast, while rounds already running keep their request
-	// contexts and finish inside the grace window below.
+	// contexts and finish inside the grace window below. Readiness flips
+	// first so load balancers stop routing here.
+	s.health.SetDraining()
 	s.admission.Drain()
 	grace := s.ShutdownGrace
 	if grace <= 0 {
@@ -546,6 +574,12 @@ func (s *Server) handleDiscoverStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	for ev := range rd.eng.DiscoverStream(ctx, rd.spec, rd.opts) {
+		if ferr := faultStreamCut.Hit(); ferr != nil {
+			// Injected connection drop: end the response mid-stream with
+			// no done event. The deferred cancel unblocks the producing
+			// goroutine and the deferred Close drains the sink.
+			return
+		}
 		out := StreamEventResponse{
 			Event:       string(ev.Kind),
 			Candidates:  ev.Progress.CandidatesEnumerated,

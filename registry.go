@@ -39,6 +39,11 @@ var (
 	// ErrDraining is returned by the client when the server is shutting
 	// down and no longer admits new rounds (HTTP 503).
 	ErrDraining = api.ErrDraining
+	// ErrInternal reports a bug caught inside prism — typically a
+	// recovered panic in a round or a validation worker — that aborted
+	// the round carrying it. The process, worker pool, and other rounds
+	// stay healthy. Remote callers see HTTP 500 with code "internal".
+	ErrInternal = api.ErrInternal
 )
 
 // normalizeName canonicalises a registry / Open database name.

@@ -12,7 +12,16 @@ import (
 	"os"
 	"path/filepath"
 
+	"prism/internal/fault"
 	"prism/internal/mem"
+)
+
+// Fault points on the snapshot file-install seams, so tests can fail
+// each step (fsync of the temp file, the atomic rename, the directory
+// sync) and pin that a failed install never publishes a torn file.
+var (
+	faultSnapshotSync   = fault.Register("snapshot.sync")
+	faultSnapshotRename = fault.Register("snapshot.rename")
 )
 
 // Snapshot-format sentinels, re-exported so callers can classify load
@@ -36,9 +45,11 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	return e.Database().WriteSnapshot(w)
 }
 
-// SnapshotFile writes the engine's snapshot atomically to path: the
-// bytes land in a temporary sibling file first and are renamed into
-// place, so readers never observe a half-written snapshot.
+// SnapshotFile writes the engine's snapshot atomically and durably to
+// path: the bytes land in a temporary sibling file first, are fsynced,
+// and are renamed into place — then the directory is synced so the
+// rename itself survives a crash. Readers never observe a half-written
+// snapshot, and a power loss cannot publish a torn one.
 func (e *Engine) SnapshotFile(path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".prism-snap-*")
 	if err != nil {
@@ -49,11 +60,40 @@ func (e *Engine) SnapshotFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	// Sync before rename: without it the rename can land on disk ahead
+	// of the data, and a crash between the two publishes a torn file at
+	// the final path — exactly what the temp-and-rename dance exists to
+	// prevent.
+	syncErr := faultSnapshotSync.Hit()
+	if syncErr == nil {
+		syncErr = tmp.Sync()
+	}
+	if syncErr != nil {
+		tmp.Close()
+		return fmt.Errorf("prism: syncing snapshot temp file: %w", syncErr)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("prism: closing snapshot temp file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("prism: installing snapshot: %w", err)
+	renameErr := faultSnapshotRename.Hit()
+	if renameErr == nil {
+		renameErr = os.Rename(tmp.Name(), path)
+	}
+	if renameErr != nil {
+		return fmt.Errorf("prism: installing snapshot: %w", renameErr)
+	}
+	// Sync the directory so the rename entry itself is durable. Some
+	// platforms cannot fsync a directory; treat only real sync failures
+	// as errors.
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		serr := faultSnapshotSync.Hit()
+		if serr == nil {
+			serr = dir.Sync()
+		}
+		dir.Close()
+		if serr != nil && !os.IsPermission(serr) {
+			return fmt.Errorf("prism: syncing snapshot directory: %w", serr)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package prism
+
+// Fault-point tests on the snapshot install seams: failing the temp-file
+// fsync, the atomic rename, or the encode itself must fail SnapshotFile
+// cleanly without publishing a torn (or any) file at the target path,
+// and must leave no temp litter behind.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prism/internal/fault"
+)
+
+// assertNoSnapshotPublished checks that path does not exist and that no
+// temp sibling was left behind in dir.
+func assertNoSnapshotPublished(t *testing.T, path string) {
+	t.Helper()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed install published %s (stat err %v)", path, err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Fatalf("failed install left %s behind", e.Name())
+		}
+	}
+}
+
+func TestSnapshotFileFaultSeams(t *testing.T) {
+	eng, err := Open("nba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		point string
+		inj   fault.Injection
+	}{
+		// Count:1 hits only the temp-file sync (the directory sync shares
+		// the point); the zero plan on rename hits its single seam.
+		{"snapshot.sync", fault.Injection{Count: 1}},
+		{"snapshot.rename", fault.Injection{}},
+		{"snapshot.encode", fault.Injection{Mode: fault.ModeShortWrite}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "nba.snap")
+			if err := fault.Arm(tc.point, tc.inj); err != nil {
+				t.Fatal(err)
+			}
+			defer fault.DisarmAll()
+			if err := eng.SnapshotFile(path); err == nil {
+				t.Fatalf("SnapshotFile succeeded with %s armed", tc.point)
+			}
+			assertNoSnapshotPublished(t, path)
+
+			// Disarmed, the same install succeeds and the file loads.
+			fault.DisarmAll()
+			if err := eng.SnapshotFile(path); err != nil {
+				t.Fatalf("SnapshotFile after disarm: %v", err)
+			}
+			if _, err := OpenSnapshot(path); err != nil {
+				t.Fatalf("snapshot written after disarm does not load: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotFileDirSyncFailureSurfaces pins the second snapshot.sync
+// seam: a directory-sync failure after the rename is a real error (the
+// rename's durability is unknown), reported to the caller.
+func TestSnapshotFileDirSyncFailureSurfaces(t *testing.T) {
+	eng, err := Open("nba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nba.snap")
+	if err := fault.Arm("snapshot.sync", fault.Injection{Skip: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.DisarmAll()
+	if err := eng.SnapshotFile(path); err == nil {
+		t.Fatal("SnapshotFile ignored a directory sync failure")
+	}
+}
